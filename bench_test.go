@@ -1,0 +1,258 @@
+// Benchmarks regenerating every figure of the paper's evaluation section.
+// Each BenchmarkFigN* target runs the corresponding experiment driver at a
+// reduced-but-representative scale and reports the headline metric via
+// b.ReportMetric, so `go test -bench=.` both times the pipeline and prints
+// the figure's numbers. The full-scale sweeps are produced by cmd/mecbench.
+package mecache_test
+
+import (
+	"testing"
+
+	"mecache"
+)
+
+// benchMarket memoizes a mid-size market shared by the single-point
+// benchmarks.
+func benchMarket(b *testing.B, seed uint64, size, providers int) *mecache.Market {
+	b.Helper()
+	cfg := mecache.DefaultWorkload(seed)
+	cfg.NumProviders = providers
+	m, err := mecache.GenerateMarketGTITM(size, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// --- Figure 2: GT-ITM sweep, 1-xi = 0.3 -------------------------------
+
+func benchFig2Metric(b *testing.B, metric func(mecache.AlgoOutcome) float64, unit string) {
+	b.Helper()
+	m := benchMarket(b, 2, 250, 100)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		out, err := mecache.RunAll(m, 0.7, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = metric(out[mecache.AlgoLCF])
+	}
+	b.ReportMetric(last, unit)
+}
+
+func BenchmarkFig2SocialCost(b *testing.B) {
+	benchFig2Metric(b, func(o mecache.AlgoOutcome) float64 { return o.Social }, "social-cost")
+}
+
+func BenchmarkFig2SelfishCost(b *testing.B) {
+	benchFig2Metric(b, func(o mecache.AlgoOutcome) float64 { return o.Selfish }, "selfish-cost")
+}
+
+func BenchmarkFig2CoordinatedCost(b *testing.B) {
+	benchFig2Metric(b, func(o mecache.AlgoOutcome) float64 { return o.Coordinated }, "coordinated-cost")
+}
+
+func BenchmarkFig2RunningTime(b *testing.B) {
+	benchFig2Metric(b, func(o mecache.AlgoOutcome) float64 { return o.Seconds * 1000 }, "lcf-ms")
+}
+
+// --- Figure 3: impact of 1-xi ------------------------------------------
+
+func benchFig3AtFraction(b *testing.B, frac float64) {
+	b.Helper()
+	m := benchMarket(b, 3, 250, 100)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		out, err := mecache.RunAll(m, 1-frac, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out[mecache.AlgoLCF].Social
+	}
+	b.ReportMetric(last, "social-cost")
+}
+
+func BenchmarkFig3SocialCostAllCoordinated(b *testing.B) { benchFig3AtFraction(b, 0) }
+
+func BenchmarkFig3SocialCostHalfSelfish(b *testing.B) { benchFig3AtFraction(b, 0.5) }
+
+func BenchmarkFig3SocialCostAllSelfish(b *testing.B) { benchFig3AtFraction(b, 1) }
+
+func BenchmarkFig3RunningTime(b *testing.B) {
+	m := benchMarket(b, 3, 250, 100)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		out, err := mecache.RunAll(m, 0.5, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = out[mecache.AlgoLCF].Seconds * 1000
+	}
+	b.ReportMetric(last, "lcf-ms")
+}
+
+// --- Figure 5: test-bed comparison --------------------------------------
+
+func benchTestbed(b *testing.B, mutate func(*mecache.TestbedConfig)) (social, latency float64) {
+	b.Helper()
+	cfg := mecache.DefaultTestbedConfig(5)
+	cfg.Workload.NumProviders = 60
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	tb, err := mecache.NewTestbed(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := mecache.LCF(tb.Market, mecache.LCFOptions{Xi: 0.7, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dep, err := tb.Deploy(res.Placement)
+		if err != nil {
+			b.Fatal(err)
+		}
+		meas, err := tb.Measure(dep, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		social, latency = meas.MeasuredSocialCost, meas.MeanLatencyMs
+	}
+	return social, latency
+}
+
+func BenchmarkFig5SocialCost(b *testing.B) {
+	social, _ := benchTestbed(b, nil)
+	b.ReportMetric(social, "social-cost")
+}
+
+func BenchmarkFig5RunningTime(b *testing.B) {
+	// Times LCF + deployment on the AS1755 test-bed (the Fig 5(b) metric).
+	_, _ = benchTestbed(b, nil)
+}
+
+// --- Figure 6: test-bed parameter studies -------------------------------
+
+func BenchmarkFig6Xi(b *testing.B) {
+	cfg := mecache.DefaultTestbedConfig(6)
+	cfg.Workload.NumProviders = 60
+	tb, err := mecache.NewTestbed(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := mecache.LCF(tb.Market, mecache.LCFOptions{Xi: 0.4, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.SocialCost
+	}
+	b.ReportMetric(last, "social-cost")
+}
+
+func BenchmarkFig6Requests(b *testing.B) {
+	social, _ := benchTestbed(b, func(cfg *mecache.TestbedConfig) {
+		cfg.Workload.NumProviders = 100
+	})
+	b.ReportMetric(social, "social-cost")
+}
+
+func BenchmarkFig6NetworkSize(b *testing.B) {
+	social, _ := benchTestbed(b, func(cfg *mecache.TestbedConfig) {
+		cfg.OverlaySize = 200
+	})
+	b.ReportMetric(social, "social-cost")
+}
+
+func BenchmarkFig6UpdateVolume(b *testing.B) {
+	social, _ := benchTestbed(b, func(cfg *mecache.TestbedConfig) {
+		cfg.Workload.UpdateRatio = 0.3
+	})
+	b.ReportMetric(social, "social-cost")
+}
+
+// --- Figure 7: impact of maximum demands --------------------------------
+
+func BenchmarkFig7AMax(b *testing.B) {
+	social, _ := benchTestbed(b, func(cfg *mecache.TestbedConfig) {
+		cfg.Workload.ComputeDemand.Hi = 4
+	})
+	b.ReportMetric(social, "social-cost")
+}
+
+func BenchmarkFig7BMax(b *testing.B) {
+	social, _ := benchTestbed(b, func(cfg *mecache.TestbedConfig) {
+		cfg.Workload.BandwidthDemand.Hi = 140
+	})
+	b.ReportMetric(social, "social-cost")
+}
+
+// --- Theorem 1: Price of Anarchy ----------------------------------------
+
+func BenchmarkPoA(b *testing.B) {
+	cfg := mecache.DefaultPoA(7)
+	cfg.NumProviders = 5
+	cfg.XiValues = []float64{0.5}
+	cfg.Restarts = 10
+	cfg.Reps = 1
+	var last float64
+	for i := 0; i < b.N; i++ {
+		fig, err := mecache.PoAStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fig.Tables[0].Series[0].Y[0]
+	}
+	b.ReportMetric(last, "poa")
+}
+
+// --- Ablations: the design choices DESIGN.md calls out -------------------
+
+// BenchmarkAblationCongestionBlind compares the literal Eq. 9
+// congestion-blind reduction against the default marginal-congestion
+// pricing inside Appro.
+func BenchmarkAblationCongestionBlind(b *testing.B) {
+	m := benchMarket(b, 11, 250, 100)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := mecache.Appro(m, mecache.ApproOptions{
+			Solver:          mecache.SolverTransport,
+			CongestionBlind: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.SocialCost
+	}
+	b.ReportMetric(last, "social-cost")
+}
+
+func BenchmarkAblationCongestionAware(b *testing.B) {
+	m := benchMarket(b, 11, 250, 100)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := mecache.Appro(m, mecache.ApproOptions{Solver: mecache.SolverTransport})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.SocialCost
+	}
+	b.ReportMetric(last, "social-cost")
+}
+
+// BenchmarkAblationSolverShmoysTardos times the LP-rounding path on a
+// reduced instance where the dense LP is tractable.
+func BenchmarkAblationSolverShmoysTardos(b *testing.B) {
+	m := benchMarket(b, 13, 60, 15)
+	var last float64
+	for i := 0; i < b.N; i++ {
+		res, err := mecache.Appro(m, mecache.ApproOptions{Solver: mecache.SolverShmoysTardos})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.SocialCost
+	}
+	b.ReportMetric(last, "social-cost")
+}

@@ -1,0 +1,160 @@
+// Command mecbench regenerates the figures of the paper's evaluation
+// section as aligned text tables.
+//
+// Usage:
+//
+//	mecbench -fig all                    # every figure (default)
+//	mecbench -fig 2 -seed 42             # only Figure 2
+//	mecbench -fig poa                    # the Price-of-Anarchy study
+//	mecbench -fig 2 -quick               # reduced sweep for a fast smoke run
+//	mecbench -fig 3 -format csv          # plot-ready CSV
+//	mecbench -fig 3 -format svg -out dir # one SVG chart per panel
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mecbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mecbench", flag.ContinueOnError)
+	figFlag := fs.String("fig", "all", "figure to regenerate: 2, 3, 5, 6, 7, poa, ablation, or all")
+	seed := fs.Uint64("seed", 42, "experiment seed")
+	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	format := fs.String("format", "table", "output format: table, csv, or svg")
+	outDir := fs.String("out", ".", "directory for svg output files")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "table" && *format != "csv" && *format != "svg" {
+		return fmt.Errorf("unknown format %q (want table, csv, or svg)", *format)
+	}
+
+	want := strings.ToLower(*figFlag)
+	selected := func(name string) bool { return want == "all" || want == name }
+	ran := false
+
+	if selected("2") {
+		cfg := mecache.DefaultFig2(*seed)
+		if *quick {
+			cfg.Sizes = []int{50, 150, 250}
+			cfg.Reps = 1
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Fig2(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("3") {
+		cfg := mecache.DefaultFig3(*seed)
+		if *quick {
+			cfg.SelfishFractions = []float64{0, 0.3, 0.6, 1}
+			cfg.Reps = 1
+			cfg.Size = 100
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Fig3(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("5") {
+		cfg := mecache.DefaultFig5(*seed)
+		if *quick {
+			cfg.Providers = []int{40}
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Fig5(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("6") {
+		cfg := mecache.DefaultFig6(*seed)
+		if *quick {
+			cfg.SelfishFractions = []float64{0, 0.5, 1}
+			cfg.RequestCounts = []int{40, 80}
+			cfg.NetworkSizes = []int{50, 150, 250}
+			cfg.UpdateRatios = []float64{0.1, 0.3}
+			cfg.BaseProviders = 40
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Fig6(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("7") {
+		cfg := mecache.DefaultFig7(*seed)
+		if *quick {
+			cfg.AMaxValues = []float64{2, 4}
+			cfg.BMaxValues = []float64{60, 120}
+			cfg.Providers = 40
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Fig7(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("ablation") {
+		cfg := mecache.DefaultAblation(*seed)
+		if *quick {
+			cfg.XiValues = []float64{0, 0.5, 1}
+			cfg.Reps = 1
+			cfg.Restarts = 8
+			cfg.NumProviders = 40
+			cfg.Size = 100
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.Ablation(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if selected("poa") {
+		cfg := mecache.DefaultPoA(*seed)
+		if *quick {
+			cfg.XiValues = []float64{0, 0.5, 1}
+			cfg.Reps = 1
+			cfg.Restarts = 10
+		}
+		if err := render(w, *format, *outDir, func() (*mecache.Figure, error) { return mecache.PoAStudy(cfg) }); err != nil {
+			return err
+		}
+		ran = true
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want 2, 3, 5, 6, 7, poa, ablation, or all)", *figFlag)
+	}
+	return nil
+}
+
+func render(w io.Writer, format, outDir string, f func() (*mecache.Figure, error)) error {
+	fig, err := f()
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "csv":
+		return fig.WriteCSV(w)
+	case "svg":
+		files, err := mecache.WriteSVGs(fig, outDir)
+		if err != nil {
+			return err
+		}
+		for _, name := range files {
+			fmt.Fprintln(w, "wrote", name)
+		}
+		return nil
+	default:
+		return fig.Render(w)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickFig2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "2", "-quick", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 2(a)", "Fig 2(d)", "LCF", "JoOffloadCache", "OffloadCache"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunQuickPoA(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "poa", "-quick"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Theorem-1 bound") {
+		t.Fatalf("PoA output missing bound column:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "9"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-nonsense"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "2", "-quick", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# Fig 2(a) social cost") {
+		t.Fatalf("CSV missing panel comment:\n%s", out)
+	}
+	if !strings.Contains(out, "network size,LCF,LCF_ci95,JoOffloadCache,JoOffloadCache_ci95,OffloadCache,OffloadCache_ci95") {
+		t.Fatalf("CSV missing header:\n%s", out)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunSVGFormat(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "2", "-quick", "-format", "svg", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("no files reported:\n%s", buf.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d SVGs, want 4 panels", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatal("file is not SVG")
+	}
+}
+
+func TestRunAllFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick sweep")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-fig", "all", "-quick", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 2", "Fig 3", "Fig 5", "Fig 6", "Fig 7", "PoA"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("all-figures output missing %q", want)
+		}
+	}
+}

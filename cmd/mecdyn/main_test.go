@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-horizon", "50", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Arrivals == 0 || out.TimeAvgSocialCost <= 0 {
+		t.Fatalf("implausible metrics %+v", out)
+	}
+	if out.Horizon != 50 {
+		t.Fatalf("horizon echoed as %v", out.Horizon)
+	}
+}
+
+func TestRunSelfishOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-horizon", "40", "-epoch", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Epochs != 0 || out.Reconfigurations != 0 {
+		t.Fatalf("selfish-only run has epochs: %+v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-horizon", "0"}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if err := run(&buf, []string{"-xi", "3"}); err == nil {
+		t.Fatal("xi > 1 accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command mecsim runs a single service-caching scenario and prints the
+// outcome of every algorithm as JSON: the placement, the social cost and
+// its split, and the running time.
+//
+// Usage:
+//
+//	mecsim -size 250 -providers 100 -selfish 0.3 -seed 1
+//	mecsim -topology as1755 -providers 80
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"mecache"
+)
+
+// output is the JSON document mecsim emits.
+type output struct {
+	Topology   string                      `json:"topology"`
+	Nodes      int                         `json:"nodes"`
+	Cloudlets  int                         `json:"cloudlets"`
+	Providers  int                         `json:"providers"`
+	SelfishFr  float64                     `json:"selfishFraction"`
+	Seed       uint64                      `json:"seed"`
+	Algorithms map[string]algorithmSummary `json:"algorithms"`
+}
+
+type algorithmSummary struct {
+	SocialCost      float64 `json:"socialCost"`
+	CoordinatedCost float64 `json:"coordinatedCost"`
+	SelfishCost     float64 `json:"selfishCost"`
+	Cached          int     `json:"servicesCached"`
+	Remote          int     `json:"servicesRemote"`
+	RunMillis       float64 `json:"runMillis"`
+	Placement       []int   `json:"placement"`
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mecsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mecsim", flag.ContinueOnError)
+	topoName := fs.String("topology", "gtitm", "topology: gtitm, as1755, or waxman")
+	size := fs.Int("size", 250, "network size (gtitm/waxman)")
+	providers := fs.Int("providers", 100, "number of network service providers")
+	selfish := fs.Float64("selfish", 0.3, "selfish fraction 1-xi in [0,1]")
+	seed := fs.Uint64("seed", 1, "random seed")
+	pretty := fs.Bool("pretty", true, "indent the JSON output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *selfish < 0 || *selfish > 1 {
+		return fmt.Errorf("selfish fraction %v outside [0,1]", *selfish)
+	}
+
+	cfg := mecache.DefaultWorkload(*seed)
+	cfg.NumProviders = *providers
+
+	var topo *mecache.Topology
+	var err error
+	switch *topoName {
+	case "gtitm":
+		topo, err = mecache.GTITM(*seed, *size)
+	case "as1755":
+		topo = mecache.AS1755()
+	case "waxman":
+		topo, err = mecache.Waxman(*seed, *size, 0.4, 0.14)
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	if err != nil {
+		return err
+	}
+	market, err := mecache.GenerateMarket(topo, cfg)
+	if err != nil {
+		return err
+	}
+
+	results, err := mecache.RunAll(market, 1-*selfish, *seed)
+	if err != nil {
+		return err
+	}
+
+	out := output{
+		Topology:   topo.Name,
+		Nodes:      topo.N(),
+		Cloudlets:  market.Net.NumCloudlets(),
+		Providers:  *providers,
+		SelfishFr:  *selfish,
+		Seed:       *seed,
+		Algorithms: make(map[string]algorithmSummary, len(results)),
+	}
+	for name, r := range results {
+		cached, remote := 0, 0
+		for _, s := range r.Placement {
+			if s == mecache.Remote {
+				remote++
+			} else {
+				cached++
+			}
+		}
+		out.Algorithms[name] = algorithmSummary{
+			SocialCost:      r.Social,
+			CoordinatedCost: r.Coordinated,
+			SelfishCost:     r.Selfish,
+			Cached:          cached,
+			Remote:          remote,
+			RunMillis:       r.Seconds * 1000,
+			Placement:       r.Placement,
+		}
+	}
+	enc := json.NewEncoder(w)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(out)
+}

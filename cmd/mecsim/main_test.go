@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRunGTITM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-size", "80", "-providers", "30", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Nodes != 80 || out.Providers != 30 {
+		t.Fatalf("summary %+v", out)
+	}
+	for _, name := range []string{"LCF", "JoOffloadCache", "OffloadCache"} {
+		a, ok := out.Algorithms[name]
+		if !ok {
+			t.Fatalf("missing algorithm %s", name)
+		}
+		if a.SocialCost <= 0 || len(a.Placement) != 30 {
+			t.Fatalf("%s summary %+v", name, a)
+		}
+		if a.Cached+a.Remote != 30 {
+			t.Fatalf("%s cached %d + remote %d != 30", name, a.Cached, a.Remote)
+		}
+	}
+}
+
+func TestRunAS1755(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-topology", "as1755", "-providers", "20"}); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Topology != "as1755" || out.Nodes != 87 {
+		t.Fatalf("summary %+v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-topology", "nope"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if err := run(&buf, []string{"-selfish", "2"}); err == nil {
+		t.Fatal("selfish fraction > 1 accepted")
+	}
+}

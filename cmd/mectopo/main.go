@@ -1,0 +1,100 @@
+// Command mectopo generates and inspects the topologies used by the
+// experiments: GT-ITM-style transit-stub networks, Waxman random graphs,
+// and the AS1755-like overlay. It prints summary statistics and optionally
+// the full edge list.
+//
+// Usage:
+//
+//	mectopo -kind gtitm -size 250 -seed 7
+//	mectopo -kind as1755 -edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mectopo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mectopo", flag.ContinueOnError)
+	kind := fs.String("kind", "gtitm", "topology kind: gtitm, waxman, or as1755")
+	size := fs.Int("size", 100, "node count (gtitm/waxman)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	alpha := fs.Float64("alpha", 0.4, "Waxman alpha")
+	beta := fs.Float64("beta", 0.14, "Waxman beta")
+	edges := fs.Bool("edges", false, "print the full edge list")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var topo *mecache.Topology
+	var err error
+	switch *kind {
+	case "gtitm":
+		topo, err = mecache.GTITM(*seed, *size)
+	case "waxman":
+		topo, err = mecache.Waxman(*seed, *size, *alpha, *beta)
+	case "as1755":
+		topo = mecache.AS1755()
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	g := topo.Graph
+	n := g.N()
+	minDeg, maxDeg, sumDeg := n, 0, 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(v)
+		sumDeg += d
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	// Diameter in hops from a BFS sweep over all sources.
+	diameter := 0
+	for v := 0; v < n; v++ {
+		for _, h := range g.HopDistances(v) {
+			if h > diameter {
+				diameter = h
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "topology   %s\n", topo.Name)
+	fmt.Fprintf(w, "nodes      %d\n", n)
+	fmt.Fprintf(w, "links      %d\n", g.M())
+	fmt.Fprintf(w, "degree     min %d / avg %.2f / max %d\n", minDeg, float64(sumDeg)/float64(n), maxDeg)
+	fmt.Fprintf(w, "diameter   %d hops\n", diameter)
+	fmt.Fprintf(w, "connected  %v\n", g.Connected())
+
+	if *edges {
+		fmt.Fprintln(w, "edges:")
+		for u := 0; u < n; u++ {
+			for _, e := range g.Neighbors(u) {
+				if u < e.To {
+					fmt.Fprintf(w, "  %4d -- %-4d  w=%.4f\n", u, e.To, round4(e.Weight))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func round4(x float64) float64 { return math.Round(x*1e4) / 1e4 }

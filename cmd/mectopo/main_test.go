@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunGTITM(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-kind", "gtitm", "-size", "60"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "nodes      60") {
+		t.Fatalf("missing node count:\n%s", out)
+	}
+	if !strings.Contains(out, "connected  true") {
+		t.Fatalf("topology not connected:\n%s", out)
+	}
+}
+
+func TestRunAS1755WithEdges(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-kind", "as1755", "-edges"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "nodes      87") || !strings.Contains(out, "links      161") {
+		t.Fatalf("AS1755 shape wrong:\n%s", out)
+	}
+	if strings.Count(out, "--") < 161 {
+		t.Fatalf("edge list incomplete")
+	}
+}
+
+func TestRunWaxman(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-kind", "waxman", "-size", "30"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "waxman-30") {
+		t.Fatalf("missing topology name:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-kind", "mystery"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package mecache
+
+import (
+	"mecache/internal/dynamic"
+	"mecache/internal/topology"
+)
+
+// Dynamic-market types: the temporal dimension of the paper's model, where
+// services are cached temporarily and the market churns.
+type (
+	// DynamicConfig parameterizes a dynamic market run (arrival rate,
+	// lifetimes, re-optimization epoch).
+	DynamicConfig = dynamic.Config
+	// DynamicMetrics summarizes a run (time-averaged social cost,
+	// reconfiguration churn, cached fraction).
+	DynamicMetrics = dynamic.Metrics
+	// DynamicSimulator runs one dynamic market.
+	DynamicSimulator = dynamic.Simulator
+)
+
+// DefaultDynamicConfig returns a moderately loaded dynamic market.
+func DefaultDynamicConfig(seed uint64) DynamicConfig { return dynamic.DefaultConfig(seed) }
+
+// NewDynamicSimulator builds a dynamic market simulator; a nil topology
+// selects a default GT-ITM network.
+func NewDynamicSimulator(topo *topology.Topology, cfg DynamicConfig) (*DynamicSimulator, error) {
+	return dynamic.New(topo, cfg)
+}

@@ -1,0 +1,70 @@
+// poa empirically measures the Price of Anarchy of the service-caching
+// Stackelberg game and compares it against the Theorem-1 bound
+// (2δκ/(1-v))·(1/(4v)+1-ξ): how much does provider selfishness really cost,
+// and how much of it does coordination claw back?
+//
+// The markets are kept small so the social optimum can be enumerated
+// exactly, which makes the reported PoA exact rather than a bound ratio.
+//
+// Run with:
+//
+//	go run ./examples/poa
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Sweep the coordinated fraction: with xi = 0 the market is fully
+	// selfish; with xi = 1 the leader pins everyone to the Appro solution.
+	cfg := mecache.DefaultPoA(11)
+	cfg.NumProviders = 6
+	cfg.XiValues = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	cfg.Restarts = 30
+	cfg.Reps = 3
+
+	fig, err := mecache.PoAStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if err := fig.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Zoom into one market for intuition: equilibrium vs optimum.
+	wl := mecache.DefaultWorkload(23)
+	wl.NumProviders = 6
+	market, err := mecache.GenerateMarketGTITM(50, wl)
+	if err != nil {
+		return err
+	}
+	optPl, opt, err := mecache.ExactOptimum(market, 1<<24)
+	if err != nil {
+		return err
+	}
+	g := mecache.NewGame(market)
+	dyn, err := mecache.BestResponseDynamics(g, mecache.AllRemote(market), 5, 0)
+	if err != nil {
+		return err
+	}
+	ne := market.SocialCost(dyn.Placement)
+	fmt.Printf("one market, %d providers:\n", len(market.Providers))
+	fmt.Printf("  social optimum   $%.3f  placement %v\n", opt, optPl)
+	fmt.Printf("  Nash equilibrium $%.3f  placement %v\n", ne, dyn.Placement)
+	fmt.Printf("  realized PoA     %.4f\n", ne/opt)
+	delta, kappa := market.DeltaKappa()
+	fmt.Printf("  Theorem-1 bound  %.2f (delta=%.1f kappa=%.1f, xi=0)\n",
+		mecache.PoABound(delta, kappa, 0), delta, kappa)
+	return nil
+}

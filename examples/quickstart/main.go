@@ -1,0 +1,68 @@
+// Quickstart: generate a service market on a GT-ITM network, run the
+// paper's LCF mechanism against both baselines, and print the comparison.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 250-node edge network with 25 cloudlets, 5 remote data centers and
+	// 100 network service providers, drawn with the paper's Section IV-A
+	// parameter ranges.
+	cfg := mecache.DefaultWorkload(42)
+	market, err := mecache.GenerateMarketGTITM(250, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("market: %d providers, %d cloudlets, %d data centers\n",
+		len(market.Providers), market.Net.NumCloudlets(), len(market.Net.DCs))
+
+	// LCF: the infrastructure provider coordinates the 70% of providers
+	// with the largest caching cost (xi = 0.7); the rest play the
+	// congestion game selfishly to a Nash equilibrium.
+	res, err := mecache.LCF(market, mecache.LCFOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		return err
+	}
+	cached := 0
+	for _, s := range res.Placement {
+		if s != mecache.Remote {
+			cached++
+		}
+	}
+	fmt.Printf("\nLCF: social cost $%.2f (%d/%d services cached, %d coordinated)\n",
+		res.SocialCost, cached, len(market.Providers), len(res.Coordinated))
+	fmt.Printf("     coordinated pay $%.2f, selfish pay $%.2f\n", res.CoordinatedCost, res.SelfishCost)
+	fmt.Printf("     Appro inner solution: $%.2f via %v solver\n",
+		res.Appro.SocialCost, res.Appro.SolverUsed)
+	fmt.Printf("     approximation guarantee (Lemma 2): %.0fx\n", mecache.ApproximationRatio(market))
+
+	// The two uncoordinated baselines from the evaluation.
+	jo, err := mecache.JoOffloadCache(market, 1)
+	if err != nil {
+		return err
+	}
+	off, err := mecache.OffloadCache(market)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nJoOffloadCache: social cost $%.2f\n", jo.SocialCost)
+	fmt.Printf("OffloadCache:   social cost $%.2f\n", off.SocialCost)
+	fmt.Printf("\nLCF saves %.1f%% vs JoOffloadCache and %.1f%% vs OffloadCache\n",
+		100*(1-res.SocialCost/jo.SocialCost), 100*(1-res.SocialCost/off.SocialCost))
+	return nil
+}

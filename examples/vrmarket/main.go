@@ -1,0 +1,133 @@
+// vrmarket models the paper's motivating scenario: a 5G service market
+// where VR/AR providers with stringent motion-to-photon budgets decide
+// whether to cache their rendering services at stadium/museum cloudlets or
+// keep serving from the remote cloud.
+//
+// The example builds the market by hand (rather than via the workload
+// generator) to show the full public model API: heavy VR providers with
+// large per-request traffic, lighter AR providers, and a video-analytics
+// long-tail, all competing for two well-placed cloudlets.
+//
+// Run with:
+//
+//	go run ./examples/vrmarket
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A city-scale edge network.
+	topo, err := mecache.GTITM(7, 120)
+	if err != nil {
+		return err
+	}
+
+	// Two venue cloudlets (a stadium and a museum) and one big downtown
+	// cloudlet, plus a remote cloud region reached over a long backhaul.
+	cloudlets := []mecache.Cloudlet{
+		{ // stadium: big, congested events
+			Node: 30, NumVMs: 30, ComputeCap: 30, BandwidthCap: 2400,
+			Alpha: 0.8, Beta: 0.9, FixedBandwidthCost: 0.4,
+			ProcPricePerGB: 0.18, TransPricePerGBHop: 0.08,
+		},
+		{ // museum: small but cheap
+			Node: 55, NumVMs: 16, ComputeCap: 16, BandwidthCap: 900,
+			Alpha: 0.3, Beta: 0.2, FixedBandwidthCost: 0.15,
+			ProcPricePerGB: 0.16, TransPricePerGBHop: 0.06,
+		},
+		{ // downtown aggregation site
+			Node: 80, NumVMs: 24, ComputeCap: 24, BandwidthCap: 1800,
+			Alpha: 0.5, Beta: 0.5, FixedBandwidthCost: 0.25,
+			ProcPricePerGB: 0.2, TransPricePerGBHop: 0.09,
+		},
+	}
+	dcs := []mecache.DataCenter{
+		{Node: 0, BackhaulHops: 12, ProcPricePerGB: 0.21, TransPricePerGBHop: 0.1},
+	}
+	net, err := mecache.NewNetwork(topo, cloudlets, dcs)
+	if err != nil {
+		return err
+	}
+
+	// The provider mix the introduction motivates.
+	var providers []mecache.Provider
+	kinds := []string{}
+	// Three heavyweight VR providers: few users, huge per-request frames.
+	for i := 0; i < 3; i++ {
+		providers = append(providers, mecache.Provider{
+			Requests: 20, ComputePerReq: 0.15, BandwidthPerReq: 8,
+			InstCost: 1.2, TrafficGBPerReq: 0.25, DataGB: 5, UpdateRatio: 0.1,
+			HomeDC: 0, AttachNode: 28 + i,
+		})
+		kinds = append(kinds, "VR")
+	}
+	// Five AR providers: many light requests near the museum.
+	for i := 0; i < 5; i++ {
+		providers = append(providers, mecache.Provider{
+			Requests: 40, ComputePerReq: 0.04, BandwidthPerReq: 1.5,
+			InstCost: 0.8, TrafficGBPerReq: 0.03, DataGB: 2, UpdateRatio: 0.1,
+			HomeDC: 0, AttachNode: 52 + i,
+		})
+		kinds = append(kinds, "AR")
+	}
+	// Four video-analytics providers spread across town.
+	for i := 0; i < 4; i++ {
+		providers = append(providers, mecache.Provider{
+			Requests: 25, ComputePerReq: 0.06, BandwidthPerReq: 2.5,
+			InstCost: 1.0, TrafficGBPerReq: 0.08, DataGB: 3, UpdateRatio: 0.15,
+			HomeDC: 0, AttachNode: 75 + i,
+		})
+		kinds = append(kinds, "video")
+	}
+	market, err := mecache.NewMarket(net, providers)
+	if err != nil {
+		return err
+	}
+
+	// The infrastructure provider coordinates the heavy hitters.
+	res, err := mecache.LCF(market, mecache.LCFOptions{Xi: 0.5, Seed: 3})
+	if err != nil {
+		return err
+	}
+
+	names := []string{"stadium", "museum", "downtown"}
+	fmt.Println("provider  kind   decision        own cost")
+	fmt.Println("------------------------------------------")
+	for l, s := range res.Placement {
+		where := "stay remote"
+		if s != mecache.Remote {
+			where = "cache @ " + names[s]
+		}
+		coordinated := ""
+		for _, c := range res.Coordinated {
+			if c == l {
+				coordinated = " (coordinated)"
+			}
+		}
+		fmt.Printf("%8d  %-5s  %-14s  $%6.2f%s\n",
+			l, kinds[l], where, market.ProviderCost(res.Placement, l), coordinated)
+	}
+	fmt.Printf("\nsocial cost: $%.2f  (Appro bound was $%.2f)\n", res.SocialCost, res.Appro.SocialCost)
+
+	// What would a fully selfish market have done?
+	g := mecache.NewGame(market)
+	dyn, err := mecache.BestResponseDynamics(g, mecache.AllRemote(market), 3, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fully selfish Nash equilibrium: $%.2f (%+.1f%% vs LCF)\n",
+		market.SocialCost(dyn.Placement),
+		100*(market.SocialCost(dyn.Placement)/res.SocialCost-1))
+	return nil
+}

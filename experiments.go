@@ -1,0 +1,162 @@
+package mecache
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mecache/internal/experiments"
+	"mecache/internal/plot"
+	"mecache/internal/testbed"
+)
+
+// Experiment driver types: one config per figure of the paper's Section IV.
+type (
+	// Figure is a reproduced figure: panels of aligned-table series.
+	Figure = experiments.Figure
+	// FigureTable is one panel of a figure.
+	FigureTable = experiments.Table
+	// FigureSeries is one algorithm's line in a panel.
+	FigureSeries = experiments.Series
+
+	// Fig2Config sweeps GT-ITM network sizes (Figure 2).
+	Fig2Config = experiments.Fig2Config
+	// Fig3Config sweeps the selfish fraction 1-ξ (Figure 3).
+	Fig3Config = experiments.Fig3Config
+	// Fig5Config runs the AS1755 test-bed comparison (Figure 5).
+	Fig5Config = experiments.Fig5Config
+	// Fig6Config runs the test-bed parameter studies (Figure 6).
+	Fig6Config = experiments.Fig6Config
+	// Fig7Config sweeps the maximum resource demands (Figure 7).
+	Fig7Config = experiments.Fig7Config
+	// PoAConfig drives the Price-of-Anarchy study backing Theorem 1.
+	PoAConfig = experiments.PoAConfig
+	// AblationConfig drives the design-choice ablation studies.
+	AblationConfig = experiments.AblationConfig
+
+	// AlgoOutcome is one algorithm's result on one instance.
+	AlgoOutcome = experiments.AlgoOutcome
+)
+
+// Algorithm display names used in every figure's series.
+const (
+	AlgoLCF            = experiments.AlgoLCF
+	AlgoJoOffloadCache = experiments.AlgoJoOffloadCache
+	AlgoOffloadCache   = experiments.AlgoOffloadCache
+)
+
+// Default experiment configurations (the paper's sweeps).
+var (
+	DefaultFig2 = experiments.DefaultFig2
+	DefaultFig3 = experiments.DefaultFig3
+	DefaultFig5 = experiments.DefaultFig5
+	DefaultFig6 = experiments.DefaultFig6
+	DefaultFig7 = experiments.DefaultFig7
+	DefaultPoA  = experiments.DefaultPoA
+	// DefaultAblation returns the standard ablation sweep.
+	DefaultAblation = experiments.DefaultAblation
+)
+
+// Fig2 reproduces Figure 2 (GT-ITM sweep, four panels).
+func Fig2(cfg Fig2Config) (*Figure, error) { return experiments.Fig2(cfg) }
+
+// Fig3 reproduces Figure 3 (impact of 1-ξ, four panels).
+func Fig3(cfg Fig3Config) (*Figure, error) { return experiments.Fig3(cfg) }
+
+// Fig5 reproduces Figure 5 (test-bed comparison).
+func Fig5(cfg Fig5Config) (*Figure, error) { return experiments.Fig5(cfg) }
+
+// Fig6 reproduces Figure 6 (test-bed parameter studies).
+func Fig6(cfg Fig6Config) (*Figure, error) { return experiments.Fig6(cfg) }
+
+// Fig7 reproduces Figure 7 (impact of a_max and b_max).
+func Fig7(cfg Fig7Config) (*Figure, error) { return experiments.Fig7(cfg) }
+
+// PoAStudy measures the empirical Price of Anarchy against the Theorem-1
+// bound.
+func PoAStudy(cfg PoAConfig) (*Figure, error) { return experiments.PoAStudy(cfg) }
+
+// Ablation runs the design-choice studies: coordination rules, GAP pricing,
+// and Price of Stability vs Price of Anarchy.
+func Ablation(cfg AblationConfig) (*Figure, error) { return experiments.Ablation(cfg) }
+
+// RunAll executes LCF and both baselines on a market and returns
+// per-algorithm outcomes.
+func RunAll(m *Market, xi float64, seed uint64) (map[string]AlgoOutcome, error) {
+	return experiments.RunAll(m, xi, seed)
+}
+
+// Test-bed emulation types (the Section IV-C substitute).
+type (
+	// Testbed is the emulated SDN test-bed: 5-switch underlay, OVS/VM
+	// overlay, controller, and market.
+	Testbed = testbed.Testbed
+	// TestbedConfig parameterizes the emulation.
+	TestbedConfig = testbed.Config
+	// Deployment is an installed placement (controller flow tables + flows).
+	Deployment = testbed.Deployment
+	// Measurement is a flow-level measurement run.
+	Measurement = testbed.Measurement
+	// Controller is the emulated SDN controller.
+	Controller = testbed.Controller
+	// FlowRule is one installed forwarding rule.
+	FlowRule = testbed.FlowRule
+	// FlowKind distinguishes request traffic from consistency updates.
+	FlowKind = testbed.FlowKind
+)
+
+// Flow kinds installed by the controller.
+const (
+	RequestFlow = testbed.RequestFlow
+	UpdateFlow  = testbed.UpdateFlow
+)
+
+// DefaultTestbedConfig returns the Section IV-C setting (AS1755 overlay).
+func DefaultTestbedConfig(seed uint64) TestbedConfig { return testbed.DefaultConfig(seed) }
+
+// NewTestbed assembles the emulated test-bed.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) { return testbed.New(cfg) }
+
+// RenderSVG renders one figure panel as a self-contained SVG line chart.
+func RenderSVG(t *FigureTable, w io.Writer) error { return plot.SVG(t, w) }
+
+// WriteSVGs renders every panel of the figure into dir (created if needed),
+// one SVG file per panel, and returns the written file paths.
+func WriteSVGs(fig *Figure, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var files []string
+	for i := range fig.Tables {
+		name := filepath.Join(dir, slug(fig.Tables[i].Title)+".svg")
+		f, err := os.Create(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := plot.SVG(&fig.Tables[i], f); err != nil {
+			_ = f.Close()
+			return nil, fmt.Errorf("render %q: %w", fig.Tables[i].Title, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		files = append(files, name)
+	}
+	return files, nil
+}
+
+// slug turns a panel title into a safe file stem.
+func slug(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_' || r == '(' || r == ')':
+			b.WriteByte('-')
+		}
+	}
+	return strings.Trim(strings.ReplaceAll(b.String(), "--", "-"), "-")
+}

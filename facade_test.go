@@ -1,0 +1,225 @@
+package mecache_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mecache"
+)
+
+func TestFacadeFigureDrivers(t *testing.T) {
+	// Exercise every figure wrapper at minimum scale.
+	f3 := mecache.DefaultFig3(1)
+	f3.SelfishFractions = []float64{0.5}
+	f3.Size = 50
+	f3.NumProviders = 15
+	f3.Reps = 1
+	if _, err := mecache.Fig3(f3); err != nil {
+		t.Fatal(err)
+	}
+	f5 := mecache.DefaultFig5(1)
+	f5.Providers = []int{10}
+	f5.Reps = 1
+	if _, err := mecache.Fig5(f5); err != nil {
+		t.Fatal(err)
+	}
+	f6 := mecache.DefaultFig6(1)
+	f6.SelfishFractions = []float64{0.5}
+	f6.RequestCounts = []int{10}
+	f6.NetworkSizes = []int{50}
+	f6.UpdateRatios = []float64{0.1}
+	f6.BaseProviders = 10
+	f6.Reps = 1
+	if _, err := mecache.Fig6(f6); err != nil {
+		t.Fatal(err)
+	}
+	f7 := mecache.DefaultFig7(1)
+	f7.AMaxValues = []float64{3}
+	f7.BMaxValues = []float64{80}
+	f7.Providers = 10
+	f7.Reps = 1
+	if _, err := mecache.Fig7(f7); err != nil {
+		t.Fatal(err)
+	}
+	poa := mecache.DefaultPoA(1)
+	poa.NumProviders = 3
+	poa.XiValues = []float64{0.5}
+	poa.Restarts = 3
+	poa.Reps = 1
+	if _, err := mecache.PoAStudy(poa); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSVGHelpers(t *testing.T) {
+	cfg := mecache.DefaultFig2(1)
+	cfg.Sizes = []int{50}
+	cfg.NumProviders = 10
+	cfg.Reps = 1
+	fig, err := mecache.Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mecache.RenderSVG(&fig.Tables[0], &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "<svg") {
+		t.Fatal("RenderSVG did not produce SVG")
+	}
+	dir := t.TempDir()
+	files, err := mecache.WriteSVGs(fig, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != len(fig.Tables) {
+		t.Fatalf("wrote %d files for %d panels", len(files), len(fig.Tables))
+	}
+	for _, f := range files {
+		if filepath.Ext(f) != ".svg" {
+			t.Fatalf("unexpected extension on %s", f)
+		}
+		if _, err := os.Stat(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// CSV rendering via the facade type alias.
+	var csvBuf bytes.Buffer
+	if err := fig.WriteCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvBuf.String(), "LCF") {
+		t.Fatal("CSV missing series")
+	}
+}
+
+func TestFacadeDynamicSimulator(t *testing.T) {
+	cfg := mecache.DefaultDynamicConfig(2)
+	cfg.Horizon = 30
+	sim, err := mecache.NewDynamicSimulator(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+}
+
+func TestFacadeCongestionModels(t *testing.T) {
+	market, err := mecache.GenerateMarketGTITM(50, func() mecache.WorkloadConfig {
+		cfg := mecache.DefaultWorkload(5)
+		cfg.NumProviders = 10
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cm := range []mecache.CongestionModel{
+		mecache.LinearCongestion{},
+		mecache.PolynomialCongestion{Degree: 2},
+		mecache.ExponentialCongestion{Base: 1.3},
+	} {
+		if err := market.SetCongestionModel(cm); err != nil {
+			t.Fatalf("%s: %v", cm.Name(), err)
+		}
+		if _, err := mecache.LCF(market, mecache.LCFOptions{Xi: 0.5, Seed: 1,
+			Appro: mecache.ApproOptions{Solver: mecache.SolverTransport}}); err != nil {
+			t.Fatalf("%s: %v", cm.Name(), err)
+		}
+	}
+}
+
+func TestFacadeCoordinationStrategies(t *testing.T) {
+	market, err := mecache.GenerateMarketGTITM(60, func() mecache.WorkloadConfig {
+		cfg := mecache.DefaultWorkload(6)
+		cfg.NumProviders = 16
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []mecache.Coordination{
+		mecache.CoordLargestCostFirst, mecache.CoordSmallestCostFirst,
+		mecache.CoordLargestDemandFirst, mecache.CoordRandom,
+	} {
+		res, err := mecache.LCF(market, mecache.LCFOptions{Xi: 0.5, Seed: 1, Strategy: st})
+		if err != nil {
+			t.Fatalf("%v: %v", st, err)
+		}
+		if len(res.Coordinated) != 8 {
+			t.Fatalf("%v coordinated %d", st, len(res.Coordinated))
+		}
+	}
+}
+
+func TestFacadeRunAllAndExactOptimum(t *testing.T) {
+	cfg := mecache.DefaultWorkload(7)
+	cfg.NumProviders = 5
+	market, err := mecache.GenerateMarketGTITM(50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := mecache.RunAll(market, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("RunAll returned %d algorithms", len(out))
+	}
+	pl, opt, err := mecache.ExactOptimum(market, 1<<22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt <= 0 || len(pl) != 5 {
+		t.Fatalf("optimum %v placement %v", opt, pl)
+	}
+	if out[mecache.AlgoLCF].Social < opt-1e-9 {
+		t.Fatal("LCF beat the exact optimum")
+	}
+}
+
+func TestFacadeApproximationHelpers(t *testing.T) {
+	cfg := mecache.DefaultWorkload(8)
+	cfg.NumProviders = 10
+	market, err := mecache.GenerateMarketGTITM(50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mecache.Appro(market, mecache.ApproOptions{CongestionBlind: true, Solver: mecache.SolverTransport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReducedCost <= 0 {
+		t.Fatalf("reduced cost %v", res.ReducedCost)
+	}
+	if mecache.ApproximationRatio(market) <= 0 {
+		t.Fatal("approximation ratio not positive")
+	}
+}
+
+func TestFacadeWeightedGame(t *testing.T) {
+	cfg := mecache.DefaultWorkload(9)
+	cfg.NumProviders = 15
+	market, err := mecache.GenerateMarketGTITM(60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mecache.NewWeightedGame(market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := mecache.WeightedBestResponseDynamics(g, mecache.AllRemote(market), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dyn.Converged || !g.IsNash(dyn.Placement) {
+		t.Fatal("weighted dynamics did not reach a Nash equilibrium")
+	}
+}

@@ -1,0 +1,3 @@
+module mecache
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package baselines implements the two comparison algorithms of the paper's
+// evaluation (Section IV-A):
+//
+//   - JoOffloadCache, after Xu, Chen and Zhou's joint service caching and
+//     task offloading (INFOCOM'18 [23]), adapted exactly as the paper
+//     prescribes: every network service provider runs the joint
+//     optimization independently, "without communicating with each other",
+//     and data updating costs are not part of its objective. The per-
+//     provider optimization is a Gibbs-sampling search over the provider's
+//     own strategy space, mirroring [23]'s sampler.
+//   - OffloadCache, a greedy algorithm after [20] that treats offloading
+//     and caching separately: each provider first picks the cloudlet with
+//     the optimal offloading (transmission) cost for its requests, then
+//     instantiates its service there — or at the closest cloudlet with
+//     remaining capacity.
+//
+// Since uncoordinated providers cannot observe each other's load, both
+// baselines submit their choices to the infrastructure provider, which
+// admits them in arrival order; a provider whose chosen cloudlet is full
+// falls back to the next-best feasible choice or to staying remote. All
+// reported social costs are therefore measured on capacity-feasible
+// placements, like LCF's.
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+)
+
+// Result is a baseline outcome.
+type Result struct {
+	Placement  mec.Placement
+	SocialCost float64
+}
+
+// admission tracks remaining capacities while providers are admitted
+// sequentially.
+type admission struct {
+	m         *mec.Market
+	compute   []float64
+	bandwidth []float64
+}
+
+func newAdmission(m *mec.Market) *admission {
+	nc := m.Net.NumCloudlets()
+	a := &admission{
+		m:         m,
+		compute:   make([]float64, nc),
+		bandwidth: make([]float64, nc),
+	}
+	for i := range m.Net.Cloudlets {
+		a.compute[i] = m.Net.Cloudlets[i].ComputeCap
+		a.bandwidth[i] = m.Net.Cloudlets[i].BandwidthCap
+	}
+	return a
+}
+
+func (a *admission) fits(l, i int) bool {
+	p := &a.m.Providers[l]
+	return p.ComputeDemand() <= a.compute[i]+1e-9 && p.BandwidthDemand() <= a.bandwidth[i]+1e-9
+}
+
+func (a *admission) admit(l, i int) {
+	p := &a.m.Providers[l]
+	a.compute[i] -= p.ComputeDemand()
+	a.bandwidth[i] -= p.BandwidthDemand()
+}
+
+// gibbsObjective is JoOffloadCache's per-provider objective: the provider's
+// congestion-blind cost of strategy s, with the update term removed (data
+// updating is not considered in [23]).
+func gibbsObjective(m *mec.Market, l, s int) float64 {
+	if s == mec.Remote {
+		return m.RemoteCost(l)
+	}
+	// Congestion of 1: the provider assumes it is alone on the cloudlet.
+	return m.CongestionCoeff(s)*m.CongestionLevel(1) + m.BaseCost(l, s) - m.UpdateCost(l, s)
+}
+
+// JoOffloadCache runs the per-provider joint caching/offloading baseline.
+// Each provider Gibbs-samples its own strategy: starting from remote, it
+// repeatedly proposes a uniform random strategy and accepts with
+// probability exp(-(Δcost)/T) under a geometric cooling schedule, then
+// submits the best strategy visited. Admission is sequential.
+func JoOffloadCache(m *mec.Market, seed uint64) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("baselines: nil market")
+	}
+	r := rng.New(seed)
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	adm := newAdmission(m)
+	pl := make(mec.Placement, n)
+
+	const (
+		initialTemp = 1.0
+		cooling     = 0.9
+		sweeps      = 12
+	)
+	for l := 0; l < n; l++ {
+		cur := mec.Remote
+		curCost := gibbsObjective(m, l, cur)
+		best, bestCost := cur, curCost
+		temp := initialTemp
+		for sweep := 0; sweep < sweeps; sweep++ {
+			for step := 0; step <= nc; step++ {
+				prop := r.Intn(nc + 1)
+				s := prop
+				if prop == nc {
+					s = mec.Remote
+				}
+				c := gibbsObjective(m, l, s)
+				if math.IsInf(c, 1) {
+					continue
+				}
+				if c <= curCost || r.Bool(math.Exp(-(c-curCost)/temp)) {
+					cur, curCost = s, c
+					if c < bestCost {
+						best, bestCost = s, c
+					}
+				}
+			}
+			temp *= cooling
+		}
+		// Submit: admitted if the chosen cloudlet still has room, else the
+		// provider re-optimizes over what is left, else stays remote.
+		pl[l] = submit(m, adm, l, best)
+	}
+	return &Result{Placement: pl, SocialCost: m.SocialCost(pl)}, nil
+}
+
+// submit admits provider l to its desired strategy if feasible; otherwise
+// it falls back to the cheapest feasible strategy under the provider's own
+// congestion-blind objective, or remote.
+func submit(m *mec.Market, adm *admission, l, desired int) int {
+	if desired == mec.Remote {
+		return mec.Remote
+	}
+	if adm.fits(l, desired) {
+		adm.admit(l, desired)
+		return desired
+	}
+	bestS, bestC := mec.Remote, m.RemoteCost(l)
+	for i := 0; i < m.Net.NumCloudlets(); i++ {
+		if !adm.fits(l, i) {
+			continue
+		}
+		if c := gibbsObjective(m, l, i); c < bestC {
+			bestS, bestC = i, c
+		}
+	}
+	if bestS != mec.Remote {
+		adm.admit(l, bestS)
+	}
+	return bestS
+}
+
+// OffloadCache runs the greedy separate offload-then-cache baseline: each
+// provider ranks cloudlets purely by offloading (transmission) cost for its
+// request traffic and instantiates its service at the best one with
+// remaining capacity. A provider whose every cloudlet is full — or whose
+// best transmission cost already exceeds serving remotely — stays remote.
+func OffloadCache(m *mec.Market) (*Result, error) {
+	if m == nil {
+		return nil, fmt.Errorf("baselines: nil market")
+	}
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	adm := newAdmission(m)
+	pl := make(mec.Placement, n)
+
+	for l := 0; l < n; l++ {
+		order := make([]int, nc)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return m.TransmissionCost(l, order[a]) < m.TransmissionCost(l, order[b])
+		})
+		pl[l] = mec.Remote
+		for _, i := range order {
+			if math.IsInf(m.TransmissionCost(l, i), 1) {
+				break
+			}
+			if adm.fits(l, i) {
+				adm.admit(l, i)
+				pl[l] = i
+				break
+			}
+		}
+	}
+	return &Result{Placement: pl, SocialCost: m.SocialCost(pl)}, nil
+}

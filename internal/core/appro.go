@@ -1,0 +1,325 @@
+// Package core implements the paper's contribution: Algorithm 1 (Appro), the
+// approximation algorithm for service caching with non-selfish providers,
+// and Algorithm 2 (LCF), the approximation-restricted Stackelberg strategy
+// that coordinates the largest-cost providers and lets the rest play the
+// congestion game selfishly.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mecache/internal/gap"
+	"mecache/internal/mec"
+)
+
+// Solver selects how Appro solves its GAP reduction.
+type Solver int
+
+// Solver kinds.
+const (
+	// SolverAuto picks Shmoys-Tardos for small reductions and the exact
+	// transportation fast path for large ones.
+	SolverAuto Solver = iota + 1
+	// SolverTransport always uses the slotted min-cost-flow solver (exact
+	// for the "one service per virtual cloudlet" reduction the paper
+	// describes).
+	SolverTransport
+	// SolverShmoysTardos always uses the LP-rounding 2-approximation [34]
+	// on the knapsack-shaped reduction.
+	SolverShmoysTardos
+)
+
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverTransport:
+		return "transport"
+	case SolverShmoysTardos:
+		return "shmoys-tardos"
+	default:
+		return fmt.Sprintf("Solver(%d)", int(s))
+	}
+}
+
+// autoThreshold is the items*virtual-bins size above which SolverAuto
+// switches from the dense-LP Shmoys-Tardos path to the flow-based
+// transportation path.
+const autoThreshold = 3000
+
+// ApproOptions configures Algorithm 1.
+type ApproOptions struct {
+	// Solver selects the GAP engine; zero value means SolverAuto.
+	Solver Solver
+	// DisallowRemote removes the "not to cache" strategy: every service
+	// must be cached at some cloudlet (the literal Algorithm-1 setting).
+	// The default (false) keeps the remote option, which both matches the
+	// title's "to cache or not to cache" decision and keeps the reduction
+	// feasible when cloudlet slots are scarce.
+	DisallowRemote bool
+	// CongestionBlind prices every virtual cloudlet of CL_i with the flat
+	// Eq. 9 cost α_i + β_i + c_l^ins + c_i^bdw, exactly as Algorithm 1
+	// states it. The default (false) instead prices the k-th virtual
+	// cloudlet of CL_i with the marginal congestion it adds,
+	// (α_i + β_i)·(2k−1), which keeps the reduction within the paper's
+	// framework (the derivation "relies only on the non-decreasing of cost
+	// with congestion levels") while making the GAP objective equal the
+	// true social cost of the merged solution. The ablation benchmarks
+	// compare the two.
+	CongestionBlind bool
+}
+
+// ApproResult is the outcome of Algorithm 1.
+type ApproResult struct {
+	// Placement assigns every provider a cloudlet or mec.Remote.
+	Placement mec.Placement
+	// SocialCost is Eq. (6) evaluated on Placement.
+	SocialCost float64
+	// ReducedCost is the congestion-free GAP objective of the solution
+	// (cost function of Eq. 9), i.e. C' in the Lemma-2 analysis.
+	ReducedCost float64
+	// VirtualSlots is n_i per cloudlet (Eq. 7).
+	VirtualSlots []int
+	// SolverUsed records which GAP engine ran.
+	SolverUsed Solver
+}
+
+// Appro is Algorithm 1: split every cloudlet CL_i into n_i virtual
+// cloudlets (Eq. 7), reduce to a GAP instance whose costs ignore congestion
+// (Eq. 9), solve it with the Shmoys-Tardos approximation (or the exact
+// transportation fast path for the slotted shape), and merge the virtual
+// cloudlets back into their real cloudlets.
+func Appro(m *mec.Market, opts ApproOptions) (*ApproResult, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil market")
+	}
+	solver := opts.Solver
+	if solver == 0 {
+		solver = SolverAuto
+	}
+	n := len(m.Providers)
+	slots := m.VirtualSlots()
+
+	totalSlots := 0
+	for _, s := range slots {
+		totalSlots += s
+	}
+	if opts.DisallowRemote && totalSlots < n {
+		return nil, fmt.Errorf("core: %d providers exceed %d virtual cloudlet slots and remote is disallowed", n, totalSlots)
+	}
+
+	if solver == SolverAuto {
+		if n*(totalSlots+1) > autoThreshold {
+			solver = SolverTransport
+		} else {
+			solver = SolverShmoysTardos
+		}
+	}
+
+	var placement mec.Placement
+	var err error
+	switch solver {
+	case SolverTransport:
+		placement, err = approTransport(m, slots, opts)
+	case SolverShmoysTardos:
+		placement, err = approShmoysTardos(m, slots, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown solver %v", solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	reduced := 0.0
+	for l, s := range placement {
+		reduced += reducedCost(m, l, s)
+	}
+	return &ApproResult{
+		Placement:    placement,
+		SocialCost:   m.SocialCost(placement),
+		ReducedCost:  reduced,
+		VirtualSlots: slots,
+		SolverUsed:   solver,
+	}, nil
+}
+
+// reducedCost is the Eq. 9 congestion-free cost of strategy s for provider
+// l: α_i + β_i + c_l^ins + c_i^bdw plus the routing terms (folded into
+// BaseCost), or the remote cost. Under a non-linear congestion model the
+// flat surcharge is the single-tenant level (α_i+β_i)·Level(1).
+func reducedCost(m *mec.Market, l, s int) float64 {
+	if s == mec.Remote {
+		return m.RemoteCost(l)
+	}
+	return m.CongestionCoeff(s)*m.CongestionLevel(1) + m.BaseCost(l, s)
+}
+
+// marginalCongestion is the social-cost increase of adding the k-th tenant
+// to cloudlet i: coeff·(k·Level(k) − (k−1)·Level(k−1)). For the paper's
+// proportional model this is (α_i+β_i)·(2k−1).
+func marginalCongestion(m *mec.Market, i, k int) float64 {
+	total := float64(k) * m.CongestionLevel(k)
+	prev := float64(k-1) * m.CongestionLevel(k-1)
+	return m.CongestionCoeff(i) * (total - prev)
+}
+
+// approTransport solves the slotted reduction exactly by min-cost flow:
+// cloudlet CL_i offers n_i unit slots priced at the marginal congestion
+// cost of each occupancy level (or the flat Eq. 9 surcharge when
+// congestion-blind); an extra "remote" bin with n slots carries the
+// not-to-cache option.
+func approTransport(m *mec.Market, slots []int, opts ApproOptions) (mec.Placement, error) {
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	bins := nc
+	if !opts.DisallowRemote {
+		bins++
+	}
+	base := make([][]float64, n)
+	for l := 0; l < n; l++ {
+		base[l] = make([]float64, bins)
+		for i := 0; i < nc; i++ {
+			base[l][i] = m.BaseCost(l, i)
+		}
+		if !opts.DisallowRemote {
+			base[l][nc] = m.RemoteCost(l)
+		}
+	}
+	binSlots := make([]int, bins)
+	copy(binSlots, slots)
+	if !opts.DisallowRemote {
+		binSlots[nc] = n
+	}
+	marginal := func(bin, k int) float64 {
+		if bin >= nc {
+			return 0 // remote: no congestion
+		}
+		if opts.CongestionBlind {
+			// Flat Eq. 9 surcharge: the single-tenant congestion level.
+			return m.CongestionCoeff(bin) * m.CongestionLevel(1)
+		}
+		return marginalCongestion(m, bin, k)
+	}
+	sol, err := gap.SolveCongestionTransport(base, binSlots, marginal)
+	if err != nil {
+		return nil, fmt.Errorf("core: transport reduction: %w", err)
+	}
+	placement := make(mec.Placement, n)
+	for l, b := range sol.Bin {
+		if b == nc {
+			placement[l] = mec.Remote
+		} else {
+			placement[l] = b
+		}
+	}
+	return placement, nil
+}
+
+// approShmoysTardos solves the knapsack-shaped reduction with the
+// LP-rounding approximation: every virtual cloudlet is a knapsack of
+// capacity max{a_max, b_max} (any single service fits), item weights are
+// the services' dominant resource demands. The k-th virtual cloudlet of a
+// cloudlet carries that occupancy level's congestion surcharge (or the flat
+// Eq. 9 one when congestion-blind).
+func approShmoysTardos(m *mec.Market, slots []int, opts ApproOptions) (mec.Placement, error) {
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	aMax, bMax := m.MaxDemands()
+	capVC := math.Max(aMax, bMax)
+
+	// Bin layout: all virtual cloudlets of CL_0, then CL_1, ...; optionally
+	// a final remote bin big enough for everyone. slot is the occupancy
+	// level (1-based) the virtual cloudlet represents.
+	type binInfo struct {
+		cloudlet int // -1 for remote
+		slot     int
+	}
+	var binsMeta []binInfo
+	for i := 0; i < nc; i++ {
+		for k := 1; k <= slots[i]; k++ {
+			binsMeta = append(binsMeta, binInfo{cloudlet: i, slot: k})
+		}
+	}
+	if !opts.DisallowRemote {
+		binsMeta = append(binsMeta, binInfo{cloudlet: -1})
+	}
+	bins := len(binsMeta)
+	if bins == 0 {
+		return nil, fmt.Errorf("core: no virtual cloudlets and remote disallowed")
+	}
+
+	ins := &gap.Instance{
+		Cost:   make([][]float64, n),
+		Weight: make([][]float64, n),
+		Cap:    make([]float64, bins),
+	}
+	totalWeight := 0.0
+	weights := make([]float64, n)
+	for l := 0; l < n; l++ {
+		p := &m.Providers[l]
+		weights[l] = math.Max(p.ComputeDemand(), p.BandwidthDemand())
+		totalWeight += weights[l]
+	}
+	for b := range binsMeta {
+		if binsMeta[b].cloudlet >= 0 {
+			ins.Cap[b] = capVC
+		} else {
+			ins.Cap[b] = totalWeight // remote holds everyone
+		}
+	}
+	surcharge := func(i, k int) float64 {
+		if opts.CongestionBlind {
+			return m.CongestionCoeff(i) * m.CongestionLevel(1)
+		}
+		return marginalCongestion(m, i, k)
+	}
+	for l := 0; l < n; l++ {
+		ins.Cost[l] = make([]float64, bins)
+		ins.Weight[l] = make([]float64, bins)
+		for b := range binsMeta {
+			ins.Weight[l][b] = weights[l]
+			if i := binsMeta[b].cloudlet; i >= 0 {
+				ins.Cost[l][b] = m.BaseCost(l, i) + surcharge(i, binsMeta[b].slot)
+			} else {
+				ins.Cost[l][b] = m.RemoteCost(l)
+			}
+		}
+	}
+	sol, err := gap.SolveShmoysTardos(ins)
+	if err != nil {
+		return nil, fmt.Errorf("core: Shmoys-Tardos reduction: %w", err)
+	}
+	placement := make(mec.Placement, n)
+	for l, b := range sol.Bin {
+		if i := binsMeta[b].cloudlet; i >= 0 {
+			placement[l] = i
+		} else {
+			placement[l] = mec.Remote
+		}
+	}
+	return placement, nil
+}
+
+// ApproximationRatio returns the Lemma-2 guarantee 2·δ·κ for the market.
+func ApproximationRatio(m *mec.Market) float64 {
+	delta, kappa := m.DeltaKappa()
+	return 2 * delta * kappa
+}
+
+// RankByCost orders provider indices by decreasing cost under pl (the
+// Largest Cost First ranking of Algorithm 2, step 2).
+func RankByCost(m *mec.Market, pl mec.Placement) []int {
+	n := len(m.Providers)
+	idx := make([]int, n)
+	for l := range idx {
+		idx[l] = l
+	}
+	costs := make([]float64, n)
+	for l := range costs {
+		costs[l] = m.ProviderCost(pl, l)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return costs[idx[a]] > costs[idx[b]] })
+	return idx
+}

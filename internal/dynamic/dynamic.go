@@ -1,0 +1,387 @@
+// Package dynamic simulates the temporal dimension of the paper's market:
+// services are cached only "temporarily while keeping the original instances
+// of the services" (Section I) — providers arrive, lease edge resources for
+// a while, and depart, at which point the cached instance is destroyed and
+// the original in the remote cloud carries on.
+//
+// The simulator drives a Poisson arrival process and exponential lifetimes
+// over virtual time on the discrete-event kernel. Newly arrived providers
+// join selfishly (a capacity-aware best response against the current
+// loads); every re-optimization epoch the infrastructure provider re-runs
+// the LCF mechanism over the currently active providers. The headline
+// output is the market's *stability*: the time-averaged social cost and the
+// fraction of providers forced to move at each epoch.
+package dynamic
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/core"
+	"mecache/internal/game"
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/sim"
+	"mecache/internal/topology"
+	"mecache/internal/workload"
+)
+
+// Config parameterizes a dynamic market run.
+type Config struct {
+	// Horizon is the virtual duration of the simulation.
+	Horizon float64
+	// ArrivalRate is the mean provider arrival rate (Poisson).
+	ArrivalRate float64
+	// MeanLifetime is the mean service lifetime (exponential).
+	MeanLifetime float64
+	// Epoch is the period of the leader's LCF re-optimization; zero
+	// disables epochs (the market stays purely selfish).
+	Epoch float64
+	// Xi is the coordinated fraction used at each epoch.
+	Xi float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Workload supplies the provider population's parameter ranges.
+	Workload workload.Config
+	// MaxActive caps concurrent providers; arrivals beyond it are rejected
+	// (counted, not fatal). Zero means no cap.
+	MaxActive int
+	// MigrationAware adds hysteresis to the epochs: a provider is migrated
+	// to its new LCF strategy only when the move reduces its own cost by
+	// more than its re-instantiation cost c_l^ins. This trades a slightly
+	// worse static cost for a much calmer market — the stability the paper
+	// is after.
+	MigrationAware bool
+	// Diurnal modulates the arrival rate sinusoidally over the horizon
+	// (one full day cycle per DiurnalPeriod, peak at 2x the base rate,
+	// trough near 0), approximating the day/night demand swing real edge
+	// markets see. Zero period disables it.
+	DiurnalPeriod float64
+}
+
+// DefaultConfig returns a moderately loaded dynamic market.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Horizon:      200,
+		ArrivalRate:  1.0,
+		MeanLifetime: 40,
+		Epoch:        20,
+		Xi:           0.7,
+		Seed:         seed,
+		Workload:     workload.Default(seed),
+		MaxActive:    150,
+	}
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Arrivals    int
+	Departures  int
+	Rejections  int
+	Epochs      int
+	PeakActive  int
+	FinalActive int
+	// TimeAvgSocialCost integrates the social cost over virtual time and
+	// divides by the horizon.
+	TimeAvgSocialCost float64
+	// Reconfigurations counts providers whose strategy changed at epoch
+	// boundaries; ReconfigurationRate normalizes by (active x epochs).
+	Reconfigurations    int
+	ReconfigurationRate float64
+	// CachedFraction is the time-averaged share of active services that
+	// are cached at a cloudlet (vs. staying remote).
+	CachedFraction float64
+	// MigrationCost totals the re-instantiation costs paid by providers
+	// that moved at epoch boundaries.
+	MigrationCost float64
+	// MigrationsSuppressed counts epoch moves skipped by the
+	// MigrationAware hysteresis.
+	MigrationsSuppressed int
+}
+
+// liveProvider is an active provider with its current strategy.
+type liveProvider struct {
+	id     int
+	p      mec.Provider
+	choice int // cloudlet index or mec.Remote
+}
+
+// Simulator runs one dynamic market. Create with New, run with Run.
+type Simulator struct {
+	cfg    Config
+	net    *mec.Network
+	kernel *sim.Kernel
+	r      *rng.Source
+
+	live   []*liveProvider
+	nextID int
+
+	metrics      Metrics
+	lastT        float64
+	costIntegral float64
+	cachedTime   float64 // integral of cached fraction
+	err          error   // first error raised inside a kernel callback
+}
+
+// New builds a simulator over the given topology (nil means a default
+// GT-ITM network of 150 nodes).
+func New(topo *topology.Topology, cfg Config) (*Simulator, error) {
+	if cfg.Horizon <= 0 || cfg.ArrivalRate <= 0 || cfg.MeanLifetime <= 0 {
+		return nil, fmt.Errorf("dynamic: horizon, arrival rate and lifetime must be positive")
+	}
+	if cfg.Xi < 0 || cfg.Xi > 1 {
+		return nil, fmt.Errorf("dynamic: xi %v outside [0,1]", cfg.Xi)
+	}
+	var err error
+	if topo == nil {
+		topo, err = topology.GTITM(cfg.Seed^0xdddd, 150)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Build the physical side once; providers churn on top of it. Reuse
+	// the workload generator with one throwaway provider to lay out
+	// cloudlets and data centers.
+	probe := cfg.Workload
+	probe.NumProviders = 1
+	m, err := workload.Generate(topo, probe)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		cfg:    cfg,
+		net:    m.Net,
+		kernel: sim.NewKernel(),
+		r:      rng.New(cfg.Seed),
+	}, nil
+}
+
+// market assembles a Market over the active providers; ids maps market
+// index -> live slot. Returns nil when no provider is active.
+func (s *Simulator) market() (*mec.Market, mec.Placement, error) {
+	if len(s.live) == 0 {
+		return nil, nil, nil
+	}
+	providers := make([]mec.Provider, len(s.live))
+	placement := make(mec.Placement, len(s.live))
+	for i, lp := range s.live {
+		providers[i] = lp.p
+		placement[i] = lp.choice
+	}
+	m, err := mec.NewMarket(s.net, providers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, placement, nil
+}
+
+// integrate accrues the cost and cached-fraction integrals up to the
+// current virtual time.
+func (s *Simulator) integrate() error {
+	now := s.kernel.Now()
+	dt := now - s.lastT
+	if dt <= 0 {
+		return nil
+	}
+	m, pl, err := s.market()
+	if err != nil {
+		return err
+	}
+	if m != nil {
+		s.costIntegral += m.SocialCost(pl) * dt
+		cached := 0
+		for _, c := range pl {
+			if c != mec.Remote {
+				cached++
+			}
+		}
+		s.cachedTime += float64(cached) / float64(len(pl)) * dt
+	}
+	s.lastT = now
+	return nil
+}
+
+// arrive admits a new provider via a capacity-aware selfish best response
+// against the current loads, then schedules its departure and the next
+// arrival.
+func (s *Simulator) arrive() error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	if s.kernel.Now() < s.cfg.Horizon {
+		if err := s.kernel.Schedule(s.r.Exp(s.arrivalRate()), s.wrap(s.arrive)); err != nil {
+			return err
+		}
+	}
+	if s.cfg.MaxActive > 0 && len(s.live) >= s.cfg.MaxActive {
+		s.metrics.Rejections++
+		return nil
+	}
+	p := s.cfg.Workload.DrawProvider(s.r, len(s.net.DCs), s.net.Topo.N())
+	lp := &liveProvider{id: s.nextID, p: p, choice: mec.Remote}
+	s.nextID++
+	s.live = append(s.live, lp)
+	s.metrics.Arrivals++
+	if len(s.live) > s.metrics.PeakActive {
+		s.metrics.PeakActive = len(s.live)
+	}
+
+	// Selfish join: best response against everyone else's current choices.
+	m, pl, err := s.market()
+	if err != nil {
+		return err
+	}
+	g := game.New(m)
+	choice, _ := g.BestResponse(pl, len(pl)-1)
+	lp.choice = choice
+
+	// Exponential lifetime.
+	life := s.r.Exp(1 / s.cfg.MeanLifetime)
+	return s.kernel.Schedule(life, s.wrap(func() error { return s.depart(lp.id) }))
+}
+
+// arrivalRate returns the (possibly diurnally modulated) arrival rate at
+// the current virtual time: rate·(1 + sin(2πt/period)), clipped away from
+// zero so the process never stalls.
+func (s *Simulator) arrivalRate() float64 {
+	if s.cfg.DiurnalPeriod <= 0 {
+		return s.cfg.ArrivalRate
+	}
+	phase := 2 * math.Pi * s.kernel.Now() / s.cfg.DiurnalPeriod
+	rate := s.cfg.ArrivalRate * (1 + math.Sin(phase))
+	if min := s.cfg.ArrivalRate * 0.05; rate < min {
+		rate = min
+	}
+	return rate
+}
+
+// depart destroys the cached instance of the given provider; the original
+// in the remote cloud lives on (outside our accounting).
+func (s *Simulator) depart(id int) error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	for i, lp := range s.live {
+		if lp.id == id {
+			s.live = append(s.live[:i], s.live[i+1:]...)
+			s.metrics.Departures++
+			return nil
+		}
+	}
+	return fmt.Errorf("dynamic: departure of unknown provider %d", id)
+}
+
+// epoch re-runs the LCF mechanism over the active providers and counts how
+// many strategies changed — the market's reconfiguration churn.
+func (s *Simulator) epoch() error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	if s.kernel.Now() < s.cfg.Horizon {
+		if err := s.kernel.Schedule(s.cfg.Epoch, s.wrap(s.epoch)); err != nil {
+			return err
+		}
+	}
+	s.metrics.Epochs++
+	m, pl, err := s.market()
+	if err != nil || m == nil {
+		return err
+	}
+	res, err := core.LCF(m, core.LCFOptions{
+		Xi:    s.cfg.Xi,
+		Seed:  s.cfg.Seed + uint64(s.metrics.Epochs),
+		Appro: core.ApproOptions{Solver: core.SolverTransport},
+	})
+	if err != nil {
+		return err
+	}
+	if !s.cfg.MigrationAware {
+		for i, lp := range s.live {
+			if res.Placement[i] != pl[i] {
+				s.metrics.Reconfigurations++
+				if pl[i] != mec.Remote {
+					// Tearing down and re-instantiating elsewhere (or going
+					// remote) forfeits the instantiation investment.
+					s.metrics.MigrationCost += lp.p.InstCost
+				}
+			}
+			lp.choice = res.Placement[i]
+		}
+		return nil
+	}
+	// Hysteresis: apply each provider's move only if its own cost under the
+	// new placement improves on its cost of staying put (holding everyone
+	// else at the new placement) by more than the re-instantiation cost.
+	for i, lp := range s.live {
+		if res.Placement[i] == pl[i] {
+			continue
+		}
+		moved := res.Placement[i]
+		stay := pl[i]
+		newPl := make(mec.Placement, len(s.live))
+		for j := range s.live {
+			newPl[j] = res.Placement[j]
+		}
+		costMoved := m.ProviderCost(newPl, i)
+		newPl[i] = stay
+		costStay := m.ProviderCost(newPl, i)
+		threshold := 0.0
+		if stay != mec.Remote {
+			threshold = lp.p.InstCost
+		}
+		if costStay-costMoved > threshold {
+			lp.choice = moved
+			s.metrics.Reconfigurations++
+			if stay != mec.Remote {
+				s.metrics.MigrationCost += lp.p.InstCost
+			}
+		} else {
+			s.metrics.MigrationsSuppressed++
+			res.Placement[i] = stay // keep downstream decisions consistent
+		}
+	}
+	return nil
+}
+
+// wrap adapts an error-returning step to the kernel's func() callbacks,
+// stashing the first error.
+func (s *Simulator) wrap(fn func() error) func() {
+	return func() {
+		if s.err == nil {
+			s.err = fn()
+		}
+	}
+}
+
+// Run executes the simulation to the horizon and returns the metrics.
+func (s *Simulator) Run() (*Metrics, error) {
+	if err := s.kernel.Schedule(s.r.Exp(s.arrivalRate()), s.wrap(s.arrive)); err != nil {
+		return nil, err
+	}
+	if s.cfg.Epoch > 0 {
+		if err := s.kernel.Schedule(s.cfg.Epoch, s.wrap(s.epoch)); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.kernel.RunUntil(s.cfg.Horizon, 0); err != nil {
+		return nil, err
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if err := s.integrateAtHorizon(); err != nil {
+		return nil, err
+	}
+	s.metrics.FinalActive = len(s.live)
+	s.metrics.TimeAvgSocialCost = s.costIntegral / s.cfg.Horizon
+	s.metrics.CachedFraction = s.cachedTime / s.cfg.Horizon
+	if s.metrics.Epochs > 0 && s.metrics.PeakActive > 0 {
+		s.metrics.ReconfigurationRate = float64(s.metrics.Reconfigurations) /
+			(float64(s.metrics.Epochs) * float64(s.metrics.PeakActive))
+	}
+	return &s.metrics, nil
+}
+
+// integrateAtHorizon closes the last integration interval exactly at the
+// horizon (RunUntil advanced the clock there).
+func (s *Simulator) integrateAtHorizon() error { return s.integrate() }

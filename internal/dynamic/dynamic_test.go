@@ -1,0 +1,298 @@
+package dynamic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mecache/internal/mec"
+	"mecache/internal/workload"
+)
+
+func TestRunBasic(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Horizon = 100
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals == 0 {
+		t.Fatal("no arrivals over 100 time units at rate 1")
+	}
+	if m.Epochs == 0 {
+		t.Fatal("no re-optimization epochs")
+	}
+	if m.TimeAvgSocialCost <= 0 {
+		t.Fatalf("time-averaged social cost %v", m.TimeAvgSocialCost)
+	}
+	if m.CachedFraction < 0 || m.CachedFraction > 1 {
+		t.Fatalf("cached fraction %v", m.CachedFraction)
+	}
+	if m.FinalActive != m.Arrivals-m.Departures-0 && m.FinalActive > m.PeakActive {
+		t.Fatalf("bookkeeping: final=%d arrivals=%d departures=%d peak=%d",
+			m.FinalActive, m.Arrivals, m.Departures, m.PeakActive)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() *Metrics {
+		cfg := DefaultConfig(7)
+		cfg.Horizon = 60
+		sim, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMaxActiveCap(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Horizon = 80
+	cfg.ArrivalRate = 5
+	cfg.MeanLifetime = 100 // long-lived: the cap must bind
+	cfg.MaxActive = 20
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakActive > 20 {
+		t.Fatalf("peak active %d exceeds cap 20", m.PeakActive)
+	}
+	if m.Rejections == 0 {
+		t.Fatal("cap never bound despite overload")
+	}
+}
+
+func TestEpochsReduceCost(t *testing.T) {
+	// Coordinated re-optimization should not make the market worse than a
+	// purely selfish one on average.
+	run := func(epoch float64) float64 {
+		total := 0.0
+		for rep := 0; rep < 3; rep++ {
+			cfg := DefaultConfig(uint64(rep) + 11)
+			cfg.Horizon = 100
+			cfg.Epoch = epoch
+			sim, err := New(nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += m.TimeAvgSocialCost
+		}
+		return total / 3
+	}
+	coordinated := run(20)
+	selfish := run(0)
+	if coordinated > selfish*1.05 {
+		t.Fatalf("epoch re-optimization raised the average cost: %v vs selfish %v", coordinated, selfish)
+	}
+}
+
+func TestNoEpochsMeansNoReconfigurations(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cfg.Horizon = 50
+	cfg.Epoch = 0
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Epochs != 0 || m.Reconfigurations != 0 {
+		t.Fatalf("selfish-only run reported epochs=%d reconfigs=%d", m.Epochs, m.Reconfigurations)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := DefaultConfig(1)
+	bad.Horizon = 0
+	if _, err := New(nil, bad); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	bad2 := DefaultConfig(1)
+	bad2.Xi = 2
+	if _, err := New(nil, bad2); err == nil {
+		t.Fatal("xi > 1 accepted")
+	}
+	bad3 := DefaultConfig(1)
+	bad3.ArrivalRate = -1
+	if _, err := New(nil, bad3); err == nil {
+		t.Fatal("negative arrival rate accepted")
+	}
+}
+
+// Property: capacity constraints hold at the end of every run (the selfish
+// joins are capacity-aware and LCF epochs respect Eq. 7).
+func TestCapacityInvariantProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		cfg := DefaultConfig(seed)
+		cfg.Horizon = 40
+		cfg.Workload = workload.Default(seed)
+		sim, err := New(nil, cfg)
+		if err != nil {
+			return false
+		}
+		if _, err := sim.Run(); err != nil {
+			return false
+		}
+		m, pl, err := sim.market()
+		if err != nil {
+			return false
+		}
+		if m == nil {
+			return true // nobody active at the horizon
+		}
+		return m.CheckCapacity(pl, 0) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArrivalsJoinSelfishly(t *testing.T) {
+	// After a run, no active provider should have an improving deviation
+	// larger than what churn since the last epoch explains; as a sanity
+	// check we at least verify all strategies are valid.
+	cfg := DefaultConfig(9)
+	cfg.Horizon = 60
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	m, pl, err := sim.market()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil {
+		t.Skip("no active providers at horizon")
+	}
+	if err := m.Validate(pl); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range pl {
+		if c != mec.Remote && (c < 0 || c >= m.Net.NumCloudlets()) {
+			t.Fatalf("invalid strategy %d", c)
+		}
+	}
+}
+
+func BenchmarkDynamicRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(uint64(i))
+		cfg.Horizon = 50
+		sim, err := New(nil, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestMigrationAwareReducesChurn(t *testing.T) {
+	run := func(aware bool) *Metrics {
+		cfg := DefaultConfig(31)
+		cfg.Horizon = 120
+		cfg.MigrationAware = aware
+		sim, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	free := run(false)
+	aware := run(true)
+	if aware.Reconfigurations > free.Reconfigurations {
+		t.Fatalf("hysteresis increased churn: %d vs %d", aware.Reconfigurations, free.Reconfigurations)
+	}
+	if aware.MigrationsSuppressed == 0 {
+		t.Fatal("hysteresis never suppressed a move")
+	}
+	if aware.MigrationCost > free.MigrationCost {
+		t.Fatalf("hysteresis raised migration spend: %v vs %v", aware.MigrationCost, free.MigrationCost)
+	}
+	// The static cost may be slightly worse under hysteresis but must stay
+	// in the same ballpark (within 10%).
+	if aware.TimeAvgSocialCost > free.TimeAvgSocialCost*1.10 {
+		t.Fatalf("hysteresis degraded average cost too much: %v vs %v",
+			aware.TimeAvgSocialCost, free.TimeAvgSocialCost)
+	}
+}
+
+func TestMigrationCostAccounted(t *testing.T) {
+	cfg := DefaultConfig(33)
+	cfg.Horizon = 100
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reconfigurations > 0 && m.MigrationCost <= 0 {
+		t.Fatalf("%d reconfigurations but zero migration cost", m.Reconfigurations)
+	}
+}
+
+func TestDiurnalArrivals(t *testing.T) {
+	cfg := DefaultConfig(41)
+	cfg.Horizon = 150
+	cfg.DiurnalPeriod = 50
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Arrivals == 0 {
+		t.Fatal("diurnal market saw no arrivals")
+	}
+	// The modulated process averages the base rate, so total arrivals stay
+	// in the same ballpark as the flat process.
+	flatCfg := DefaultConfig(41)
+	flatCfg.Horizon = 150
+	flatSim, err := New(nil, flatCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := flatSim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := flat.Arrivals/2, flat.Arrivals*2
+	if m.Arrivals < lo || m.Arrivals > hi {
+		t.Fatalf("diurnal arrivals %d far from flat %d", m.Arrivals, flat.Arrivals)
+	}
+}

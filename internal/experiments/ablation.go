@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mecache/internal/core"
+	"mecache/internal/game"
+	"mecache/internal/mec"
+	"mecache/internal/stats"
+	"mecache/internal/workload"
+)
+
+// AblationConfig parameterizes the design-choice studies DESIGN.md calls
+// out: the coordination-selection rule, the congestion-aware vs literal
+// Eq. 9 GAP pricing, and the Price of Stability next to the Price of
+// Anarchy.
+type AblationConfig struct {
+	Seed         uint64
+	Size         int
+	NumProviders int
+	XiValues     []float64
+	Reps         int
+	// PoAProviders sizes the exactly-solvable markets of the PoS/PoA panel.
+	PoAProviders int
+	Restarts     int
+}
+
+// DefaultAblation returns the standard ablation sweep.
+func DefaultAblation(seed uint64) AblationConfig {
+	return AblationConfig{
+		Seed:         seed,
+		Size:         250,
+		NumProviders: 100,
+		XiValues:     []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		Reps:         3,
+		PoAProviders: 6,
+		Restarts:     20,
+	}
+}
+
+// Ablation produces three panels: (a) LCF's social cost under the four
+// coordination-selection rules, (b) congestion-aware vs congestion-blind
+// (literal Eq. 9) Appro pricing, and (c) empirical Price of Stability vs
+// Price of Anarchy on exactly-solvable markets.
+func Ablation(cfg AblationConfig) (*Figure, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	fig := &Figure{Name: "Ablations: coordination rule, GAP pricing, PoS vs PoA"}
+
+	// Panel (a): coordination strategies across the xi sweep.
+	{
+		strategies := []struct {
+			name string
+			s    core.Coordination
+		}{
+			{"LargestCostFirst", core.CoordLargestCostFirst},
+			{"SmallestCostFirst", core.CoordSmallestCostFirst},
+			{"LargestDemandFirst", core.CoordLargestDemandFirst},
+			{"Random", core.CoordRandom},
+		}
+		names := make([]string, len(strategies))
+		for i, st := range strategies {
+			names[i] = st.name
+		}
+		sm := newSeriesMap(names...)
+		var xs []float64
+		for _, xi := range cfg.XiValues {
+			for _, st := range strategies {
+				var ys []float64
+				for rep := 0; rep < cfg.Reps; rep++ {
+					wcfg := workload.Default(cfg.Seed + uint64(rep)*7919)
+					wcfg.NumProviders = cfg.NumProviders
+					m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := core.LCF(m, core.LCFOptions{
+						Xi: xi, Seed: wcfg.Seed, Strategy: st.s,
+						Appro: core.ApproOptions{Solver: core.SolverTransport},
+					})
+					if err != nil {
+						return nil, fmt.Errorf("experiments: ablation %s: %w", st.name, err)
+					}
+					ys = append(ys, res.SocialCost)
+				}
+				sum := stats.Summarize(ys)
+				sm.add(st.name, sum.Mean)
+				sm.addErr(st.name, sum.CI95())
+			}
+			xs = append(xs, xi)
+		}
+		fig.Tables = append(fig.Tables, Table{
+			Title: "Ablation (a) coordination-selection rule", XLabel: "xi", X: xs,
+			YLabel: "social cost ($)", Series: sm.series(),
+		})
+	}
+
+	// Panel (b): congestion-aware vs congestion-blind Appro pricing.
+	{
+		sm := newSeriesMap("marginal pricing", "Eq. 9 flat pricing")
+		var xs []float64
+		for _, n := range []int{40, 60, 80, 100, 120} {
+			for _, blind := range []bool{false, true} {
+				name := "marginal pricing"
+				if blind {
+					name = "Eq. 9 flat pricing"
+				}
+				var ys []float64
+				for rep := 0; rep < cfg.Reps; rep++ {
+					wcfg := workload.Default(cfg.Seed + uint64(rep)*104729)
+					wcfg.NumProviders = n
+					m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+					if err != nil {
+						return nil, err
+					}
+					res, err := core.Appro(m, core.ApproOptions{
+						Solver:          core.SolverTransport,
+						CongestionBlind: blind,
+					})
+					if err != nil {
+						return nil, err
+					}
+					ys = append(ys, res.SocialCost)
+				}
+				sum := stats.Summarize(ys)
+				sm.add(name, sum.Mean)
+				sm.addErr(name, sum.CI95())
+			}
+			xs = append(xs, float64(n))
+		}
+		fig.Tables = append(fig.Tables, Table{
+			Title: "Ablation (b) Appro GAP pricing", XLabel: "providers", X: xs,
+			YLabel: "Appro social cost ($)", Series: sm.series(),
+		})
+	}
+
+	// Panel (c): Price of Stability vs Price of Anarchy.
+	{
+		sm := newSeriesMap("PoS", "PoA")
+		var xs []float64
+		for _, xi := range cfg.XiValues {
+			var poss, poas []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				wcfg := workload.Default(cfg.Seed + uint64(rep)*31 + uint64(100*xi))
+				wcfg.NumProviders = cfg.PoAProviders
+				m, err := workload.GenerateGTITM(50, wcfg)
+				if err != nil {
+					return nil, err
+				}
+				_, opt, err := game.ExactOptimum(m, 1<<24)
+				if err != nil {
+					return nil, err
+				}
+				lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: wcfg.Seed})
+				if err != nil {
+					return nil, err
+				}
+				g := game.New(m)
+				base := make(mec.Placement, len(m.Providers))
+				for l := range base {
+					base[l] = mec.Remote
+				}
+				for _, l := range lcf.Coordinated {
+					g.Pinned[l] = true
+					base[l] = lcf.Appro.Placement[l]
+				}
+				pos, err := g.EmpiricalPoS(base, opt, cfg.Restarts, 0, wcfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				poa, err := g.EmpiricalPoA(base, opt, cfg.Restarts, 0, wcfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				poss = append(poss, pos)
+				poas = append(poas, poa)
+			}
+			posSum, poaSum := stats.Summarize(poss), stats.Summarize(poas)
+			sm.add("PoS", posSum.Mean)
+			sm.addErr("PoS", posSum.CI95())
+			sm.add("PoA", poaSum.Mean)
+			sm.addErr("PoA", poaSum.CI95())
+			xs = append(xs, xi)
+		}
+		fig.Tables = append(fig.Tables, Table{
+			Title: "Ablation (c) Price of Stability vs Price of Anarchy", XLabel: "xi", X: xs,
+			YLabel: "ratio to exact optimum", Series: sm.series(),
+		})
+	}
+	return fig, nil
+}

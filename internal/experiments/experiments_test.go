@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mecache/internal/workload"
+)
+
+func TestRunAllProducesAllAlgorithms(t *testing.T) {
+	cfg := workload.Default(1)
+	cfg.NumProviders = 40
+	m, err := workload.GenerateGTITM(80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunAll(m, 0.7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache} {
+		o, ok := out[name]
+		if !ok {
+			t.Fatalf("missing algorithm %s", name)
+		}
+		if o.Social <= 0 {
+			t.Fatalf("%s social cost %v", name, o.Social)
+		}
+		if o.Seconds < 0 {
+			t.Fatalf("%s negative runtime", name)
+		}
+		if diff := o.Coordinated + o.Selfish - o.Social; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("%s cost split %v + %v != %v", name, o.Coordinated, o.Selfish, o.Social)
+		}
+	}
+}
+
+// TestLCFWinsFig2Comparison checks the paper's headline: LCF delivers the
+// minimum social cost among the three algorithms (Fig 2a's ordering).
+func TestLCFWinsFig2Comparison(t *testing.T) {
+	wins := 0
+	const trials = 5
+	for rep := 0; rep < trials; rep++ {
+		cfg := workload.Default(uint64(rep) + 100)
+		cfg.NumProviders = 60
+		m, err := workload.GenerateGTITM(150, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := RunAll(m, 0.7, uint64(rep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[AlgoLCF].Social <= out[AlgoJoOffloadCache].Social &&
+			out[AlgoLCF].Social <= out[AlgoOffloadCache].Social {
+			wins++
+		}
+	}
+	if wins < trials-1 { // allow one noisy instance
+		t.Fatalf("LCF won only %d/%d instances", wins, trials)
+	}
+}
+
+func TestFig2SmallSweep(t *testing.T) {
+	cfg := DefaultFig2(1)
+	cfg.Sizes = []int{50, 100}
+	cfg.NumProviders = 30
+	cfg.Reps = 1
+	fig, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 4 {
+		t.Fatalf("Fig2 has %d panels, want 4", len(fig.Tables))
+	}
+	for _, tb := range fig.Tables {
+		if len(tb.X) != 2 {
+			t.Fatalf("%s has %d x points", tb.Title, len(tb.X))
+		}
+		for _, s := range tb.Series {
+			if len(s.Y) != 2 {
+				t.Fatalf("%s series %s has %d points", tb.Title, s.Name, len(s.Y))
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 2(a)") || !strings.Contains(buf.String(), AlgoLCF) {
+		t.Fatalf("render missing expected content:\n%s", buf.String())
+	}
+}
+
+func TestFig3TrendCoordinationHelps(t *testing.T) {
+	cfg := DefaultFig3(2)
+	cfg.SelfishFractions = []float64{0, 1}
+	cfg.NumProviders = 60
+	cfg.Size = 100
+	cfg.Reps = 2
+	fig, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Panel (a), LCF series: social cost with everyone coordinated must not
+	// exceed the all-selfish cost.
+	var lcf Series
+	for _, s := range fig.Tables[0].Series {
+		if s.Name == AlgoLCF {
+			lcf = s
+		}
+	}
+	if len(lcf.Y) != 2 {
+		t.Fatalf("LCF series %v", lcf)
+	}
+	if lcf.Y[0] > lcf.Y[1]*1.02 {
+		t.Fatalf("all-coordinated cost %v exceeds all-selfish %v", lcf.Y[0], lcf.Y[1])
+	}
+}
+
+func TestFig5SmallSweep(t *testing.T) {
+	cfg := DefaultFig5(3)
+	cfg.Providers = []int{20}
+	fig, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) < 2 {
+		t.Fatalf("Fig5 has %d panels", len(fig.Tables))
+	}
+	for _, s := range fig.Tables[0].Series {
+		if len(s.Y) != 1 || s.Y[0] <= 0 {
+			t.Fatalf("series %s: %v", s.Name, s.Y)
+		}
+	}
+}
+
+func TestFig6PanelShapes(t *testing.T) {
+	cfg := DefaultFig6(4)
+	cfg.SelfishFractions = []float64{0, 1}
+	cfg.RequestCounts = []int{20}
+	cfg.NetworkSizes = []int{50}
+	cfg.UpdateRatios = []float64{0.1}
+	cfg.BaseProviders = 20
+	fig, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 4 {
+		t.Fatalf("Fig6 has %d panels, want 4", len(fig.Tables))
+	}
+}
+
+func TestFig7Runs(t *testing.T) {
+	cfg := DefaultFig7(5)
+	cfg.AMaxValues = []float64{2}
+	cfg.BMaxValues = []float64{60}
+	cfg.Providers = 20
+	fig, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 2 {
+		t.Fatalf("Fig7 has %d panels, want 2", len(fig.Tables))
+	}
+}
+
+func TestPoAStudySmall(t *testing.T) {
+	cfg := DefaultPoA(6)
+	cfg.XiValues = []float64{0, 1}
+	cfg.NumProviders = 4
+	cfg.Restarts = 5
+	cfg.Reps = 1
+	fig, err := PoAStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := fig.Tables[0]
+	for _, s := range tb.Series {
+		for i, y := range s.Y {
+			if y < 1-1e-9 && s.Name == "empirical PoA" {
+				t.Fatalf("empirical PoA %v < 1 at x=%v", y, tb.X[i])
+			}
+			if y <= 0 {
+				t.Fatalf("%s non-positive at %d", s.Name, i)
+			}
+		}
+	}
+	// The empirical PoA must respect the theoretical bound.
+	var emp, bound Series
+	for _, s := range tb.Series {
+		switch s.Name {
+		case "empirical PoA":
+			emp = s
+		case "Theorem-1 bound":
+			bound = s
+		}
+	}
+	for i := range emp.Y {
+		if emp.Y[i] > bound.Y[i]+1e-9 {
+			t.Fatalf("empirical PoA %v exceeds bound %v at xi=%v", emp.Y[i], bound.Y[i], tb.X[i])
+		}
+	}
+}
+
+func TestTableRenderHandlesRaggedSeries(t *testing.T) {
+	tb := Table{
+		Title: "t", XLabel: "x", X: []float64{1, 2}, YLabel: "y",
+		Series: []Series{{Name: "a", Y: []float64{1}}},
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-") {
+		t.Fatal("missing placeholder for absent point")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := Table{
+		Title: "panel", XLabel: "x", X: []float64{1, 2.5}, YLabel: "y",
+		Series: []Series{
+			{Name: "a", Y: []float64{10, 20}},
+			{Name: "b", Y: []float64{30}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines: %v", lines)
+	}
+	if lines[0] != "x,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2.5,") || !strings.HasSuffix(lines[2], ",") {
+		t.Fatalf("ragged row not padded: %q", lines[2])
+	}
+	fig := Figure{Name: "f", Tables: []Table{tb}}
+	var fb bytes.Buffer
+	if err := fig.WriteCSV(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(fb.String(), "# panel\n") {
+		t.Fatalf("figure CSV missing comment:\n%s", fb.String())
+	}
+}
+
+func TestErrorBarsPopulatedWithReps(t *testing.T) {
+	cfg := DefaultFig2(8)
+	cfg.Sizes = []int{50}
+	cfg.NumProviders = 15
+	cfg.Reps = 3
+	fig, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Tables[0].Series {
+		if len(s.Err) != 1 {
+			t.Fatalf("series %s has %d error entries, want 1", s.Name, len(s.Err))
+		}
+		if s.Err[0] < 0 {
+			t.Fatalf("negative CI %v", s.Err[0])
+		}
+	}
+	// Rendered table must show the ± notation when CI > 0.
+	var buf bytes.Buffer
+	if err := fig.Tables[0].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "±") {
+		t.Fatalf("render lacks error bars:\n%s", buf.String())
+	}
+	// CSV must gain the _ci95 columns.
+	var cb bytes.Buffer
+	if err := fig.Tables[0].WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cb.String(), "LCF_ci95") {
+		t.Fatalf("CSV lacks ci columns:\n%s", cb.String())
+	}
+}
+
+func TestAblationSmall(t *testing.T) {
+	cfg := DefaultAblation(3)
+	cfg.XiValues = []float64{0.5}
+	cfg.NumProviders = 20
+	cfg.Size = 60
+	cfg.Reps = 1
+	cfg.PoAProviders = 4
+	cfg.Restarts = 5
+	fig, err := Ablation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 3 {
+		t.Fatalf("ablation has %d panels, want 3", len(fig.Tables))
+	}
+	// Panel (c): PoS <= PoA and both >= 1.
+	var pos, poa Series
+	for _, s := range fig.Tables[2].Series {
+		switch s.Name {
+		case "PoS":
+			pos = s
+		case "PoA":
+			poa = s
+		}
+	}
+	for i := range pos.Y {
+		if pos.Y[i] < 1-1e-9 || pos.Y[i] > poa.Y[i]+1e-9 {
+			t.Fatalf("PoS %v outside [1, PoA=%v]", pos.Y[i], poa.Y[i])
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mecache/internal/workload"
+)
+
+// Fig2Config parameterizes Figure 2: GT-ITM networks of growing size, 100
+// providers, (1-ξ) fixed to 0.3.
+type Fig2Config struct {
+	Seed            uint64
+	Sizes           []int
+	NumProviders    int
+	SelfishFraction float64 // 1-ξ
+	Reps            int     // independent instances averaged per point
+}
+
+// DefaultFig2 returns the paper's Figure-2 sweep.
+func DefaultFig2(seed uint64) Fig2Config {
+	return Fig2Config{
+		Seed:            seed,
+		Sizes:           []int{50, 100, 150, 200, 250, 300, 350, 400},
+		NumProviders:    100,
+		SelfishFraction: 0.3,
+		Reps:            3,
+	}
+}
+
+// Fig2 reproduces Figure 2: algorithm performance in GT-ITM networks with
+// sizes varied from 50 to 400 — (a) social cost, (b) cost of the selfish
+// providers, (c) cost of the coordinated providers, (d) running times.
+func Fig2(cfg Fig2Config) (*Figure, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	xi := 1 - cfg.SelfishFraction
+	social := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	selfish := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	coord := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	runtime := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+
+	var xs []float64
+	for _, size := range cfg.Sizes {
+		runs := make([]map[string]AlgoOutcome, 0, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wcfg := workload.Default(cfg.Seed + uint64(rep)*7919 + uint64(size))
+			wcfg.NumProviders = cfg.NumProviders
+			m, err := workload.GenerateGTITM(size, wcfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig2 size %d: %w", size, err)
+			}
+			out, err := RunAll(m, xi, wcfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, out)
+		}
+		avg, ci := aggregateOutcomes(runs)
+		xs = append(xs, float64(size))
+		for name, o := range avg {
+			social.add(name, o.Social)
+			social.addErr(name, ci[name].Social)
+			selfish.add(name, o.Selfish)
+			selfish.addErr(name, ci[name].Selfish)
+			coord.add(name, o.Coordinated)
+			coord.addErr(name, ci[name].Coordinated)
+			runtime.add(name, o.Seconds*1000)
+			runtime.addErr(name, ci[name].Seconds*1000)
+		}
+	}
+	return &Figure{
+		Name: "Fig 2: GT-ITM networks, sizes 50-400, 100 providers, 1-xi=0.3",
+		Tables: []Table{
+			{Title: "Fig 2(a) social cost", XLabel: "network size", X: xs, YLabel: "social cost ($)", Series: social.series()},
+			{Title: "Fig 2(b) cost of the selfish providers", XLabel: "network size", X: xs, YLabel: "cost ($)", Series: selfish.series()},
+			{Title: "Fig 2(c) cost of the coordinated providers", XLabel: "network size", X: xs, YLabel: "cost ($)", Series: coord.series()},
+			{Title: "Fig 2(d) running times", XLabel: "network size", X: xs, YLabel: "running time (ms)", Series: runtime.series()},
+		},
+	}, nil
+}
+
+// Fig3Config parameterizes Figure 3: network size 250, (1-ξ) swept 0..1.
+type Fig3Config struct {
+	Seed             uint64
+	Size             int
+	NumProviders     int
+	SelfishFractions []float64
+	Reps             int
+}
+
+// DefaultFig3 returns the paper's Figure-3 sweep.
+func DefaultFig3(seed uint64) Fig3Config {
+	return Fig3Config{
+		Seed:             seed,
+		Size:             250,
+		NumProviders:     100,
+		SelfishFractions: []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+		Reps:             3,
+	}
+}
+
+// Fig3 reproduces Figure 3: the impact of (1-ξ) on the algorithm
+// performance in a GT-ITM network with size 250.
+func Fig3(cfg Fig3Config) (*Figure, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	social := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	selfish := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	coord := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+	runtime := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
+
+	var xs []float64
+	for _, frac := range cfg.SelfishFractions {
+		runs := make([]map[string]AlgoOutcome, 0, cfg.Reps)
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wcfg := workload.Default(cfg.Seed + uint64(rep)*104729)
+			wcfg.NumProviders = cfg.NumProviders
+			m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: fig3: %w", err)
+			}
+			out, err := RunAll(m, 1-frac, wcfg.Seed+uint64(1000*frac))
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, out)
+		}
+		avg, ci := aggregateOutcomes(runs)
+		xs = append(xs, frac)
+		for name, o := range avg {
+			social.add(name, o.Social)
+			social.addErr(name, ci[name].Social)
+			selfish.add(name, o.Selfish)
+			selfish.addErr(name, ci[name].Selfish)
+			coord.add(name, o.Coordinated)
+			coord.addErr(name, ci[name].Coordinated)
+			runtime.add(name, o.Seconds*1000)
+			runtime.addErr(name, ci[name].Seconds*1000)
+		}
+	}
+	return &Figure{
+		Name: "Fig 3: impact of (1-xi), GT-ITM network size 250",
+		Tables: []Table{
+			{Title: "Fig 3(a) social cost", XLabel: "1-xi", X: xs, YLabel: "social cost ($)", Series: social.series()},
+			{Title: "Fig 3(b) cost of the selfish providers", XLabel: "1-xi", X: xs, YLabel: "cost ($)", Series: selfish.series()},
+			{Title: "Fig 3(c) cost of the coordinated providers", XLabel: "1-xi", X: xs, YLabel: "cost ($)", Series: coord.series()},
+			{Title: "Fig 3(d) running times", XLabel: "1-xi", X: xs, YLabel: "running time (ms)", Series: runtime.series()},
+		},
+	}, nil
+}

@@ -1,0 +1,186 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation section. Each driver sweeps the parameter the paper sweeps,
+// runs LCF against the JoOffloadCache and OffloadCache baselines, and
+// returns the series the figure plots; Render prints them as aligned text
+// tables (the textual equivalent of the paper's plots).
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one plotted line: an algorithm name and its y value per x.
+// Err, when non-empty, holds the 95% confidence half-width of each point
+// (from the repetitions averaged into Y).
+type Series struct {
+	Name string
+	Y    []float64
+	Err  []float64
+}
+
+// Table is the textual form of one figure panel.
+type Table struct {
+	// Title identifies the panel, e.g. "Fig 2(a) social cost".
+	Title string
+	// XLabel names the swept parameter; X holds its values.
+	XLabel string
+	X      []float64
+	// YLabel names the metric.
+	YLabel string
+	// Series holds one line per algorithm.
+	Series []Series
+}
+
+// Render writes the table as aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s  [%s vs %s]\n", t.Title, t.YLabel, t.XLabel); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-12s", t.XLabel)
+	for _, s := range t.Series {
+		header += fmt.Sprintf("%16s", s.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for row := range t.X {
+		line := fmt.Sprintf("%-12.4g", t.X[row])
+		for _, s := range t.Series {
+			switch {
+			case row < len(s.Y) && row < len(s.Err) && s.Err[row] > 0:
+				line += fmt.Sprintf("%16s", fmt.Sprintf("%.2f±%.2f", s.Y[row], s.Err[row]))
+			case row < len(s.Y):
+				line += fmt.Sprintf("%16.4f", s.Y[row])
+			default:
+				line += fmt.Sprintf("%16s", "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the panel as RFC-4180 CSV with a header row
+// (xlabel, series...), one data row per x value. Plot-ready.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	withErr := false
+	for _, s := range t.Series {
+		if len(s.Err) > 0 {
+			withErr = true
+		}
+	}
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+		if withErr {
+			header = append(header, s.Name+"_ci95")
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for row := range t.X {
+		rec := []string{strconv.FormatFloat(t.X[row], 'g', -1, 64)}
+		for _, s := range t.Series {
+			if row < len(s.Y) {
+				rec = append(rec, strconv.FormatFloat(s.Y[row], 'f', 6, 64))
+			} else {
+				rec = append(rec, "")
+			}
+			if withErr {
+				if row < len(s.Err) {
+					rec = append(rec, strconv.FormatFloat(s.Err[row], 'f', 6, 64))
+				} else {
+					rec = append(rec, "")
+				}
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure is a full figure: several panels sharing a sweep.
+type Figure struct {
+	Name   string
+	Tables []Table
+}
+
+// Render writes every panel.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "=== %s ===\n\n", f.Name); err != nil {
+		return err
+	}
+	for i := range f.Tables {
+		if err := f.Tables[i].Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits every panel as CSV, each preceded by a comment line
+// ("# <title>") and separated by blank lines.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	for i := range f.Tables {
+		if _, err := fmt.Fprintf(w, "# %s\n", f.Tables[i].Title); err != nil {
+			return err
+		}
+		if err := f.Tables[i].WriteCSV(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seriesMap collects per-algorithm Y vectors in a fixed algorithm order.
+type seriesMap struct {
+	order []string
+	data  map[string][]float64
+	errs  map[string][]float64
+}
+
+func newSeriesMap(names ...string) *seriesMap {
+	sm := &seriesMap{order: names, data: make(map[string][]float64, len(names))}
+	for _, n := range names {
+		sm.data[n] = nil
+	}
+	return sm
+}
+
+func (sm *seriesMap) add(name string, y float64) {
+	sm.data[name] = append(sm.data[name], y)
+}
+
+// addErr records the confidence half-width of the most recent point.
+func (sm *seriesMap) addErr(name string, e float64) {
+	if sm.errs == nil {
+		sm.errs = make(map[string][]float64, len(sm.order))
+	}
+	sm.errs[name] = append(sm.errs[name], e)
+}
+
+func (sm *seriesMap) series() []Series {
+	out := make([]Series, 0, len(sm.order))
+	for _, n := range sm.order {
+		out = append(out, Series{Name: n, Y: sm.data[n], Err: sm.errs[n]})
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mecache/internal/core"
+	"mecache/internal/game"
+	"mecache/internal/mec"
+	"mecache/internal/workload"
+)
+
+// PoAConfig parameterizes the Price-of-Anarchy study backing Theorem 1:
+// small markets where the social optimum is computable exactly, sweeping
+// the coordinated fraction ξ.
+type PoAConfig struct {
+	Seed         uint64
+	Size         int
+	NumProviders int // kept small: the optimum is enumerated exactly
+	XiValues     []float64
+	Restarts     int // random initializations when hunting the worst NE
+	Reps         int
+}
+
+// DefaultPoA returns a tractable PoA sweep.
+func DefaultPoA(seed uint64) PoAConfig {
+	return PoAConfig{
+		Seed:         seed,
+		Size:         50,
+		NumProviders: 6,
+		XiValues:     []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0},
+		Restarts:     25,
+		Reps:         3,
+	}
+}
+
+// PoAStudy measures the empirical Price of Anarchy of the
+// approximation-restricted Stackelberg game against the exact social
+// optimum and tabulates it next to the Theorem-1 bound
+// (2δκ/(1-v))·(1/(4v)+1-ξ).
+func PoAStudy(cfg PoAConfig) (*Figure, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	empirical := newSeriesMap("empirical PoA", "Theorem-1 bound")
+	var xs []float64
+	for _, xi := range cfg.XiValues {
+		var sumPoA, sumBound float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			wcfg := workload.Default(cfg.Seed + uint64(rep)*31 + uint64(100*xi))
+			wcfg.NumProviders = cfg.NumProviders
+			m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+			if err != nil {
+				return nil, err
+			}
+			_, opt, err := game.ExactOptimum(m, 1<<24)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: poa optimum: %w", err)
+			}
+			// Build the Stackelberg game: pin LCF's coordinated providers.
+			lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: wcfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			g := game.New(m)
+			base := make(mec.Placement, len(m.Providers))
+			for l := range base {
+				base[l] = mec.Remote
+			}
+			for _, l := range lcf.Coordinated {
+				g.Pinned[l] = true
+				base[l] = lcf.Appro.Placement[l]
+			}
+			poa, err := g.EmpiricalPoA(base, opt, cfg.Restarts, 0, wcfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			sumPoA += poa
+			delta, kappa := m.DeltaKappa()
+			sumBound += game.PoABound(delta, kappa, xi)
+		}
+		xs = append(xs, xi)
+		empirical.add("empirical PoA", sumPoA/float64(cfg.Reps))
+		empirical.add("Theorem-1 bound", sumBound/float64(cfg.Reps))
+	}
+	return &Figure{
+		Name: "PoA study: empirical Price of Anarchy vs the Theorem-1 bound",
+		Tables: []Table{{
+			Title: "PoA vs coordinated fraction", XLabel: "xi", X: xs,
+			YLabel: "PoA", Series: empirical.series(),
+		}},
+	}, nil
+}

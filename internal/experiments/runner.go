@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mecache/internal/baselines"
+	"mecache/internal/core"
+	"mecache/internal/mec"
+	"mecache/internal/stats"
+)
+
+// Algorithm names used across every figure, matching the paper's legends.
+const (
+	AlgoLCF            = "LCF"
+	AlgoJoOffloadCache = "JoOffloadCache"
+	AlgoOffloadCache   = "OffloadCache"
+)
+
+// AlgoOutcome is the result of one algorithm on one market instance.
+type AlgoOutcome struct {
+	Placement mec.Placement
+	// Social is the Eq. 6 social cost.
+	Social float64
+	// Coordinated and Selfish split the social cost over the coordinated
+	// and selfish provider groups (the groups are defined by LCF's
+	// Largest-Cost-First selection and reused for the baselines so the
+	// panels compare the same providers).
+	Coordinated float64
+	Selfish     float64
+	// Seconds is the wall-clock running time of the algorithm.
+	Seconds float64
+}
+
+// RunAll executes the three algorithms on the market with the given
+// coordinated fraction ξ and returns per-algorithm outcomes keyed by name.
+func RunAll(m *mec.Market, xi float64, seed uint64) (map[string]AlgoOutcome, error) {
+	out := make(map[string]AlgoOutcome, 3)
+
+	start := time.Now()
+	lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: seed, Appro: core.ApproOptions{Solver: core.SolverTransport}})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: LCF: %w", err)
+	}
+	lcfSeconds := time.Since(start).Seconds()
+
+	coordinated := lcf.Coordinated
+	selfish := make([]int, 0, len(m.Providers)-len(coordinated))
+	isCoord := make([]bool, len(m.Providers))
+	for _, l := range coordinated {
+		isCoord[l] = true
+	}
+	for l := range m.Providers {
+		if !isCoord[l] {
+			selfish = append(selfish, l)
+		}
+	}
+	out[AlgoLCF] = AlgoOutcome{
+		Placement:   lcf.Placement,
+		Social:      lcf.SocialCost,
+		Coordinated: lcf.CoordinatedCost,
+		Selfish:     lcf.SelfishCost,
+		Seconds:     lcfSeconds,
+	}
+
+	start = time.Now()
+	jo, err := baselines.JoOffloadCache(m, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: JoOffloadCache: %w", err)
+	}
+	out[AlgoJoOffloadCache] = AlgoOutcome{
+		Placement:   jo.Placement,
+		Social:      jo.SocialCost,
+		Coordinated: m.GroupCost(jo.Placement, coordinated),
+		Selfish:     m.GroupCost(jo.Placement, selfish),
+		Seconds:     time.Since(start).Seconds(),
+	}
+
+	start = time.Now()
+	off, err := baselines.OffloadCache(m)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: OffloadCache: %w", err)
+	}
+	out[AlgoOffloadCache] = AlgoOutcome{
+		Placement:   off.Placement,
+		Social:      off.SocialCost,
+		Coordinated: m.GroupCost(off.Placement, coordinated),
+		Selfish:     m.GroupCost(off.Placement, selfish),
+		Seconds:     time.Since(start).Seconds(),
+	}
+	return out, nil
+}
+
+// aggregateOutcomes reduces repeated runs to per-algorithm means and 95%
+// confidence half-widths of every numeric metric (placements are dropped).
+func aggregateOutcomes(runs []map[string]AlgoOutcome) (mean, ci map[string]AlgoOutcome) {
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	type sample struct{ social, coordinated, selfish, seconds []float64 }
+	acc := make(map[string]*sample)
+	for _, run := range runs {
+		for name, o := range run {
+			sm, ok := acc[name]
+			if !ok {
+				sm = &sample{}
+				acc[name] = sm
+			}
+			sm.social = append(sm.social, o.Social)
+			sm.coordinated = append(sm.coordinated, o.Coordinated)
+			sm.selfish = append(sm.selfish, o.Selfish)
+			sm.seconds = append(sm.seconds, o.Seconds)
+		}
+	}
+	mean = make(map[string]AlgoOutcome, len(acc))
+	ci = make(map[string]AlgoOutcome, len(acc))
+	for name, sm := range acc {
+		social := stats.Summarize(sm.social)
+		coord := stats.Summarize(sm.coordinated)
+		selfish := stats.Summarize(sm.selfish)
+		secs := stats.Summarize(sm.seconds)
+		mean[name] = AlgoOutcome{
+			Social: social.Mean, Coordinated: coord.Mean,
+			Selfish: selfish.Mean, Seconds: secs.Mean,
+		}
+		ci[name] = AlgoOutcome{
+			Social: social.CI95(), Coordinated: coord.CI95(),
+			Selfish: selfish.CI95(), Seconds: secs.CI95(),
+		}
+	}
+	return mean, ci
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestPaperShapes is the figure-level regression guard: at reduced scale,
+// the qualitative claims of the paper's evaluation section must hold. If a
+// model or algorithm change breaks one of these shapes, this test names
+// the figure it broke.
+func TestPaperShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-figure integration sweep")
+	}
+
+	lcfOf := func(tb Table) []float64 {
+		for _, s := range tb.Series {
+			if s.Name == AlgoLCF {
+				return s.Y
+			}
+		}
+		t.Fatalf("%s: no LCF series", tb.Title)
+		return nil
+	}
+	seriesOf := func(tb Table, name string) []float64 {
+		for _, s := range tb.Series {
+			if s.Name == name {
+				return s.Y
+			}
+		}
+		t.Fatalf("%s: no %s series", tb.Title, name)
+		return nil
+	}
+
+	t.Run("Fig2_LCF_wins_everywhere", func(t *testing.T) {
+		cfg := DefaultFig2(17)
+		cfg.Sizes = []int{50, 150, 250}
+		cfg.Reps = 2
+		fig, err := Fig2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		social := fig.Tables[0]
+		lcf := lcfOf(social)
+		jo := seriesOf(social, AlgoJoOffloadCache)
+		off := seriesOf(social, AlgoOffloadCache)
+		for i := range lcf {
+			if lcf[i] > jo[i] || lcf[i] > off[i] {
+				t.Fatalf("size %v: LCF %v not the minimum (jo %v, off %v)",
+					social.X[i], lcf[i], jo[i], off[i])
+			}
+		}
+		// Fig 2(d): every algorithm's running time grows with network size
+		// (endpoints comparison, noise-tolerant).
+		times := fig.Tables[3]
+		for _, s := range times.Series {
+			if s.Y[len(s.Y)-1] <= s.Y[0]*0.8 {
+				t.Fatalf("%s running time shrank with network size: %v", s.Name, s.Y)
+			}
+		}
+	})
+
+	t.Run("Fig3_cost_monotone_in_selfishness", func(t *testing.T) {
+		cfg := DefaultFig3(19)
+		cfg.Size = 150
+		cfg.NumProviders = 60
+		cfg.SelfishFractions = []float64{0, 0.5, 1}
+		cfg.Reps = 2
+		fig, err := Fig3(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcf := lcfOf(fig.Tables[0])
+		if lcf[0] > lcf[2]*1.02 {
+			t.Fatalf("Fig 3(a): all-coordinated %v worse than all-selfish %v", lcf[0], lcf[2])
+		}
+		selfishCost := lcfOf(fig.Tables[1])
+		coordCost := lcfOf(fig.Tables[2])
+		for i := 1; i < len(selfishCost); i++ {
+			if selfishCost[i] < selfishCost[i-1]-1e-9 {
+				t.Fatalf("Fig 3(b): selfish-group cost not increasing: %v", selfishCost)
+			}
+			if coordCost[i] > coordCost[i-1]+1e-9 {
+				t.Fatalf("Fig 3(c): coordinated-group cost not decreasing: %v", coordCost)
+			}
+		}
+	})
+
+	t.Run("Fig6b_cost_grows_with_requests", func(t *testing.T) {
+		cfg := DefaultFig6(23)
+		cfg.SelfishFractions = nil
+		cfg.NetworkSizes = nil
+		cfg.UpdateRatios = nil
+		cfg.RequestCounts = []int{30, 60, 90}
+		cfg.Reps = 2
+		fig, err := Fig6(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcf := lcfOf(fig.Tables[0])
+		for i := 1; i < len(lcf); i++ {
+			if lcf[i] <= lcf[i-1] {
+				t.Fatalf("Fig 6(b): cost not increasing with requests: %v", lcf)
+			}
+		}
+	})
+
+	t.Run("Fig6d_cost_grows_with_update_volume", func(t *testing.T) {
+		cfg := DefaultFig6(29)
+		cfg.SelfishFractions = nil
+		cfg.NetworkSizes = nil
+		cfg.RequestCounts = nil
+		cfg.UpdateRatios = []float64{0.05, 0.2, 0.4}
+		cfg.BaseProviders = 40
+		cfg.Reps = 2
+		fig, err := Fig6(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcf := lcfOf(fig.Tables[0])
+		for i := 1; i < len(lcf); i++ {
+			if lcf[i] <= lcf[i-1] {
+				t.Fatalf("Fig 6(d): cost not increasing with update volume: %v", lcf)
+			}
+		}
+	})
+
+	t.Run("Fig7a_cost_nondecreasing_in_amax", func(t *testing.T) {
+		cfg := DefaultFig7(31)
+		cfg.BMaxValues = nil
+		cfg.AMaxValues = []float64{2, 5, 8}
+		cfg.Providers = 40
+		cfg.Reps = 2
+		fig, err := Fig7(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lcf := lcfOf(fig.Tables[0])
+		for i := 1; i < len(lcf); i++ {
+			if lcf[i] < lcf[i-1]-1e-9 {
+				t.Fatalf("Fig 7(a): LCF cost decreased with a_max: %v", lcf)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+// Package flow implements integer-capacity min-cost max-flow via successive
+// shortest paths with Johnson potentials (Bellman-Ford initialization, then
+// Dijkstra per augmentation).
+//
+// It serves two roles in the mecache build: the exact fast path for the
+// transportation-shaped LPs that the paper's virtual-cloudlet reduction
+// produces (unit-size items into unit-slot bins), and the engine behind
+// min-cost bipartite matching used by the Shmoys-Tardos rounding step.
+package flow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// arc is half of a residual arc pair; arc i and i^1 are mutual reverses.
+type arc struct {
+	to   int
+	cap  int // residual capacity
+	cost float64
+}
+
+// Network is a flow network with integer capacities and float64 costs.
+// Nodes are dense integers [0, n).
+type Network struct {
+	n     int
+	arcs  []arc
+	heads [][]int // heads[v] = indices into arcs leaving v
+}
+
+// NewNetwork returns an empty network with n nodes.
+func NewNetwork(n int) *Network {
+	return &Network{n: n, heads: make([][]int, n)}
+}
+
+// N returns the number of nodes.
+func (g *Network) N() int { return g.n }
+
+// AddNode appends a node and returns its index.
+func (g *Network) AddNode() int {
+	g.heads = append(g.heads, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddArc inserts a directed arc from->to with the given capacity and per-unit
+// cost, and returns an arc ID usable with ArcFlow. Capacity must be
+// non-negative; cost must be finite.
+func (g *Network) AddArc(from, to, capacity int, cost float64) (int, error) {
+	if from < 0 || from >= g.n || to < 0 || to >= g.n {
+		return 0, fmt.Errorf("flow: arc (%d,%d) endpoint out of range [0,%d)", from, to, g.n)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("flow: arc (%d,%d) has negative capacity %d", from, to, capacity)
+	}
+	if math.IsNaN(cost) || math.IsInf(cost, 0) {
+		return 0, fmt.Errorf("flow: arc (%d,%d) has invalid cost %v", from, to, cost)
+	}
+	id := len(g.arcs)
+	g.arcs = append(g.arcs, arc{to: to, cap: capacity, cost: cost})
+	g.arcs = append(g.arcs, arc{to: from, cap: 0, cost: -cost})
+	g.heads[from] = append(g.heads[from], id)
+	g.heads[to] = append(g.heads[to], id+1)
+	return id, nil
+}
+
+// ArcFlow returns the flow currently routed on the arc returned by AddArc.
+func (g *Network) ArcFlow(id int) int {
+	return g.arcs[id^1].cap
+}
+
+// Result summarizes a MinCostFlow run.
+type Result struct {
+	Flow int     // total units shipped source -> sink
+	Cost float64 // total cost of the shipped flow
+}
+
+// MinCostFlow pushes up to maxFlow units (use math.MaxInt for max-flow) from
+// s to t at minimum cost. Negative arc costs are allowed as long as the
+// network has no negative-cost cycle reachable with positive capacity.
+func (g *Network) MinCostFlow(s, t, maxFlow int) (Result, error) {
+	if s < 0 || s >= g.n || t < 0 || t >= g.n {
+		return Result{}, fmt.Errorf("flow: terminal out of range: s=%d t=%d n=%d", s, t, g.n)
+	}
+	if s == t {
+		return Result{}, fmt.Errorf("flow: source equals sink (%d)", s)
+	}
+	pot, err := g.bellmanFordPotentials(s)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	dist := make([]float64, g.n)
+	prevArc := make([]int, g.n)
+	for res.Flow < maxFlow {
+		if !g.dijkstra(s, t, pot, dist, prevArc) {
+			break // no augmenting path left
+		}
+		// Update potentials with the new distances.
+		for v := 0; v < g.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		// Bottleneck along the path.
+		push := maxFlow - res.Flow
+		for v := t; v != s; {
+			a := prevArc[v]
+			if g.arcs[a].cap < push {
+				push = g.arcs[a].cap
+			}
+			v = g.arcs[a^1].to
+		}
+		// Apply.
+		for v := t; v != s; {
+			a := prevArc[v]
+			g.arcs[a].cap -= push
+			g.arcs[a^1].cap += push
+			res.Cost += float64(push) * g.arcs[a].cost
+			v = g.arcs[a^1].to
+		}
+		res.Flow += push
+	}
+	return res, nil
+}
+
+// bellmanFordPotentials computes initial node potentials so that all reduced
+// costs become non-negative. It fails on a negative-capacity-reachable
+// negative cycle.
+func (g *Network) bellmanFordPotentials(s int) ([]float64, error) {
+	pot := make([]float64, g.n)
+	for v := range pot {
+		pot[v] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < g.n; iter++ {
+		changed := false
+		for v := 0; v < g.n; v++ {
+			if math.IsInf(pot[v], 1) {
+				continue
+			}
+			for _, id := range g.heads[v] {
+				a := g.arcs[id]
+				if a.cap > 0 && pot[v]+a.cost < pot[a.to]-1e-12 {
+					pot[a.to] = pot[v] + a.cost
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == g.n-1 {
+			return nil, fmt.Errorf("flow: negative-cost cycle detected")
+		}
+	}
+	// Unreachable nodes keep potential 0 (they can never appear on an
+	// augmenting path anyway, but Inf would poison arithmetic).
+	for v := range pot {
+		if math.IsInf(pot[v], 1) {
+			pot[v] = 0
+		}
+	}
+	return pot, nil
+}
+
+type fpqItem struct {
+	node int
+	dist float64
+}
+
+type fpq []fpqItem
+
+func (q fpq) Len() int            { return len(q) }
+func (q fpq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q fpq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *fpq) Push(x interface{}) { *q = append(*q, x.(fpqItem)) }
+func (q *fpq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// dijkstra fills dist/prevArc with reduced-cost shortest paths from s; it
+// returns false when t is unreachable in the residual network.
+func (g *Network) dijkstra(s, t int, pot, dist []float64, prevArc []int) bool {
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		prevArc[v] = -1
+	}
+	dist[s] = 0
+	q := &fpq{{node: s, dist: 0}}
+	for q.Len() > 0 {
+		it, _ := heap.Pop(q).(fpqItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		for _, id := range g.heads[it.node] {
+			a := g.arcs[id]
+			if a.cap <= 0 {
+				continue
+			}
+			rc := a.cost + pot[it.node] - pot[a.to]
+			if rc < 0 && rc > -1e-9 {
+				rc = 0 // floating-point slack from potential updates
+			}
+			if nd := it.dist + rc; nd < dist[a.to]-1e-15 {
+				dist[a.to] = nd
+				prevArc[a.to] = id
+				heap.Push(q, fpqItem{node: a.to, dist: nd})
+			}
+		}
+	}
+	return !math.IsInf(dist[t], 1)
+}

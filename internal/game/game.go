@@ -1,0 +1,316 @@
+// Package game implements the Stackelberg congestion game of Section II-E:
+// the strategy space of every network service provider is the set of
+// cloudlets plus the "stay remote" option; the cost of caching at cloudlet
+// CL_i is the affine congestion cost (α_i + β_i)·|σ_i| plus the provider's
+// congestion-free base cost. A subset of players (the coordinated providers
+// of Section III-C) can be pinned by the leader; the rest better-respond
+// selfishly.
+//
+// Affine congestion games are exact potential games (Rosenthal), so
+// best-response dynamics terminate at a pure Nash equilibrium (Lemma 3);
+// Potential exposes the potential function and the tests verify strict
+// decrease along improving moves.
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+)
+
+// Game is a service-caching congestion game over a market. Pinned players
+// never move during dynamics (they are the leader-coordinated providers).
+type Game struct {
+	Market *mec.Market
+	// Pinned[l] marks provider l as coordinated: its strategy is fixed.
+	Pinned []bool
+	// CapacityAware restricts best responses to cloudlets whose remaining
+	// compute and bandwidth capacities fit the moving provider.
+	CapacityAware bool
+	// Epsilon is the minimum strict improvement for a move (guards against
+	// floating-point livelock).
+	Epsilon float64
+}
+
+// New returns a game over the market with no pinned players, capacity
+// awareness enabled, and a conservative improvement threshold.
+func New(m *mec.Market) *Game {
+	return &Game{
+		Market:        m,
+		Pinned:        make([]bool, len(m.Providers)),
+		CapacityAware: true,
+		Epsilon:       1e-9,
+	}
+}
+
+// resourceLoads tracks per-cloudlet usage incrementally during dynamics.
+type resourceLoads struct {
+	count     []int
+	compute   []float64
+	bandwidth []float64
+}
+
+func (g *Game) newLoads(pl mec.Placement) *resourceLoads {
+	nc := g.Market.Net.NumCloudlets()
+	rl := &resourceLoads{
+		count:     make([]int, nc),
+		compute:   make([]float64, nc),
+		bandwidth: make([]float64, nc),
+	}
+	for l, s := range pl {
+		if s != mec.Remote {
+			rl.add(g.Market, l, s)
+		}
+	}
+	return rl
+}
+
+func (rl *resourceLoads) add(m *mec.Market, l, i int) {
+	p := &m.Providers[l]
+	rl.count[i]++
+	rl.compute[i] += p.ComputeDemand()
+	rl.bandwidth[i] += p.BandwidthDemand()
+}
+
+func (rl *resourceLoads) remove(m *mec.Market, l, i int) {
+	p := &m.Providers[l]
+	rl.count[i]--
+	rl.compute[i] -= p.ComputeDemand()
+	rl.bandwidth[i] -= p.BandwidthDemand()
+}
+
+// fits reports whether provider l fits in cloudlet i given current usage
+// (with l already removed from the loads).
+func (g *Game) fits(rl *resourceLoads, l, i int) bool {
+	if !g.CapacityAware {
+		return true
+	}
+	p := &g.Market.Providers[l]
+	cl := &g.Market.Net.Cloudlets[i]
+	return rl.compute[i]+p.ComputeDemand() <= cl.ComputeCap+1e-9 &&
+		rl.bandwidth[i]+p.BandwidthDemand() <= cl.BandwidthCap+1e-9
+}
+
+// BestResponse returns provider l's cost-minimizing strategy against the
+// rest of pl, and its cost there. The current strategy is always a
+// candidate, so the result never increases l's cost.
+func (g *Game) BestResponse(pl mec.Placement, l int) (int, float64) {
+	rl := g.newLoads(pl)
+	return g.bestResponseLoads(rl, pl, l)
+}
+
+// bestResponseLoads is the incremental core: rl must reflect pl exactly.
+func (g *Game) bestResponseLoads(rl *resourceLoads, pl mec.Placement, l int) (int, float64) {
+	cur := pl[l]
+	if cur != mec.Remote {
+		rl.remove(g.Market, l, cur)
+		defer rl.add(g.Market, l, cur)
+	}
+	bestS := mec.Remote
+	bestC := g.Market.RemoteCost(l)
+	for i := 0; i < g.Market.Net.NumCloudlets(); i++ {
+		if !g.fits(rl, l, i) {
+			continue
+		}
+		// Joining i makes its load count[i]+1 (including l).
+		c := g.Market.CostAt(l, i, rl.count[i]+1)
+		if c < bestC-1e-15 {
+			bestS, bestC = i, c
+		}
+	}
+	return bestS, bestC
+}
+
+// Potential is the Rosenthal potential for singleton congestion games with
+// per-resource cost (α_i+β_i)·Level(k):
+//
+//	Φ(σ) = Σ_i (α_i+β_i)·Σ_{j=1..load_i} Level(j) + Σ_l base_l(σ_l)
+//
+// For the paper's proportional model (Level(k) = k) the inner sum is the
+// familiar load·(load+1)/2. Every strictly improving unilateral move
+// strictly decreases Φ, which is the existence proof behind Lemma 3 — and
+// the reason NE existence survives any non-decreasing congestion model.
+func (g *Game) Potential(pl mec.Placement) float64 {
+	loads := g.Market.Loads(pl)
+	phi := 0.0
+	for i, k := range loads {
+		sum := 0.0
+		for j := 1; j <= k; j++ {
+			sum += g.Market.CongestionLevel(j)
+		}
+		phi += g.Market.CongestionCoeff(i) * sum
+	}
+	for l, s := range pl {
+		if s == mec.Remote {
+			phi += g.Market.RemoteCost(l)
+		} else {
+			phi += g.Market.BaseCost(l, s)
+		}
+	}
+	return phi
+}
+
+// IsNash reports whether no unpinned player can strictly improve by more
+// than Epsilon.
+func (g *Game) IsNash(pl mec.Placement) bool {
+	rl := g.newLoads(pl)
+	for l := range g.Market.Providers {
+		if g.Pinned[l] {
+			continue
+		}
+		cur := g.playerCost(rl, pl, l)
+		_, best := g.bestResponseLoads(rl, pl, l)
+		if best < cur-g.Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// playerCost evaluates provider l's cost under pl using the load cache.
+func (g *Game) playerCost(rl *resourceLoads, pl mec.Placement, l int) float64 {
+	s := pl[l]
+	if s == mec.Remote {
+		return g.Market.RemoteCost(l)
+	}
+	return g.Market.CostAt(l, s, rl.count[s])
+}
+
+// DynamicsResult reports a best-response run.
+type DynamicsResult struct {
+	Placement mec.Placement
+	Rounds    int  // full passes over the players
+	Moves     int  // strategy changes applied
+	Converged bool // true if a full pass produced no move
+}
+
+// BestResponseDynamics runs randomized round-robin better-response dynamics
+// from init until no unpinned player can improve, and returns the reached
+// placement. maxRounds bounds the number of full passes (the exact
+// potential guarantees termination, the bound is a defensive backstop); a
+// non-convergent run returns an error.
+func (g *Game) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds int) (DynamicsResult, error) {
+	if err := g.Market.Validate(init); err != nil {
+		return DynamicsResult{}, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10000
+	}
+	pl := init.Clone()
+	rl := g.newLoads(pl)
+	res := DynamicsResult{Placement: pl}
+
+	free := make([]int, 0, len(pl))
+	for l := range g.Market.Providers {
+		if !g.Pinned[l] {
+			free = append(free, l)
+		}
+	}
+	if len(free) == 0 {
+		res.Converged = true
+		return res, nil
+	}
+	order := append([]int(nil), free...)
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		if r != nil {
+			r.Shuffle(order)
+		}
+		moved := false
+		for _, l := range order {
+			cur := g.playerCost(rl, pl, l)
+			s, c := g.bestResponseLoads(rl, pl, l)
+			if c < cur-g.Epsilon && s != pl[l] {
+				if pl[l] != mec.Remote {
+					rl.remove(g.Market, l, pl[l])
+				}
+				if s != mec.Remote {
+					rl.add(g.Market, l, s)
+				}
+				pl[l] = s
+				res.Moves++
+				moved = true
+			}
+		}
+		if !moved {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("game: best-response dynamics did not converge within %d rounds", maxRounds)
+}
+
+// WorstNashSocialCost estimates the worst pure NE reachable from random
+// initial placements: it runs dynamics from `restarts` random starts and
+// returns the placement with the highest social cost among the reached
+// equilibria. base supplies the strategies of pinned players (they are
+// copied into every start); unpinned players are randomized. Used for the
+// empirical PoA (Theorem 1).
+func (g *Game) WorstNashSocialCost(base mec.Placement, r *rng.Source, restarts, maxRounds int) (mec.Placement, float64, error) {
+	return g.extremeNash(base, r, restarts, maxRounds, func(candidate, incumbent float64) bool {
+		return candidate > incumbent
+	}, math.Inf(-1))
+}
+
+// BestNashSocialCost is the mirror of WorstNashSocialCost: the cheapest
+// equilibrium found, used for the empirical Price of Stability (the gap
+// between the best equilibrium a coordinator could steer the market into
+// and the social optimum).
+func (g *Game) BestNashSocialCost(base mec.Placement, r *rng.Source, restarts, maxRounds int) (mec.Placement, float64, error) {
+	return g.extremeNash(base, r, restarts, maxRounds, func(candidate, incumbent float64) bool {
+		return candidate < incumbent
+	}, math.Inf(1))
+}
+
+// extremeNash runs randomized-restart dynamics and keeps the equilibrium
+// preferred by better().
+func (g *Game) extremeNash(base mec.Placement, r *rng.Source, restarts, maxRounds int, better func(candidate, incumbent float64) bool, init0 float64) (mec.Placement, float64, error) {
+	if err := g.Market.Validate(base); err != nil {
+		return nil, 0, err
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	var bestPl mec.Placement
+	best := init0
+	nc := g.Market.Net.NumCloudlets()
+	for t := 0; t < restarts; t++ {
+		init := base.Clone()
+		for l := range init {
+			if g.Pinned[l] {
+				continue
+			}
+			// Random strategy: Remote with probability 1/(nc+1).
+			k := r.Intn(nc + 1)
+			if k == nc {
+				init[l] = mec.Remote
+			} else {
+				init[l] = k
+			}
+		}
+		res, err := g.BestResponseDynamics(init, r, maxRounds)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sc := g.Market.SocialCost(res.Placement); better(sc, best) {
+			best = sc
+			bestPl = res.Placement
+		}
+	}
+	return bestPl, best, nil
+}
+
+// EmpiricalPoS measures the realized Price of Stability: the best Nash
+// social cost over restarts divided by the reference optimum.
+func (g *Game) EmpiricalPoS(base mec.Placement, optCost float64, restarts, maxRounds int, seed uint64) (float64, error) {
+	if optCost <= 0 {
+		return 0, fmt.Errorf("game: non-positive reference optimum %v", optCost)
+	}
+	_, best, err := g.BestNashSocialCost(base, rng.New(seed), restarts, maxRounds)
+	if err != nil {
+		return 0, err
+	}
+	return best / optCost, nil
+}

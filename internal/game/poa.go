@@ -1,0 +1,100 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+)
+
+// ExactOptimum computes the social optimum by exhaustive enumeration over
+// all capacity-feasible strategy profiles. It is exponential in the number
+// of providers and intended for small markets in tests and PoA studies; it
+// returns an error when the search space exceeds maxProfiles.
+func ExactOptimum(m *mec.Market, maxProfiles int) (mec.Placement, float64, error) {
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	strategies := nc + 1 // cloudlets plus Remote
+	space := 1.0
+	for i := 0; i < n; i++ {
+		space *= float64(strategies)
+		if space > float64(maxProfiles) {
+			return nil, 0, fmt.Errorf("game: %d^%d profiles exceed limit %d", strategies, n, maxProfiles)
+		}
+	}
+
+	pl := make(mec.Placement, n)
+	best := math.Inf(1)
+	var bestPl mec.Placement
+
+	compute := make([]float64, nc)
+	bandwidth := make([]float64, nc)
+	var rec func(l int)
+	rec = func(l int) {
+		if l == n {
+			if sc := m.SocialCost(pl); sc < best {
+				best = sc
+				bestPl = pl.Clone()
+			}
+			return
+		}
+		p := &m.Providers[l]
+		pl[l] = mec.Remote
+		rec(l + 1)
+		for i := 0; i < nc; i++ {
+			cl := &m.Net.Cloudlets[i]
+			if compute[i]+p.ComputeDemand() > cl.ComputeCap+1e-9 ||
+				bandwidth[i]+p.BandwidthDemand() > cl.BandwidthCap+1e-9 {
+				continue
+			}
+			pl[l] = i
+			compute[i] += p.ComputeDemand()
+			bandwidth[i] += p.BandwidthDemand()
+			rec(l + 1)
+			compute[i] -= p.ComputeDemand()
+			bandwidth[i] -= p.BandwidthDemand()
+			pl[l] = mec.Remote
+		}
+	}
+	rec(0)
+	if bestPl == nil {
+		return nil, 0, fmt.Errorf("game: no feasible profile found")
+	}
+	return bestPl, best, nil
+}
+
+// PoABound evaluates Theorem 1's Price-of-Anarchy bound
+//
+//	PoA <= (2δκ / (1-v)) · (1/(4v) + 1 - ξ)
+//
+// minimized numerically over v ∈ (0, 1). ξ is the coordinated fraction.
+func PoABound(delta, kappa, xi float64) float64 {
+	if delta <= 0 || kappa <= 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	// The expression is smooth with a single interior minimum; a fine grid
+	// with local refinement is plenty.
+	for v := 0.001; v < 1; v += 0.001 {
+		f := (2 * delta * kappa / (1 - v)) * (1/(4*v) + 1 - xi)
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// EmpiricalPoA measures the realized PoA of a game: the worst Nash social
+// cost (over restarts) divided by the reference optimum optCost. The caller
+// chooses the reference — exact for small games, the Appro bound at scale.
+func (g *Game) EmpiricalPoA(base mec.Placement, optCost float64, restarts, maxRounds int, seed uint64) (float64, error) {
+	if optCost <= 0 {
+		return 0, fmt.Errorf("game: non-positive reference optimum %v", optCost)
+	}
+	_, worst, err := g.WorstNashSocialCost(base, rng.New(seed), restarts, maxRounds)
+	if err != nil {
+		return 0, err
+	}
+	return worst / optCost, nil
+}

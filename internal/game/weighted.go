@@ -1,0 +1,273 @@
+package game
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+)
+
+// WeightedGame is the asymmetric variant of the service-caching game. The
+// paper assumes a symmetric game "without loss of generality"; here each
+// provider carries a weight (by default its dominant resource demand,
+// normalized to mean 1) and a cloudlet's congestion charge scales with the
+// total tenant *weight* rather than the tenant count:
+//
+//	c_l(i) = (α_i + β_i)·W_i + base_{l,i},  W_i = Σ_{k cached at i} w_k
+//
+// Weighted singleton games with affine congestion admit the weighted
+// potential Φ = Σ_i (α_i+β_i)/2·(W_i² + Σ_{l at i} w_l²) + Σ_l w_l·base_l,
+// so best-response dynamics still terminate at a pure Nash equilibrium.
+// Only the linear congestion model supports this variant.
+type WeightedGame struct {
+	Market *mec.Market
+	// Weights holds one positive weight per provider.
+	Weights []float64
+	// Pinned marks coordinated providers that never move.
+	Pinned []bool
+	// CapacityAware restricts best responses to cloudlets with room.
+	CapacityAware bool
+	// Epsilon is the minimum strict improvement for a move.
+	Epsilon float64
+}
+
+// NewWeighted builds the asymmetric game with demand-proportional weights
+// normalized to mean 1 (so costs stay on the same scale as the symmetric
+// game). It fails if the market uses a non-linear congestion model.
+func NewWeighted(m *mec.Market) (*WeightedGame, error) {
+	if name := m.CongestionModelInUse().Name(); name != "linear" {
+		return nil, fmt.Errorf("game: weighted variant requires the linear congestion model, market uses %s", name)
+	}
+	n := len(m.Providers)
+	weights := make([]float64, n)
+	sum := 0.0
+	for l := range m.Providers {
+		p := &m.Providers[l]
+		weights[l] = math.Max(p.ComputeDemand(), p.BandwidthDemand())
+		sum += weights[l]
+	}
+	mean := sum / float64(n)
+	for l := range weights {
+		weights[l] /= mean
+	}
+	return &WeightedGame{
+		Market:        m,
+		Weights:       weights,
+		Pinned:        make([]bool, n),
+		CapacityAware: true,
+		Epsilon:       1e-9,
+	}, nil
+}
+
+// SetWeights overrides the default weights; all must be positive.
+func (g *WeightedGame) SetWeights(w []float64) error {
+	if len(w) != len(g.Market.Providers) {
+		return fmt.Errorf("game: %d weights for %d providers", len(w), len(g.Market.Providers))
+	}
+	for l, v := range w {
+		if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("game: invalid weight %v for provider %d", v, l)
+		}
+	}
+	g.Weights = append([]float64(nil), w...)
+	return nil
+}
+
+// weightedLoads tracks total tenant weight and raw resource usage.
+type weightedLoads struct {
+	weight    []float64
+	compute   []float64
+	bandwidth []float64
+}
+
+func (g *WeightedGame) newLoads(pl mec.Placement) *weightedLoads {
+	nc := g.Market.Net.NumCloudlets()
+	wl := &weightedLoads{
+		weight:    make([]float64, nc),
+		compute:   make([]float64, nc),
+		bandwidth: make([]float64, nc),
+	}
+	for l, s := range pl {
+		if s != mec.Remote {
+			wl.add(g, l, s)
+		}
+	}
+	return wl
+}
+
+func (wl *weightedLoads) add(g *WeightedGame, l, i int) {
+	p := &g.Market.Providers[l]
+	wl.weight[i] += g.Weights[l]
+	wl.compute[i] += p.ComputeDemand()
+	wl.bandwidth[i] += p.BandwidthDemand()
+}
+
+func (wl *weightedLoads) remove(g *WeightedGame, l, i int) {
+	p := &g.Market.Providers[l]
+	wl.weight[i] -= g.Weights[l]
+	wl.compute[i] -= p.ComputeDemand()
+	wl.bandwidth[i] -= p.BandwidthDemand()
+}
+
+func (g *WeightedGame) fits(wl *weightedLoads, l, i int) bool {
+	if !g.CapacityAware {
+		return true
+	}
+	p := &g.Market.Providers[l]
+	cl := &g.Market.Net.Cloudlets[i]
+	return wl.compute[i]+p.ComputeDemand() <= cl.ComputeCap+1e-9 &&
+		wl.bandwidth[i]+p.BandwidthDemand() <= cl.BandwidthCap+1e-9
+}
+
+// PlayerCost returns provider l's cost under pl in the weighted game.
+func (g *WeightedGame) PlayerCost(pl mec.Placement, l int) float64 {
+	s := pl[l]
+	if s == mec.Remote {
+		return g.Market.RemoteCost(l)
+	}
+	wl := g.newLoads(pl)
+	return g.Market.CongestionCoeff(s)*wl.weight[s] + g.Market.BaseCost(l, s)
+}
+
+// playerCostLoads evaluates with precomputed loads (pl[l] included).
+func (g *WeightedGame) playerCostLoads(wl *weightedLoads, pl mec.Placement, l int) float64 {
+	s := pl[l]
+	if s == mec.Remote {
+		return g.Market.RemoteCost(l)
+	}
+	return g.Market.CongestionCoeff(s)*wl.weight[s] + g.Market.BaseCost(l, s)
+}
+
+// BestResponse returns l's cost-minimizing strategy against the rest of pl.
+func (g *WeightedGame) BestResponse(pl mec.Placement, l int) (int, float64) {
+	wl := g.newLoads(pl)
+	return g.bestResponseLoads(wl, pl, l)
+}
+
+func (g *WeightedGame) bestResponseLoads(wl *weightedLoads, pl mec.Placement, l int) (int, float64) {
+	cur := pl[l]
+	if cur != mec.Remote {
+		wl.remove(g, l, cur)
+		defer wl.add(g, l, cur)
+	}
+	bestS := mec.Remote
+	bestC := g.Market.RemoteCost(l)
+	for i := 0; i < g.Market.Net.NumCloudlets(); i++ {
+		if !g.fits(wl, l, i) {
+			continue
+		}
+		c := g.Market.CongestionCoeff(i)*(wl.weight[i]+g.Weights[l]) + g.Market.BaseCost(l, i)
+		if c < bestC-1e-15 {
+			bestS, bestC = i, c
+		}
+	}
+	return bestS, bestC
+}
+
+// Potential is the weighted potential: a unilateral move by provider l
+// changes it by exactly w_l times l's cost change.
+func (g *WeightedGame) Potential(pl mec.Placement) float64 {
+	nc := g.Market.Net.NumCloudlets()
+	wSum := make([]float64, nc)
+	wSq := make([]float64, nc)
+	phi := 0.0
+	for l, s := range pl {
+		if s == mec.Remote {
+			phi += g.Weights[l] * g.Market.RemoteCost(l)
+			continue
+		}
+		wSum[s] += g.Weights[l]
+		wSq[s] += g.Weights[l] * g.Weights[l]
+		phi += g.Weights[l] * g.Market.BaseCost(l, s)
+	}
+	for i := 0; i < nc; i++ {
+		phi += g.Market.CongestionCoeff(i) / 2 * (wSum[i]*wSum[i] + wSq[i])
+	}
+	return phi
+}
+
+// IsNash reports whether no unpinned player can improve by more than
+// Epsilon.
+func (g *WeightedGame) IsNash(pl mec.Placement) bool {
+	wl := g.newLoads(pl)
+	for l := range g.Market.Providers {
+		if g.Pinned[l] {
+			continue
+		}
+		cur := g.playerCostLoads(wl, pl, l)
+		if _, best := g.bestResponseLoads(wl, pl, l); best < cur-g.Epsilon {
+			return false
+		}
+	}
+	return true
+}
+
+// BestResponseDynamics runs randomized round-robin better responses until
+// no unpinned player improves; the weighted potential guarantees
+// termination.
+func (g *WeightedGame) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds int) (DynamicsResult, error) {
+	if err := g.Market.Validate(init); err != nil {
+		return DynamicsResult{}, err
+	}
+	if maxRounds <= 0 {
+		maxRounds = 10000
+	}
+	pl := init.Clone()
+	wl := g.newLoads(pl)
+	res := DynamicsResult{Placement: pl}
+
+	free := make([]int, 0, len(pl))
+	for l := range g.Market.Providers {
+		if !g.Pinned[l] {
+			free = append(free, l)
+		}
+	}
+	if len(free) == 0 {
+		res.Converged = true
+		return res, nil
+	}
+	order := append([]int(nil), free...)
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		if r != nil {
+			r.Shuffle(order)
+		}
+		moved := false
+		for _, l := range order {
+			cur := g.playerCostLoads(wl, pl, l)
+			s, c := g.bestResponseLoads(wl, pl, l)
+			if c < cur-g.Epsilon && s != pl[l] {
+				if pl[l] != mec.Remote {
+					wl.remove(g, l, pl[l])
+				}
+				if s != mec.Remote {
+					wl.add(g, l, s)
+				}
+				pl[l] = s
+				res.Moves++
+				moved = true
+			}
+		}
+		if !moved {
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("game: weighted dynamics did not converge within %d rounds", maxRounds)
+}
+
+// SocialCost is the weighted game's total cost: each cached provider pays
+// the congestion of its cloudlet's total weight plus its base cost.
+func (g *WeightedGame) SocialCost(pl mec.Placement) float64 {
+	wl := g.newLoads(pl)
+	total := 0.0
+	for l, s := range pl {
+		if s == mec.Remote {
+			total += g.Market.RemoteCost(l)
+		} else {
+			total += g.Market.CongestionCoeff(s)*wl.weight[s] + g.Market.BaseCost(l, s)
+		}
+	}
+	return total
+}

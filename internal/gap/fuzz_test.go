@@ -1,0 +1,84 @@
+package gap
+
+import (
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+// FuzzShmoysTardos drives the LP-rounding pipeline with randomized feasible
+// instances: it must terminate without panicking, assign every item, and
+// respect the classical guarantees (cost <= LP bound on the primary path,
+// load <= cap + max item weight).
+func FuzzShmoysTardos(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(3))
+	f.Add(uint64(99), uint8(8), uint8(4))
+	f.Add(uint64(1<<40), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint8) {
+		r := rng.New(seed)
+		n := 1 + int(nRaw%8)
+		m := 2 + int(mRaw%4)
+		ins := &Instance{
+			Cost:   make([][]float64, n),
+			Weight: make([][]float64, n),
+			Cap:    make([]float64, m),
+		}
+		for j := 0; j < n; j++ {
+			ins.Cost[j] = make([]float64, m)
+			ins.Weight[j] = make([]float64, m)
+			for i := 0; i < m; i++ {
+				ins.Cost[j][i] = r.FloatRange(0, 20)
+				ins.Weight[j][i] = r.FloatRange(0.5, 5)
+			}
+		}
+		for i := 0; i < m; i++ {
+			// Generous capacities keep the LP feasible; tight-capacity
+			// infeasibility is exercised separately in unit tests.
+			ins.Cap[i] = r.FloatRange(5, 10) * float64(n) / float64(m) * 2
+		}
+		// An item heavier than every bin's capacity makes the instance
+		// genuinely infeasible after oversize pruning; the solver must
+		// report that as an error, not panic.
+		feasible := true
+		for j := 0; j < n && feasible; j++ {
+			fits := false
+			for i := 0; i < m; i++ {
+				if ins.Weight[j][i] <= ins.Cap[i] {
+					fits = true
+					break
+				}
+			}
+			feasible = fits
+		}
+		sol, err := SolveShmoysTardos(ins)
+		if !feasible {
+			if err == nil {
+				t.Fatal("infeasible instance solved")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ShmoysTardos failed on feasible instance: %v", err)
+		}
+		if len(sol.Bin) != n {
+			t.Fatalf("assigned %d of %d items", len(sol.Bin), n)
+		}
+		if _, err := ins.CostOf(sol.Bin); err != nil {
+			t.Fatalf("invalid assignment: %v", err)
+		}
+		if err := ins.CheckFeasible(sol.Bin, ins.MaxWeight()); err != nil {
+			t.Fatalf("additive capacity guarantee violated: %v", err)
+		}
+		lb, err := LPLowerBound(ins)
+		if err != nil {
+			t.Fatalf("LP bound: %v", err)
+		}
+		if sol.Cost > lb+1e-6 {
+			// The greedy fallback path may exceed the LP bound but must
+			// then respect exact capacities.
+			if err := ins.CheckFeasible(sol.Bin, 0); err != nil {
+				t.Fatalf("cost %v above LP bound %v and capacities violated: %v", sol.Cost, lb, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/flow"
+)
+
+// SolveTransport solves the slotted special case of GAP exactly via
+// min-cost flow: every item occupies exactly one slot, and bin i offers
+// slots[i] slots. This is the shape produced by the paper's
+// virtual-cloudlet reduction ("each virtual cloudlet being restricted to be
+// able to only cache a single service instance"), where cloudlet CL_i is
+// split into n_i virtual cloudlets (Eq. 7) and each virtual cloudlet hosts
+// one service.
+//
+// Because the underlying transportation LP has an integral optimum, the
+// returned assignment is optimal for the slotted instance — on this shape
+// the Shmoys-Tardos rounding would return the same cost, so this is the
+// scalable fast path used by the large experiments.
+func SolveTransport(cost [][]float64, slots []int) (*Assignment, error) {
+	n := len(cost)
+	m := len(slots)
+	if n == 0 {
+		return &Assignment{}, nil
+	}
+	totalSlots := 0
+	for i, s := range slots {
+		if s < 0 {
+			return nil, fmt.Errorf("gap: bin %d has negative slot count %d", i, s)
+		}
+		totalSlots += s
+	}
+	if totalSlots < n {
+		return nil, fmt.Errorf("gap: %d items exceed %d total slots", n, totalSlots)
+	}
+	for j, row := range cost {
+		if len(row) != m {
+			return nil, fmt.Errorf("gap: item %d has %d costs, want %d", j, len(row), m)
+		}
+	}
+
+	// Node layout: [0,n) items, [n,n+m) bins, n+m source, n+m+1 sink.
+	g := flow.NewNetwork(n + m + 2)
+	src, sink := n+m, n+m+1
+	for j := 0; j < n; j++ {
+		if _, err := g.AddArc(src, j, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < m; i++ {
+		if slots[i] == 0 {
+			continue
+		}
+		if _, err := g.AddArc(n+i, sink, slots[i], 0); err != nil {
+			return nil, err
+		}
+	}
+	arcID := make([][]int, n)
+	for j := 0; j < n; j++ {
+		arcID[j] = make([]int, m)
+		for i := 0; i < m; i++ {
+			arcID[j][i] = -1
+			c := cost[j][i]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if math.IsNaN(c) || math.IsInf(c, -1) {
+				return nil, fmt.Errorf("gap: invalid cost at item %d bin %d: %v", j, i, c)
+			}
+			id, err := g.AddArc(j, n+i, 1, c)
+			if err != nil {
+				return nil, err
+			}
+			arcID[j][i] = id
+		}
+	}
+	res, err := g.MinCostFlow(src, sink, n)
+	if err != nil {
+		return nil, err
+	}
+	if res.Flow < n {
+		return nil, fmt.Errorf("gap: only %d of %d items are placeable", res.Flow, n)
+	}
+	bin := make([]int, n)
+	for j := 0; j < n; j++ {
+		bin[j] = -1
+		for i := 0; i < m; i++ {
+			if arcID[j][i] >= 0 && g.ArcFlow(arcID[j][i]) > 0 {
+				bin[j] = i
+				break
+			}
+		}
+		if bin[j] < 0 {
+			return nil, fmt.Errorf("gap: item %d unassigned despite full flow", j)
+		}
+	}
+	return &Assignment{Bin: bin, Cost: res.Cost}, nil
+}
+
+// SolveCongestionTransport solves the slotted assignment with convex
+// congestion: placing the k-th item (k = 1..slots[i]) into bin i costs
+// base[item][i] + marginal(i, k). When marginal(i, ·) is non-decreasing the
+// returned assignment is the exact optimum of the congestion-aware slotted
+// problem: the min-cost flow fills each bin's cheapest marginal slots
+// first, so the objective telescopes to the true congestion total.
+//
+// This is how Appro keeps the paper's virtual-cloudlet reduction while
+// pricing each virtual cloudlet of CL_i by the congestion it adds — the
+// paper's own observation that the derivation "relies only on the
+// non-decreasing of cost with congestion levels".
+func SolveCongestionTransport(base [][]float64, slots []int, marginal func(bin, k int) float64) (*Assignment, error) {
+	n := len(base)
+	m := len(slots)
+	if n == 0 {
+		return &Assignment{}, nil
+	}
+	if marginal == nil {
+		marginal = func(int, int) float64 { return 0 }
+	}
+	for j, row := range base {
+		if len(row) != m {
+			return nil, fmt.Errorf("gap: item %d has %d costs, want %d", j, len(row), m)
+		}
+	}
+	totalSlots := 0
+	for i, s := range slots {
+		if s < 0 {
+			return nil, fmt.Errorf("gap: bin %d has negative slot count %d", i, s)
+		}
+		totalSlots += s
+	}
+	if totalSlots < n {
+		return nil, fmt.Errorf("gap: %d items exceed %d total slots", n, totalSlots)
+	}
+
+	// Node layout: [0,n) items, [n,n+m) bins, then source, sink.
+	g := flow.NewNetwork(n + m + 2)
+	src, sink := n+m, n+m+1
+	for j := 0; j < n; j++ {
+		if _, err := g.AddArc(src, j, 1, 0); err != nil {
+			return nil, err
+		}
+	}
+	// Convex congestion chain: one unit arc per slot with the marginal cost
+	// of that occupancy level. Marginal costs must be non-decreasing in k
+	// for the decomposition to be exact; validate defensively.
+	for i := 0; i < m; i++ {
+		prev := math.Inf(-1)
+		for k := 1; k <= slots[i]; k++ {
+			mc := marginal(i, k)
+			if mc < prev-1e-9 {
+				return nil, fmt.Errorf("gap: marginal cost of bin %d decreases at k=%d (%v < %v)", i, k, mc, prev)
+			}
+			prev = mc
+			if _, err := g.AddArc(n+i, sink, 1, mc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	arcID := make([][]int, n)
+	for j := 0; j < n; j++ {
+		arcID[j] = make([]int, m)
+		for i := 0; i < m; i++ {
+			arcID[j][i] = -1
+			c := base[j][i]
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if math.IsNaN(c) || math.IsInf(c, -1) {
+				return nil, fmt.Errorf("gap: invalid base cost at item %d bin %d: %v", j, i, c)
+			}
+			id, err := g.AddArc(j, n+i, 1, c)
+			if err != nil {
+				return nil, err
+			}
+			arcID[j][i] = id
+		}
+	}
+	res, err := g.MinCostFlow(src, sink, n)
+	if err != nil {
+		return nil, err
+	}
+	if res.Flow < n {
+		return nil, fmt.Errorf("gap: only %d of %d items are placeable", res.Flow, n)
+	}
+	bin := make([]int, n)
+	for j := 0; j < n; j++ {
+		bin[j] = -1
+		for i := 0; i < m; i++ {
+			if arcID[j][i] >= 0 && g.ArcFlow(arcID[j][i]) > 0 {
+				bin[j] = i
+				break
+			}
+		}
+		if bin[j] < 0 {
+			return nil, fmt.Errorf("gap: item %d unassigned despite full flow", j)
+		}
+	}
+	return &Assignment{Bin: bin, Cost: res.Cost}, nil
+}

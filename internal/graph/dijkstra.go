@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Inf is the distance reported for unreachable nodes.
+var Inf = math.Inf(1)
+
+// pqItem is an entry in the Dijkstra priority queue.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPaths holds the result of a single-source Dijkstra run.
+type ShortestPaths struct {
+	Source int
+	Dist   []float64 // Dist[v] is the weighted distance src->v, Inf if unreachable.
+	Prev   []int     // Prev[v] is v's predecessor on a shortest path, -1 for src/unreachable.
+}
+
+// Dijkstra computes single-source shortest paths from src over non-negative
+// edge weights (lazy-deletion binary heap, O((n+m) log n)).
+func (g *Graph) Dijkstra(src int) ShortestPaths {
+	n := len(g.adj)
+	sp := ShortestPaths{
+		Source: src,
+		Dist:   make([]float64, n),
+		Prev:   make([]int, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = Inf
+		sp.Prev[i] = -1
+	}
+	sp.Dist[src] = 0
+	q := &pq{{node: src, dist: 0}}
+	for q.Len() > 0 {
+		it, _ := heap.Pop(q).(pqItem)
+		if it.dist > sp.Dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.node] {
+			if nd := it.dist + e.Weight; nd < sp.Dist[e.To] {
+				sp.Dist[e.To] = nd
+				sp.Prev[e.To] = it.node
+				heap.Push(q, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return sp
+}
+
+// PathTo reconstructs the shortest path from the source to dst, inclusive of
+// both endpoints. It returns nil if dst is unreachable.
+func (sp ShortestPaths) PathTo(dst int) []int {
+	if math.IsInf(sp.Dist[dst], 1) {
+		return nil
+	}
+	var rev []int
+	for v := dst; v != -1; v = sp.Prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AllPairs computes shortest-path distances between every pair of nodes by
+// running Dijkstra from each source. The result is row-major: dist[u][v].
+func (g *Graph) AllPairs() [][]float64 {
+	n := len(g.adj)
+	dist := make([][]float64, n)
+	for u := 0; u < n; u++ {
+		dist[u] = g.Dijkstra(u).Dist
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum finite shortest-path distance from src.
+func (g *Graph) Eccentricity(src int) float64 {
+	sp := g.Dijkstra(src)
+	ecc := 0.0
+	for _, d := range sp.Dist {
+		if !math.IsInf(d, 1) && d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

@@ -1,0 +1,77 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+// FuzzSolve drives the simplex with randomized LPs derived from the fuzz
+// input: whatever the instance, Solve must terminate without panicking, and
+// an Optimal result must be primal-feasible with duals satisfying strong
+// duality.
+func FuzzSolve(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(3))
+	f.Add(uint64(42), uint8(1), uint8(5))
+	f.Add(uint64(1<<60), uint8(6), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw uint8) {
+		r := rng.New(seed)
+		n := 1 + int(nRaw%6)
+		m := 1 + int(mRaw%6)
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = r.FloatRange(-10, 10)
+		}
+		if err := p.SetObjective(obj); err != nil {
+			t.Fatal(err)
+		}
+		var rhs []float64
+		var rels []Relation
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = r.FloatRange(-5, 5)
+			}
+			rel := []Relation{LE, EQ, GE}[r.Intn(3)]
+			b := r.FloatRange(-20, 20)
+			if err := p.AddConstraint(row, rel, b); err != nil {
+				t.Fatal(err)
+			}
+			rhs = append(rhs, b)
+			rels = append(rels, rel)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			// Infeasible and unbounded are legitimate outcomes; pivot-limit
+			// failures would also land here and are acceptable for fuzzed
+			// degenerate inputs, as long as nothing panicked.
+			return
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("nil error with status %v", sol.Status)
+		}
+		if !feasible(p, sol.X) {
+			t.Fatalf("optimal solution infeasible: %v", sol.X)
+		}
+		dualObj := 0.0
+		for i, y := range sol.Duals {
+			dualObj += rhs[i] * y
+			switch rels[i] {
+			case LE:
+				if y > 1e-6 {
+					t.Fatalf("LE dual %d positive: %v", i, y)
+				}
+			case GE:
+				if y < -1e-6 {
+					t.Fatalf("GE dual %d negative: %v", i, y)
+				}
+			}
+		}
+		scale := math.Max(1, math.Abs(sol.Objective))
+		if math.Abs(dualObj-sol.Objective) > 1e-5*scale {
+			t.Fatalf("strong duality violated: dual %v primal %v", dualObj, sol.Objective)
+		}
+	})
+}

@@ -1,0 +1,308 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [decision vars | slack/surplus vars | artificial vars]; each row also has
+// a right-hand side. The reduced-cost row is stored separately in cost /
+// objVal.
+type tableau struct {
+	rows           [][]float64 // m x totalVars coefficient matrix (basis-reduced)
+	rhs            []float64   // m right-hand sides (always >= 0 after pivoting)
+	cost           []float64   // reduced costs, length totalVars
+	objVal         float64     // negated objective of the current basic solution
+	basis          []int       // basis[r] = variable basic in row r
+	initCol        []int       // initCol[r] = the identity column row r started with
+	rowSign        []float64   // +1, or -1 when the input row was negated (rhs < 0)
+	numDecision    int
+	numSlack       int
+	numArtificials int
+	artStart       int // first artificial column
+	maxPivots      int
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.constraints)
+	n := p.numVars
+
+	// Count slack/surplus and artificial columns.
+	numSlack, numArt := 0, 0
+	for _, c := range p.constraints {
+		rel, rhs := c.rel, c.rhs
+		if rhs < 0 { // row will be negated; the relation flips
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+
+	total := n + numSlack + numArt
+	t := &tableau{
+		rows:           make([][]float64, m),
+		rhs:            make([]float64, m),
+		cost:           make([]float64, total),
+		basis:          make([]int, m),
+		initCol:        make([]int, m),
+		rowSign:        make([]float64, m),
+		numDecision:    n,
+		numSlack:       numSlack,
+		numArtificials: numArt,
+		artStart:       n + numSlack,
+		maxPivots:      20000 + 200*(m+total),
+	}
+
+	slackCol := n
+	artCol := t.artStart
+	for r, c := range p.constraints {
+		row := make([]float64, total)
+		rhs := c.rhs
+		rel := c.rel
+		sign := 1.0
+		if rhs < 0 {
+			sign = -1
+			rhs = -rhs
+			rel = flip(rel)
+		}
+		for j, v := range c.coeffs {
+			row[j] = sign * v
+		}
+		switch rel {
+		case LE:
+			row[slackCol] = 1
+			t.basis[r] = slackCol
+			t.initCol[r] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[r] = artCol
+			t.initCol[r] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[r] = artCol
+			t.initCol[r] = artCol
+			artCol++
+		}
+		t.rowSign[r] = sign
+		t.rows[r] = row
+		t.rhs[r] = rhs
+	}
+	return t
+}
+
+func flip(r Relation) Relation {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// setPhase1Objective prices the sum-of-artificials objective against the
+// current (artificial) basis.
+func (t *tableau) setPhase1Objective() {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	for j := t.artStart; j < len(t.cost); j++ {
+		t.cost[j] = 1
+	}
+	t.objVal = 0
+	// Price out basic artificials: reduced cost of a basic variable must be 0.
+	for r, b := range t.basis {
+		if b >= t.artStart {
+			for j := range t.cost {
+				t.cost[j] -= t.rows[r][j]
+			}
+			t.objVal -= t.rhs[r]
+		}
+	}
+}
+
+// setPhase2Objective installs the original objective (artificials get a
+// prohibitive cost so they never re-enter) and prices it against the basis.
+func (t *tableau) setPhase2Objective(c []float64) {
+	for j := range t.cost {
+		t.cost[j] = 0
+	}
+	copy(t.cost, c)
+	// Artificial columns may still exist if rows were redundant; forbid them.
+	for j := t.artStart; j < len(t.cost); j++ {
+		t.cost[j] = math.Inf(1)
+	}
+	t.objVal = 0
+	for r, b := range t.basis {
+		cb := 0.0
+		if b < t.numDecision {
+			cb = c[b]
+		} else if b >= t.artStart {
+			cb = 0 // basic artificial at value 0 after phase 1
+		}
+		if cb != 0 {
+			for j := range t.cost {
+				if !math.IsInf(t.cost[j], 1) {
+					t.cost[j] -= cb * t.rows[r][j]
+				}
+			}
+			t.objVal -= cb * t.rhs[r]
+		}
+	}
+}
+
+// objectiveValue returns the objective of the current basic solution.
+func (t *tableau) objectiveValue() float64 { return -t.objVal }
+
+// iterate runs simplex pivots under Bland's rule until optimal or unbounded.
+func (t *tableau) iterate() error {
+	for pivots := 0; ; pivots++ {
+		if pivots > t.maxPivots {
+			return fmt.Errorf("lp: pivot limit %d exceeded (numerical cycling?)", t.maxPivots)
+		}
+		// Bland's rule: entering variable is the lowest-index column with a
+		// negative reduced cost.
+		enter := -1
+		for j, cj := range t.cost {
+			if !math.IsInf(cj, 1) && cj < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test; ties broken by the lowest basic-variable index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for r := range t.rows {
+			a := t.rows[r][enter]
+			if a > eps {
+				ratio := t.rhs[r] / a
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave < 0 || t.basis[r] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = r
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	prow := t.rows[leave]
+	pval := prow[enter]
+	inv := 1 / pval
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	prow[enter] = 1 // kill round-off on the pivot element
+
+	for r := range t.rows {
+		if r == leave {
+			continue
+		}
+		f := t.rows[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[r]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0
+		t.rhs[r] -= f * t.rhs[leave]
+		if t.rhs[r] < 0 && t.rhs[r] > -1e-12 {
+			t.rhs[r] = 0
+		}
+	}
+	f := t.cost[enter]
+	if f != 0 && !math.IsInf(f, 1) {
+		for j := range t.cost {
+			if !math.IsInf(t.cost[j], 1) {
+				t.cost[j] -= f * prow[j]
+			}
+		}
+		t.cost[enter] = 0
+		t.objVal -= f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots zero-valued basic artificials out of the basis
+// where possible; rows that are entirely zero over the non-artificial
+// columns are redundant and left with their artificial basic at zero (phase
+// 2 forbids artificials from increasing).
+func (t *tableau) driveOutArtificials() {
+	for r := range t.rows {
+		if t.basis[r] < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[r][j]) > 1e-7 {
+				t.pivot(r, j)
+				break
+			}
+		}
+	}
+}
+
+// duals recovers the dual prices y^T = c_B^T B^{-1} from the final
+// tableau: each row's initial identity column holds the corresponding
+// column of B^{-1}, and c_B reads the true objective (zero for slack and
+// artificial variables). Rows that were negated during normalization flip
+// their dual's sign back to the user's orientation.
+func (t *tableau) duals(c []float64) []float64 {
+	m := len(t.rows)
+	cB := make([]float64, m)
+	for r, b := range t.basis {
+		if b < t.numDecision {
+			cB[r] = c[b]
+		}
+	}
+	y := make([]float64, m)
+	for r := 0; r < m; r++ {
+		col := t.initCol[r]
+		v := 0.0
+		for k := 0; k < m; k++ {
+			if cB[k] != 0 {
+				v += cB[k] * t.rows[k][col]
+			}
+		}
+		y[r] = v * t.rowSign[r]
+	}
+	return y
+}
+
+// extract reads the first n variable values out of the basis.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for r, b := range t.basis {
+		if b < n {
+			v := t.rhs[r]
+			if v < 0 && v > -1e-9 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

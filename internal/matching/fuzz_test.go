@@ -1,0 +1,55 @@
+package matching
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+// FuzzMinCostAssignment checks the Hungarian solver against brute force on
+// randomized instances with forbidden entries: identical optima whenever a
+// perfect matching exists, matching errors otherwise, and never a panic.
+func FuzzMinCostAssignment(f *testing.F) {
+	f.Add(uint64(7), uint8(3), uint8(4), uint8(40))
+	f.Add(uint64(0xef6a9da8ee6e165b), uint8(4), uint8(4), uint8(38)) // the historical delta-skip bug
+	f.Add(uint64(1), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw, mRaw, forbidPct uint8) {
+		r := rng.New(seed)
+		n := 1 + int(nRaw%5)
+		m := n + int(mRaw%3)
+		pForbid := float64(forbidPct%70) / 100
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if r.Bool(pForbid) {
+					cost[i][j] = Forbidden
+				} else {
+					cost[i][j] = r.FloatRange(-5, 10)
+				}
+			}
+		}
+		want := bruteForce(cost)
+		assign, got, err := MinCostAssignment(cost)
+		if math.IsInf(want, 1) {
+			if err == nil {
+				t.Fatalf("no perfect matching exists but solver returned %v", assign)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("solver failed on solvable instance: %v", err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("cost %v, brute force %v", got, want)
+		}
+		seen := make(map[int]bool)
+		for i, j := range assign {
+			if j < 0 || j >= m || seen[j] || math.IsInf(cost[i][j], 1) {
+				t.Fatalf("invalid assignment %v", assign)
+			}
+			seen[j] = true
+		}
+	})
+}

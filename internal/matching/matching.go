@@ -1,0 +1,116 @@
+// Package matching implements min-cost bipartite matching via the
+// shortest-augmenting-path Hungarian algorithm (Jonker-Volgenant variant,
+// O(n^2 m)).
+//
+// In the mecache build it performs the rounding step of the Shmoys-Tardos
+// GAP approximation: fractional LP assignments are decomposed into bin
+// "slots", and items are matched to slots at minimum cost, which is what
+// turns the LP lower bound into an integral 2-approximate assignment.
+package matching
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forbidden marks an (item, slot) pair that must not be matched.
+var Forbidden = math.Inf(1)
+
+// MinCostAssignment finds a minimum-cost perfect matching of every row of
+// cost to a distinct column. The matrix may be rectangular with
+// rows <= cols; entries equal to Forbidden are never used. It returns
+// assign with assign[row] = column, and the total cost. An error is
+// returned if no perfect matching over permitted entries exists.
+func MinCostAssignment(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(cost[0])
+	if m < n {
+		return nil, 0, fmt.Errorf("matching: %d rows exceed %d columns", n, m)
+	}
+	for i, row := range cost {
+		if len(row) != m {
+			return nil, 0, fmt.Errorf("matching: ragged matrix (row %d has %d entries, want %d)", i, len(row), m)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, -1) {
+				return nil, 0, fmt.Errorf("matching: invalid cost at (%d,%d): %v", i, j, v)
+			}
+		}
+	}
+
+	// Jonker-Volgenant with 1-based sentinel column 0.
+	// u, v are dual potentials; way[j] is the alternating-tree parent column.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = free)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				// A forbidden pair never relaxes minv[j], but the column may
+				// already be reachable through an earlier tree node, so it
+				// still competes for delta below.
+				if c := cost[i0-1][j-1]; !math.IsInf(c, 1) {
+					if cur := c - u[i0] - v[j]; cur < minv[j] {
+						minv[j] = cur
+						way[j] = j0
+					}
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if delta == inf {
+				return nil, 0, fmt.Errorf("matching: no perfect matching exists (row %d cannot be matched)", i-1)
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else if minv[j] < inf {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating tree.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+			total += cost[p[j]-1][j-1]
+		}
+	}
+	return assign, total, nil
+}

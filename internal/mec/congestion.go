@@ -1,0 +1,103 @@
+package mec
+
+import (
+	"fmt"
+	"math"
+)
+
+// CongestionModel generalizes the proportional congestion cost of Eqs. (1)
+// and (2). The paper adopts the proportional model "for simplicity" and
+// notes that the derivation "relies only on the non-decreasing of cost with
+// congestion levels"; this interface is that extension point.
+//
+// A tenant of cloudlet CL_i pays (α_i + β_i) · Level(k) when k services
+// share the cloudlet. Level must be non-decreasing in k with Level(0) = 0,
+// and k·Level(k) must be convex in k (non-decreasing marginals) so that the
+// virtual-cloudlet slot pricing in Appro remains exact.
+type CongestionModel interface {
+	// Level returns the congestion multiplier when k services share a
+	// cloudlet. Level(0) = 0; non-decreasing in k.
+	Level(k int) float64
+	// Name identifies the model in logs and benchmarks.
+	Name() string
+}
+
+// LinearCongestion is the paper's proportional model: Level(k) = k, so a
+// tenant pays (α_i+β_i)·|σ_i| (Eqs. 1-2). The zero value is ready to use.
+type LinearCongestion struct{}
+
+// Level returns k.
+func (LinearCongestion) Level(k int) float64 { return float64(k) }
+
+// Name returns "linear".
+func (LinearCongestion) Name() string { return "linear" }
+
+// PolynomialCongestion charges Level(k) = k^Degree: super-linear queueing
+// penalties for Degree > 1. Degree must be >= 1 for valid marginals.
+type PolynomialCongestion struct {
+	Degree float64
+}
+
+// Level returns k^Degree.
+func (p PolynomialCongestion) Level(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return math.Pow(float64(k), p.Degree)
+}
+
+// Name returns "poly(d)".
+func (p PolynomialCongestion) Name() string { return fmt.Sprintf("poly(%g)", p.Degree) }
+
+// ExponentialCongestion charges Level(k) = (Base^k - 1)/(Base - 1) for
+// Base > 1 — a saturating-queue flavor where each extra tenant hurts
+// multiplicatively. Level(1) = 1, matching the linear model's scale at
+// light load.
+type ExponentialCongestion struct {
+	Base float64
+}
+
+// Level returns (Base^k - 1)/(Base - 1).
+func (e ExponentialCongestion) Level(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if e.Base <= 1 {
+		return float64(k) // degenerate base: fall back to linear
+	}
+	return (math.Pow(e.Base, float64(k)) - 1) / (e.Base - 1)
+}
+
+// Name returns "exp(b)".
+func (e ExponentialCongestion) Name() string { return fmt.Sprintf("exp(%g)", e.Base) }
+
+// ValidateCongestionModel checks the structural requirements (Level(0)=0,
+// non-decreasing Level, convex k·Level(k)) over the first maxK occupancy
+// levels. Markets call it when a custom model is installed.
+func ValidateCongestionModel(cm CongestionModel, maxK int) error {
+	if cm == nil {
+		return fmt.Errorf("mec: nil congestion model")
+	}
+	if l0 := cm.Level(0); l0 != 0 {
+		return fmt.Errorf("mec: congestion model %s has Level(0) = %v, want 0", cm.Name(), l0)
+	}
+	prevLevel := 0.0
+	prevMarginal := math.Inf(-1)
+	prevTotal := 0.0
+	for k := 1; k <= maxK; k++ {
+		l := cm.Level(k)
+		if math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("mec: congestion model %s has invalid Level(%d) = %v", cm.Name(), k, l)
+		}
+		if l < prevLevel-1e-12 {
+			return fmt.Errorf("mec: congestion model %s decreases at k=%d (%v < %v)", cm.Name(), k, l, prevLevel)
+		}
+		total := float64(k) * l
+		marginal := total - prevTotal
+		if marginal < prevMarginal-1e-9 {
+			return fmt.Errorf("mec: congestion model %s has decreasing marginal at k=%d", cm.Name(), k)
+		}
+		prevLevel, prevMarginal, prevTotal = l, marginal, total
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package mec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearCongestionMatchesPaper(t *testing.T) {
+	var lc LinearCongestion
+	for k := 0; k < 10; k++ {
+		if lc.Level(k) != float64(k) {
+			t.Fatalf("Level(%d) = %v, want %d", k, lc.Level(k), k)
+		}
+	}
+	if lc.Name() != "linear" {
+		t.Fatalf("name %q", lc.Name())
+	}
+}
+
+func TestPolynomialCongestion(t *testing.T) {
+	p := PolynomialCongestion{Degree: 2}
+	if p.Level(3) != 9 {
+		t.Fatalf("Level(3) = %v, want 9", p.Level(3))
+	}
+	if p.Level(0) != 0 {
+		t.Fatalf("Level(0) = %v", p.Level(0))
+	}
+	if err := ValidateCongestionModel(p, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExponentialCongestion(t *testing.T) {
+	e := ExponentialCongestion{Base: 2}
+	// (2^k - 1)/(2-1): 1, 3, 7, 15...
+	want := []float64{0, 1, 3, 7, 15}
+	for k, w := range want {
+		if got := e.Level(k); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("Level(%d) = %v, want %v", k, got, w)
+		}
+	}
+	if err := ValidateCongestionModel(e, 30); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate base falls back to linear.
+	d := ExponentialCongestion{Base: 1}
+	if d.Level(4) != 4 {
+		t.Fatalf("degenerate base Level(4) = %v", d.Level(4))
+	}
+}
+
+func TestValidateCongestionModelRejects(t *testing.T) {
+	if err := ValidateCongestionModel(nil, 10); err == nil {
+		t.Fatal("nil model accepted")
+	}
+	if err := ValidateCongestionModel(badLevelZero{}, 10); err == nil {
+		t.Fatal("Level(0) != 0 accepted")
+	}
+	if err := ValidateCongestionModel(decreasing{}, 10); err == nil {
+		t.Fatal("decreasing model accepted")
+	}
+	if err := ValidateCongestionModel(concaveTotal{}, 10); err == nil {
+		t.Fatal("concave k*Level(k) accepted")
+	}
+}
+
+type badLevelZero struct{}
+
+func (badLevelZero) Level(k int) float64 { return float64(k + 1) }
+func (badLevelZero) Name() string        { return "bad-zero" }
+
+type decreasing struct{}
+
+func (decreasing) Level(k int) float64 { return -float64(k) }
+func (decreasing) Name() string        { return "decreasing" }
+
+// concaveTotal has non-decreasing Level but concave k*Level(k): Level(k) =
+// sqrt(k)/k = 1/sqrt(k) is decreasing, so use Level(k) = sqrt(k) whose total
+// k^1.5 is convex... instead use a step that flattens hard: Level(1)=1,
+// Level(k>=2)=1 gives total k, marginal 1,1,... that's fine. Use
+// Level(1)=5, Level(k>=2)=5-? must be non-decreasing. Trick: big first
+// marginal then smaller: Level(1)=5, Level(k>=2) chosen so total grows by
+// less: total(1)=5, total(2)=2*5=10 (marginal 5)... With per-tenant pricing
+// the total k*Level(k) is automatically super-linear for non-decreasing
+// Level; a violation needs Level barely non-decreasing after a jump is
+// impossible — except via floating tricks: Level(1)=10, Level(2)=5 is
+// decreasing. So emulate with direct values failing the marginal check:
+// Level(1)=10 -> total 10, Level(2)=6 would decrease. Use Level values
+// 0, 10, 10, 10: totals 10, 20, 30 -> marginals 10,10,10: fine.
+// The genuinely concave case: Level(k) = k for k<=2, then Level(3)=2:
+// decreasing. Conclusion: for per-tenant non-decreasing Level, marginals
+// can still dip: totals k*L(k) with L = 0,1,1.9,1.9: totals 1, 3.8, 5.7:
+// marginals 1, 2.8, 1.9 — dip at k=3.
+type concaveTotal struct{}
+
+func (concaveTotal) Level(k int) float64 {
+	levels := []float64{0, 1, 1.9, 1.9, 1.9, 1.9, 1.9, 1.9, 1.9, 1.9, 1.9}
+	if k < len(levels) {
+		return levels[k]
+	}
+	return 1.9
+}
+func (concaveTotal) Name() string { return "concave-total" }
+
+func TestMarketSetCongestionModel(t *testing.T) {
+	m := testMarket(t)
+	if m.CongestionModelInUse().Name() != "linear" {
+		t.Fatalf("default model %q", m.CongestionModelInUse().Name())
+	}
+	if err := m.SetCongestionModel(PolynomialCongestion{Degree: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if m.CongestionModelInUse().Name() != "poly(2)" {
+		t.Fatalf("installed model %q", m.CongestionModelInUse().Name())
+	}
+	// Cost now uses the quadratic level: 2 tenants -> each pays coeff*4.
+	pl := Placement{0, 0}
+	want := m.CongestionCoeff(0)*4 + m.BaseCost(0, 0)
+	if got := m.ProviderCost(pl, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("quadratic cost %v, want %v", got, want)
+	}
+	// Reset to linear.
+	if err := m.SetCongestionModel(nil); err != nil {
+		t.Fatal(err)
+	}
+	wantLin := m.CongestionCoeff(0)*2 + m.BaseCost(0, 0)
+	if got := m.ProviderCost(pl, 0); math.Abs(got-wantLin) > 1e-12 {
+		t.Fatalf("linear cost %v, want %v", got, wantLin)
+	}
+	// Invalid model rejected and previous model kept.
+	if err := m.SetCongestionModel(decreasing{}); err == nil {
+		t.Fatal("decreasing model accepted")
+	}
+}
+
+// Property: for every built-in model, social cost is monotone in congestion
+// (moving a provider onto a busier cloudlet never reduces the other
+// tenants' costs).
+func TestModelsMonotoneProperty(t *testing.T) {
+	models := []CongestionModel{
+		LinearCongestion{},
+		PolynomialCongestion{Degree: 1.5},
+		PolynomialCongestion{Degree: 3},
+		ExponentialCongestion{Base: 1.5},
+	}
+	for _, cm := range models {
+		cm := cm
+		check := func(k uint8) bool {
+			kk := int(k % 50)
+			return cm.Level(kk+1) >= cm.Level(kk)
+		}
+		if err := quick.Check(check, nil); err != nil {
+			t.Fatalf("model %s: %v", cm.Name(), err)
+		}
+	}
+}

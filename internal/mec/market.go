@@ -1,0 +1,377 @@
+package mec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Provider is a network service provider sp_l with the single service SV_l
+// it wants to cache (Section II-B).
+type Provider struct {
+	// Requests is r_l, the number of user requests the service must serve.
+	Requests int
+	// ComputePerReq is a_l; the service's total compute demand is a_l·r_l.
+	ComputePerReq float64
+	// BandwidthPerReq is b_l; the total bandwidth demand is b_l·r_l.
+	BandwidthPerReq float64
+	// InstCost is c_l^ins, the VM-instantiation + software-setup cost.
+	InstCost float64
+	// TrafficGBPerReq is the per-request traffic volume in GB
+	// (Section IV-A: [10, 200] MB per request).
+	TrafficGBPerReq float64
+	// DataGB is the service's data volume in GB (Section IV-A: [1, 5] GB).
+	DataGB float64
+	// UpdateRatio is the consistency-update fraction of DataGB shipped back
+	// to the home DC while cached (Section IV-A: 10%).
+	UpdateRatio float64
+	// HomeDC indexes the data center hosting the original instance.
+	HomeDC int
+	// AttachNode is the topology node where the provider's users attach.
+	AttachNode int
+}
+
+// ComputeDemand returns a_l·r_l.
+func (p *Provider) ComputeDemand() float64 { return p.ComputePerReq * float64(p.Requests) }
+
+// BandwidthDemand returns b_l·r_l.
+func (p *Provider) BandwidthDemand() float64 { return p.BandwidthPerReq * float64(p.Requests) }
+
+// TrafficGB returns the total request traffic the service moves, in GB.
+func (p *Provider) TrafficGB() float64 { return p.TrafficGBPerReq * float64(p.Requests) }
+
+// UpdateGB returns the consistency-update volume in GB.
+func (p *Provider) UpdateGB() float64 { return p.UpdateRatio * p.DataGB }
+
+// Market is the service market: the two-tiered network plus the N providers
+// competing for its resources.
+type Market struct {
+	Net       *Network
+	Providers []Provider
+
+	// congestion is the installed congestion model; nil means the paper's
+	// proportional (linear) model.
+	congestion CongestionModel
+
+	// base[l][i] caches the congestion-free cost of provider l at cloudlet
+	// i; remote[l] caches the cost of not caching.
+	base   [][]float64
+	remote []float64
+}
+
+// SetCongestionModel installs a non-proportional congestion model (the
+// paper's flagged extension). The model is validated over occupancy levels
+// up to the provider count. Passing nil restores the default linear model.
+func (m *Market) SetCongestionModel(cm CongestionModel) error {
+	if cm == nil {
+		m.congestion = nil
+		return nil
+	}
+	if err := ValidateCongestionModel(cm, len(m.Providers)+1); err != nil {
+		return err
+	}
+	m.congestion = cm
+	return nil
+}
+
+// CongestionModelInUse returns the active congestion model.
+func (m *Market) CongestionModelInUse() CongestionModel {
+	if m.congestion == nil {
+		return LinearCongestion{}
+	}
+	return m.congestion
+}
+
+// CongestionLevel returns the congestion multiplier paid by each tenant of
+// a cloudlet shared by k services: Level(k) of the active model (k for the
+// paper's proportional model).
+func (m *Market) CongestionLevel(k int) float64 {
+	if m.congestion == nil {
+		return float64(k) // fast path for the default linear model
+	}
+	return m.congestion.Level(k)
+}
+
+// NewMarket validates and assembles a market, precomputing the
+// congestion-free cost terms.
+func NewMarket(net *Network, providers []Provider) (*Market, error) {
+	if net == nil {
+		return nil, fmt.Errorf("mec: nil network")
+	}
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("mec: market needs at least one provider")
+	}
+	for l, p := range providers {
+		if p.Requests <= 0 {
+			return nil, fmt.Errorf("mec: provider %d has %d requests", l, p.Requests)
+		}
+		if p.ComputePerReq <= 0 || p.BandwidthPerReq <= 0 {
+			return nil, fmt.Errorf("mec: provider %d has non-positive per-request demand", l)
+		}
+		if p.HomeDC < 0 || p.HomeDC >= len(net.DCs) {
+			return nil, fmt.Errorf("mec: provider %d references invalid data center %d", l, p.HomeDC)
+		}
+		if p.AttachNode < 0 || p.AttachNode >= net.Topo.N() {
+			return nil, fmt.Errorf("mec: provider %d attaches at invalid node %d", l, p.AttachNode)
+		}
+		if p.UpdateRatio < 0 || p.UpdateRatio > 1 {
+			return nil, fmt.Errorf("mec: provider %d has update ratio %v outside [0,1]", l, p.UpdateRatio)
+		}
+	}
+	m := &Market{Net: net, Providers: providers}
+	m.precompute()
+	return m, nil
+}
+
+// precompute fills the congestion-free cost tables.
+func (m *Market) precompute() {
+	n := len(m.Providers)
+	nc := m.Net.NumCloudlets()
+	m.base = make([][]float64, n)
+	m.remote = make([]float64, n)
+	for l := range m.Providers {
+		p := &m.Providers[l]
+		m.base[l] = make([]float64, nc)
+		for i := range m.Net.Cloudlets {
+			m.base[l][i] = m.baseCost(p, i)
+		}
+		m.remote[l] = m.remoteCost(p)
+	}
+}
+
+// baseCost is the congestion-independent part of c_{l,i}: instantiation,
+// fixed bandwidth charge, processing, request transmission, and
+// consistency-update transmission.
+func (m *Market) baseCost(p *Provider, i int) float64 {
+	cl := &m.Net.Cloudlets[i]
+	dc := &m.Net.DCs[p.HomeDC]
+	traffic := p.TrafficGB()
+	hopsUser := float64(m.Net.Hops(p.AttachNode, cl.Node))
+	hopsDC := float64(m.Net.Hops(cl.Node, dc.Node))
+	if hopsUser < 0 || hopsDC < 0 {
+		return math.Inf(1) // disconnected: never a valid choice
+	}
+	hopsDC += float64(dc.BackhaulHops)
+	return p.InstCost +
+		cl.FixedBandwidthCost +
+		cl.ProcPricePerGB*traffic +
+		cl.TransPricePerGBHop*traffic*hopsUser +
+		cl.TransPricePerGBHop*p.UpdateGB()*hopsDC
+}
+
+// remoteCost is the cost of serving all requests from the home data center:
+// backhaul transmission plus DC processing. No instantiation (the original
+// instance already exists), no congestion, no update shipping.
+func (m *Market) remoteCost(p *Provider) float64 {
+	dc := &m.Net.DCs[p.HomeDC]
+	traffic := p.TrafficGB()
+	hops := float64(m.Net.Hops(p.AttachNode, dc.Node))
+	if hops < 0 {
+		return math.Inf(1)
+	}
+	hops += float64(dc.BackhaulHops)
+	return dc.ProcPricePerGB*traffic + dc.TransPricePerGBHop*traffic*hops
+}
+
+// BaseCost returns the cached congestion-free cost of provider l at
+// cloudlet i (the Eq. 9 cost used inside the GAP reduction).
+func (m *Market) BaseCost(l, i int) float64 { return m.base[l][i] }
+
+// UpdateCost returns only the consistency-update component of provider l's
+// cost at cloudlet i: shipping UpdateRatio·DataGB back to the home data
+// center. Baselines that ignore data updating (JoOffloadCache, after [23])
+// subtract this from BaseCost when making decisions.
+func (m *Market) UpdateCost(l, i int) float64 {
+	p := &m.Providers[l]
+	cl := &m.Net.Cloudlets[i]
+	dc := &m.Net.DCs[p.HomeDC]
+	hops := float64(m.Net.Hops(cl.Node, dc.Node))
+	if hops < 0 {
+		return math.Inf(1)
+	}
+	hops += float64(dc.BackhaulHops)
+	return cl.TransPricePerGBHop * p.UpdateGB() * hops
+}
+
+// TransmissionCost returns only the request-transmission component of
+// provider l's cost at cloudlet i (the pure offloading cost the
+// OffloadCache baseline greedily minimizes).
+func (m *Market) TransmissionCost(l, i int) float64 {
+	p := &m.Providers[l]
+	cl := &m.Net.Cloudlets[i]
+	hops := float64(m.Net.Hops(p.AttachNode, cl.Node))
+	if hops < 0 {
+		return math.Inf(1)
+	}
+	return cl.TransPricePerGBHop * p.TrafficGB() * hops
+}
+
+// RemoteCost returns the cost of provider l staying in its home DC.
+func (m *Market) RemoteCost(l int) float64 { return m.remote[l] }
+
+// CongestionCoeff returns α_i + β_i for cloudlet i.
+func (m *Market) CongestionCoeff(i int) float64 {
+	cl := &m.Net.Cloudlets[i]
+	return cl.Alpha + cl.Beta
+}
+
+// Placement maps each provider to its strategy: a cloudlet index or Remote.
+type Placement []int
+
+// Clone returns a copy of the placement.
+func (pl Placement) Clone() Placement { return append(Placement(nil), pl...) }
+
+// Validate checks that the placement has one entry per provider and all
+// entries reference valid strategies.
+func (m *Market) Validate(pl Placement) error {
+	if len(pl) != len(m.Providers) {
+		return fmt.Errorf("mec: placement covers %d providers, market has %d", len(pl), len(m.Providers))
+	}
+	for l, s := range pl {
+		if s != Remote && (s < 0 || s >= m.Net.NumCloudlets()) {
+			return fmt.Errorf("mec: provider %d has invalid strategy %d", l, s)
+		}
+	}
+	return nil
+}
+
+// Loads returns |σ_i| for every cloudlet: the number of services cached
+// there under pl.
+func (m *Market) Loads(pl Placement) []int {
+	loads := make([]int, m.Net.NumCloudlets())
+	for _, s := range pl {
+		if s != Remote {
+			loads[s]++
+		}
+	}
+	return loads
+}
+
+// ProviderCost returns c_l(σ_l) under placement pl: Eq. (3) for a cached
+// service (with |σ_i| read from pl), or the remote cost.
+func (m *Market) ProviderCost(pl Placement, l int) float64 {
+	s := pl[l]
+	if s == Remote {
+		return m.remote[l]
+	}
+	load := 0
+	for _, t := range pl {
+		if t == s {
+			load++
+		}
+	}
+	return m.CostAt(l, s, load)
+}
+
+// CostAt returns provider l's cost of caching at cloudlet i when the
+// cloudlet hosts load services in total (load includes l itself).
+func (m *Market) CostAt(l, i, load int) float64 {
+	return m.CongestionCoeff(i)*m.CongestionLevel(load) + m.base[l][i]
+}
+
+// SocialCost is Eq. (6): the total cost over all providers. Congestion is
+// quadratic in each cloudlet's load because each of the |σ_i| tenants pays
+// (α_i+β_i)·|σ_i|.
+func (m *Market) SocialCost(pl Placement) float64 {
+	loads := m.Loads(pl)
+	total := 0.0
+	for l, s := range pl {
+		if s == Remote {
+			total += m.remote[l]
+		} else {
+			total += m.CostAt(l, s, loads[s])
+		}
+	}
+	return total
+}
+
+// GroupCost sums the provider costs of the given subset under pl.
+func (m *Market) GroupCost(pl Placement, members []int) float64 {
+	loads := m.Loads(pl)
+	total := 0.0
+	for _, l := range members {
+		s := pl[l]
+		if s == Remote {
+			total += m.remote[l]
+		} else {
+			total += m.CostAt(l, s, loads[s])
+		}
+	}
+	return total
+}
+
+// CheckCapacity verifies the computing and bandwidth capacity constraints
+// of every cloudlet under pl (Section II-F). slackFactor inflates the
+// capacities multiplicatively: 0 checks them exactly, and the
+// Shmoys-Tardos additive overload is expressed by the caller as a factor.
+func (m *Market) CheckCapacity(pl Placement, slackFactor float64) error {
+	nc := m.Net.NumCloudlets()
+	compute := make([]float64, nc)
+	bandwidth := make([]float64, nc)
+	for l, s := range pl {
+		if s == Remote {
+			continue
+		}
+		p := &m.Providers[l]
+		compute[s] += p.ComputeDemand()
+		bandwidth[s] += p.BandwidthDemand()
+	}
+	for i := range m.Net.Cloudlets {
+		cl := &m.Net.Cloudlets[i]
+		if compute[i] > cl.ComputeCap*(1+slackFactor)+1e-9 {
+			return fmt.Errorf("mec: cloudlet %d compute overloaded: %v > %v", i, compute[i], cl.ComputeCap)
+		}
+		if bandwidth[i] > cl.BandwidthCap*(1+slackFactor)+1e-9 {
+			return fmt.Errorf("mec: cloudlet %d bandwidth overloaded: %v > %v", i, bandwidth[i], cl.BandwidthCap)
+		}
+	}
+	return nil
+}
+
+// MaxDemands returns a_max = max_l a_l·r_l and b_max = max_l b_l·r_l, the
+// quantities the virtual-cloudlet split of Eq. (7) divides capacities by.
+func (m *Market) MaxDemands() (aMax, bMax float64) {
+	for l := range m.Providers {
+		p := &m.Providers[l]
+		if d := p.ComputeDemand(); d > aMax {
+			aMax = d
+		}
+		if d := p.BandwidthDemand(); d > bMax {
+			bMax = d
+		}
+	}
+	return aMax, bMax
+}
+
+// VirtualSlots returns n_i per Eq. (7) for every cloudlet:
+// n_i = min{⌊C(CL_i)/a_max⌋, ⌊B(CL_i)/b_max⌋}.
+func (m *Market) VirtualSlots() []int {
+	aMax, bMax := m.MaxDemands()
+	slots := make([]int, m.Net.NumCloudlets())
+	for i := range m.Net.Cloudlets {
+		cl := &m.Net.Cloudlets[i]
+		byCompute := int(math.Floor(cl.ComputeCap / aMax))
+		byBandwidth := int(math.Floor(cl.BandwidthCap / bMax))
+		if byCompute < byBandwidth {
+			slots[i] = byCompute
+		} else {
+			slots[i] = byBandwidth
+		}
+	}
+	return slots
+}
+
+// DeltaKappa returns δ = max_i C(CL_i)/a_max and κ = max_i B(CL_i)/b_max,
+// the constants in the paper's 2·δ·κ approximation ratio (Lemma 2).
+func (m *Market) DeltaKappa() (delta, kappa float64) {
+	aMax, bMax := m.MaxDemands()
+	for i := range m.Net.Cloudlets {
+		cl := &m.Net.Cloudlets[i]
+		if d := cl.ComputeCap / aMax; d > delta {
+			delta = d
+		}
+		if k := cl.BandwidthCap / bMax; k > kappa {
+			kappa = k
+		}
+	}
+	return delta, kappa
+}

@@ -1,0 +1,143 @@
+// Package mec models the paper's two-tiered mobile edge-cloud: a network
+// G = (CL ∪ DC, E) of cloudlets and remote data centers operated by an
+// infrastructure provider, a set N of network service providers each wanting
+// to cache one service, and the congestion-aware cost model of Section II-C
+// (Eqs. 1-6).
+//
+// Cost of caching service SV_l at cloudlet CL_i when |σ_i| services share it:
+//
+//	c_{l,i} = (α_i + β_i)·|σ_i| + c_l^ins + c_i^bdw + routing terms
+//
+// The routing terms implement Section IV-A's priced traffic: processing and
+// transmission are charged per GB (transmission additionally per hop along
+// shortest paths), and consistency updates ship 10% of the service's data
+// volume from the cached instance back to its home data center. A provider
+// may also choose Remote ("not to cache"), paying transmission to its home
+// DC and DC processing but no instantiation, congestion, or update cost.
+package mec
+
+import (
+	"fmt"
+
+	"mecache/internal/topology"
+)
+
+// Remote is the strategy value for leaving a service in its home data
+// center instead of caching it at a cloudlet.
+const Remote = -1
+
+// Cloudlet is an edge server cluster placed at a topology node.
+type Cloudlet struct {
+	// Node is the topology node hosting this cloudlet.
+	Node int
+	// NumVMs is the number of VMs the infrastructure provider instantiated
+	// here (Section IV-A: drawn from [15, 30]).
+	NumVMs int
+	// ComputeCap is C(CL_i), total compute units.
+	ComputeCap float64
+	// BandwidthCap is B(CL_i) in Mbps.
+	BandwidthCap float64
+	// Alpha is α_i, the compute-congestion price coefficient (Eq. 1).
+	Alpha float64
+	// Beta is β_i, the bandwidth-congestion price coefficient (Eq. 2).
+	Beta float64
+	// FixedBandwidthCost is c_i^bdw, the flat per-provider bandwidth charge.
+	FixedBandwidthCost float64
+	// ProcPricePerGB is the processing price at this cloudlet ($/GB).
+	ProcPricePerGB float64
+	// TransPricePerGBHop is the transmission price ($/GB per hop).
+	TransPricePerGBHop float64
+}
+
+// DataCenter is a remote cloud site; capacity is considered unlimited
+// (Section II-A).
+type DataCenter struct {
+	// Node is the topology node where this data center's gateway attaches
+	// to the MEC network.
+	Node int
+	// BackhaulHops is the extra WAN distance between the gateway node and
+	// the actual remote cloud: the data centers of the two-tier
+	// architecture live far from the edge, and every byte to or from them
+	// crosses this backhaul on top of the in-network path.
+	BackhaulHops int
+	// ProcPricePerGB is the processing price at the data center ($/GB).
+	ProcPricePerGB float64
+	// TransPricePerGBHop is the transmission price ($/GB per hop) on the
+	// backhaul toward this data center.
+	TransPricePerGBHop float64
+}
+
+// Network is the two-tiered MEC network: the switch topology plus the
+// cloudlets and data centers attached to it.
+type Network struct {
+	Topo      *topology.Topology
+	Cloudlets []Cloudlet
+	DCs       []DataCenter
+
+	// hop[u] is the hop-distance vector from node u, computed lazily for
+	// exactly the nodes that serve as sources (cloudlets, DCs, attachment
+	// points).
+	hop map[int][]int
+}
+
+// NewNetwork assembles a Network and validates node references.
+func NewNetwork(topo *topology.Topology, cloudlets []Cloudlet, dcs []DataCenter) (*Network, error) {
+	if topo == nil || topo.Graph == nil {
+		return nil, fmt.Errorf("mec: nil topology")
+	}
+	n := topo.N()
+	for i, cl := range cloudlets {
+		if cl.Node < 0 || cl.Node >= n {
+			return nil, fmt.Errorf("mec: cloudlet %d at invalid node %d", i, cl.Node)
+		}
+		if cl.ComputeCap <= 0 || cl.BandwidthCap <= 0 {
+			return nil, fmt.Errorf("mec: cloudlet %d has non-positive capacity (%v, %v)", i, cl.ComputeCap, cl.BandwidthCap)
+		}
+		if cl.Alpha < 0 || cl.Beta < 0 {
+			return nil, fmt.Errorf("mec: cloudlet %d has negative congestion coefficient", i)
+		}
+	}
+	if len(dcs) == 0 {
+		return nil, fmt.Errorf("mec: at least one data center is required")
+	}
+	for i, dc := range dcs {
+		if dc.Node < 0 || dc.Node >= n {
+			return nil, fmt.Errorf("mec: data center %d at invalid node %d", i, dc.Node)
+		}
+	}
+	return &Network{
+		Topo:      topo,
+		Cloudlets: cloudlets,
+		DCs:       dcs,
+		hop:       make(map[int][]int),
+	}, nil
+}
+
+// NumCloudlets returns |CL|.
+func (net *Network) NumCloudlets() int { return len(net.Cloudlets) }
+
+// Hops returns the hop count between two topology nodes, or -1 if they are
+// disconnected.
+func (net *Network) Hops(from, to int) int {
+	d, ok := net.hop[from]
+	if !ok {
+		d = net.Topo.Graph.HopDistances(from)
+		net.hop[from] = d
+	}
+	return d[to]
+}
+
+// NearestDC returns the index of the data center closest (in hops) to node.
+func (net *Network) NearestDC(node int) int {
+	best, bestHops := 0, -1
+	for i, dc := range net.DCs {
+		h := net.Hops(dc.Node, node)
+		if h < 0 {
+			continue
+		}
+		if bestHops < 0 || h < bestHops {
+			best, bestHops = i, h
+		}
+	}
+	return best
+}

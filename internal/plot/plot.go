@@ -1,0 +1,212 @@
+// Package plot renders experiment tables as self-contained SVG line charts
+// (no external dependencies), so `mecbench -format svg` can regenerate the
+// paper's figures as actual plots.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"mecache/internal/experiments"
+)
+
+const (
+	width   = 640.0
+	height  = 420.0
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 48.0
+	marginB = 64.0
+)
+
+// palette holds the series colors (colorblind-safe Okabe-Ito subset).
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"}
+
+// SVG renders the table as a line chart.
+func SVG(t *experiments.Table, w io.Writer) error {
+	if len(t.X) == 0 {
+		return fmt.Errorf("plot: table %q has no x values", t.Title)
+	}
+	xMin, xMax := minMax(t.X)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for i, y := range s.Y {
+			if math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			e := 0.0
+			if i < len(s.Err) && s.Err[i] > 0 {
+				e = s.Err[i]
+			}
+			yMin = math.Min(yMin, y-e)
+			yMax = math.Max(yMax, y+e)
+		}
+	}
+	if math.IsInf(yMin, 1) {
+		return fmt.Errorf("plot: table %q has no finite y values", t.Title)
+	}
+	// Anchor the y axis at zero for cost-style plots; pad the top.
+	if yMin > 0 {
+		yMin = 0
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	yMax += (yMax - yMin) * 0.08
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	px := func(x float64) float64 { return marginL + (x-xMin)/(xMax-xMin)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-yMin)/(yMax-yMin)*plotH }
+
+	var b builder
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %g %g" font-family="sans-serif" font-size="12">`, width, height)
+	b.printf(`<rect width="%g" height="%g" fill="white"/>`, width, height)
+	b.printf(`<text x="%g" y="24" text-anchor="middle" font-size="15" font-weight="bold">%s</text>`,
+		width/2, escape(t.Title))
+
+	// Axes.
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`,
+		marginL, marginT, marginL, marginT+plotH)
+
+	// Ticks and grid.
+	for _, xt := range niceTicks(xMin, xMax, 6) {
+		x := px(xt)
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, x, marginT+plotH, x, marginT+plotH+5)
+		b.printf(`<text x="%g" y="%g" text-anchor="middle">%s</text>`, x, marginT+plotH+20, fmtTick(xt))
+	}
+	for _, yt := range niceTicks(yMin, yMax, 6) {
+		y := py(yt)
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`, marginL, y, marginL+plotW, y)
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, marginL-5, y, marginL, y)
+		b.printf(`<text x="%g" y="%g" text-anchor="end" dominant-baseline="middle">%s</text>`, marginL-9, y, fmtTick(yt))
+	}
+	b.printf(`<text x="%g" y="%g" text-anchor="middle">%s</text>`,
+		marginL+plotW/2, height-18, escape(t.XLabel))
+	b.printf(`<text x="18" y="%g" text-anchor="middle" transform="rotate(-90 18 %g)">%s</text>`,
+		marginT+plotH/2, marginT+plotH/2, escape(t.YLabel))
+
+	// Series.
+	for si, s := range t.Series {
+		color := palette[si%len(palette)]
+		var points string
+		for i, y := range s.Y {
+			if i >= len(t.X) || math.IsNaN(y) || math.IsInf(y, 0) {
+				continue
+			}
+			points += fmt.Sprintf("%g,%g ", px(t.X[i]), py(y))
+		}
+		if points != "" {
+			b.printf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`, points, color)
+			for i, y := range s.Y {
+				if i >= len(t.X) || math.IsNaN(y) || math.IsInf(y, 0) {
+					continue
+				}
+				x := px(t.X[i])
+				// 95% confidence error bar with caps.
+				if i < len(s.Err) && s.Err[i] > 0 {
+					top, bot := py(y+s.Err[i]), py(y-s.Err[i])
+					b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.3"/>`, x, top, x, bot, color)
+					b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.3"/>`, x-4, top, x+4, top, color)
+					b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.3"/>`, x-4, bot, x+4, bot, color)
+				}
+				b.printf(`<circle cx="%g" cy="%g" r="3" fill="%s"/>`, x, py(y), color)
+			}
+		}
+		// Legend entry.
+		lx := marginL + 12
+		ly := marginT + 14 + float64(si)*18
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`, lx, ly, lx+22, ly, color)
+		b.printf(`<text x="%g" y="%g" dominant-baseline="middle">%s</text>`, lx+28, ly+1, escape(s.Name))
+	}
+	b.printf(`</svg>`)
+	b.printf("\n")
+	if b.err != nil {
+		return b.err
+	}
+	_, err := w.Write([]byte(b.String()))
+	return err
+}
+
+// builder accumulates SVG fragments.
+type builder struct {
+	buf []byte
+	err error
+}
+
+func (b *builder) printf(format string, args ...interface{}) {
+	b.buf = append(b.buf, fmt.Sprintf(format, args...)...)
+	b.buf = append(b.buf, '\n')
+}
+
+func (b *builder) String() string { return string(b.buf) }
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	if span <= 0 {
+		return []float64{lo}
+	}
+	raw := span / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch frac := raw / mag; {
+	case frac < 1.5:
+		step = mag
+	case frac < 3:
+		step = 2 * mag
+	case frac < 7:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	start := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := start; v <= hi+step*1e-9; v += step {
+		// Clean floating noise like 0.30000000000000004.
+		ticks = append(ticks, math.Round(v/step)*step)
+	}
+	return ticks
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,121 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mecache/internal/experiments"
+)
+
+func sampleTable() *experiments.Table {
+	return &experiments.Table{
+		Title: "Fig X(a) social cost", XLabel: "network size", YLabel: "cost ($)",
+		X: []float64{50, 100, 150},
+		Series: []experiments.Series{
+			{Name: "LCF", Y: []float64{330, 340, 320}},
+			{Name: "OffloadCache", Y: []float64{1100, 1200, 1000}},
+		},
+	}
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SVG(sampleTable(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Fig X(a) social cost", "LCF", "OffloadCache", "network size"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("expected 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Fatalf("expected 6 markers, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestSVGEscapesMarkup(t *testing.T) {
+	tb := sampleTable()
+	tb.Title = `cost <&> latency`
+	var buf bytes.Buffer
+	if err := SVG(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cost &lt;&amp;&gt; latency") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGSkipsNonFinite(t *testing.T) {
+	tb := sampleTable()
+	tb.Series[0].Y[1] = math.NaN()
+	var buf bytes.Buffer
+	if err := SVG(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	empty := &experiments.Table{Title: "empty"}
+	if err := SVG(empty, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty table accepted")
+	}
+	allNaN := sampleTable()
+	for i := range allNaN.Series {
+		for j := range allNaN.Series[i].Y {
+			allNaN.Series[i].Y[j] = math.NaN()
+		}
+	}
+	if err := SVG(allNaN, &bytes.Buffer{}); err == nil {
+		t.Fatal("all-NaN table accepted")
+	}
+}
+
+func TestSVGConstantSeries(t *testing.T) {
+	tb := &experiments.Table{
+		Title: "flat", XLabel: "x", YLabel: "y",
+		X:      []float64{1, 1},
+		Series: []experiments.Series{{Name: "a", Y: []float64{5, 5}}},
+	}
+	var buf bytes.Buffer
+	if err := SVG(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Fatalf("ticks %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("degenerate ticks %v", got)
+	}
+}
+
+func TestSVGErrorBars(t *testing.T) {
+	tb := sampleTable()
+	tb.Series[0].Err = []float64{10, 15, 10}
+	var buf bytes.Buffer
+	if err := SVG(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 3 bars x 3 lines each = 9 extra line elements beyond axes/ticks/legend.
+	if strings.Count(out, "stroke-width=\"1.3\"") != 9 {
+		t.Fatalf("expected 9 error-bar segments, got %d", strings.Count(out, "stroke-width=\"1.3\""))
+	}
+}

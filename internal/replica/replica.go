@@ -1,0 +1,200 @@
+// Package replica extends the paper's single-instance service caching with
+// multi-replica caching — the direction of the authors' follow-up
+// "Collaborate or separate? Distributed service caching in mobile edge
+// clouds" [26], and the third design challenge of Section I ("how to place
+// the to-be-cached instances, assign requests to the cached services, and
+// update the data processed by cached instances").
+//
+// A provider may cache up to K replicas of its service; each of its user
+// groups (attachment points with request shares) is served by the nearest
+// instance (a cached replica or the remote original), and every replica
+// ships its own consistency updates home. Choosing the replica set is an
+// uncapacitated facility-location problem; the provider-side objective is
+// monotone decreasing with diminishing returns in practice, and the greedy
+// add-one-replica-at-a-time algorithm used here is the classical heuristic
+// for it.
+package replica
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/mec"
+)
+
+// UserGroup is a cluster of a provider's users: an attachment node and the
+// share of the provider's requests originating there.
+type UserGroup struct {
+	AttachNode int
+	// Share is the fraction of the provider's requests from this group;
+	// shares must sum to 1.
+	Share float64
+}
+
+// Plan is a replica-placement decision for one provider.
+type Plan struct {
+	// Cloudlets lists the cloudlets hosting a replica (possibly empty:
+	// serve everything remotely).
+	Cloudlets []int
+	// Cost is the provider's total cost under the plan.
+	Cost float64
+	// Assignment maps each user group to the index of its serving replica
+	// in Cloudlets, or -1 for the remote original.
+	Assignment []int
+}
+
+// Planner computes replica plans over a market's network for a given
+// provider. The congestion term is charged per replica at the cloudlet's
+// current load plus one (the planner is a single-provider view; market-wide
+// interactions stay in the game packages).
+type Planner struct {
+	Market *mec.Market
+	// Loads is the current number of services cached at each cloudlet
+	// (excluding this provider); nil means an empty network.
+	Loads []int
+}
+
+// NewPlanner builds a planner against the market with the given background
+// loads.
+func NewPlanner(m *mec.Market, loads []int) (*Planner, error) {
+	if m == nil {
+		return nil, fmt.Errorf("replica: nil market")
+	}
+	if loads != nil && len(loads) != m.Net.NumCloudlets() {
+		return nil, fmt.Errorf("replica: %d loads for %d cloudlets", len(loads), m.Net.NumCloudlets())
+	}
+	return &Planner{Market: m, Loads: loads}, nil
+}
+
+// groupCost is the cost of serving one user group from a given replica
+// cloudlet (congestion-free part, scaled by the group's request share).
+func (p *Planner) groupCost(l int, g UserGroup, cloudlet int) float64 {
+	m := p.Market
+	prov := &m.Providers[l]
+	cl := &m.Net.Cloudlets[cloudlet]
+	hops := float64(m.Net.Hops(g.AttachNode, cl.Node))
+	if hops < 0 {
+		return math.Inf(1)
+	}
+	traffic := prov.TrafficGB() * g.Share
+	return cl.ProcPricePerGB*traffic + cl.TransPricePerGBHop*traffic*hops
+}
+
+// groupRemoteCost serves the group from the home DC.
+func (p *Planner) groupRemoteCost(l int, g UserGroup) float64 {
+	m := p.Market
+	prov := &m.Providers[l]
+	dc := &m.Net.DCs[prov.HomeDC]
+	hops := float64(m.Net.Hops(g.AttachNode, dc.Node))
+	if hops < 0 {
+		return math.Inf(1)
+	}
+	hops += float64(dc.BackhaulHops)
+	traffic := prov.TrafficGB() * g.Share
+	return dc.ProcPricePerGB*traffic + dc.TransPricePerGBHop*traffic*hops
+}
+
+// replicaFixedCost is the per-replica overhead at a cloudlet:
+// instantiation, fixed bandwidth charge, congestion at load+1, and the
+// consistency-update shipping for this replica.
+func (p *Planner) replicaFixedCost(l, cloudlet int) float64 {
+	m := p.Market
+	prov := &m.Providers[l]
+	cl := &m.Net.Cloudlets[cloudlet]
+	load := 1
+	if p.Loads != nil {
+		load = p.Loads[cloudlet] + 1
+	}
+	congestion := m.CongestionCoeff(cloudlet) * m.CongestionLevel(load)
+	update := m.UpdateCost(l, cloudlet)
+	return prov.InstCost + cl.FixedBandwidthCost + congestion + update
+}
+
+// evaluate computes the plan cost for a fixed replica set.
+func (p *Planner) evaluate(l int, groups []UserGroup, replicas []int) (float64, []int) {
+	total := 0.0
+	for _, c := range replicas {
+		total += p.replicaFixedCost(l, c)
+	}
+	assign := make([]int, len(groups))
+	for gi, g := range groups {
+		best := p.groupRemoteCost(l, g)
+		assign[gi] = -1
+		for ri, c := range replicas {
+			if cost := p.groupCost(l, g, c); cost < best {
+				best = cost
+				assign[gi] = ri
+			}
+		}
+		total += best
+	}
+	return total, assign
+}
+
+// PlanReplicas greedily places up to maxReplicas replicas for provider l
+// serving the given user groups: starting from the all-remote plan, it
+// repeatedly adds the replica with the largest cost reduction and stops
+// when no addition helps or the budget is exhausted.
+func (p *Planner) PlanReplicas(l int, groups []UserGroup, maxReplicas int) (*Plan, error) {
+	m := p.Market
+	if l < 0 || l >= len(m.Providers) {
+		return nil, fmt.Errorf("replica: provider %d out of range [0,%d)", l, len(m.Providers))
+	}
+	if maxReplicas < 0 {
+		return nil, fmt.Errorf("replica: negative replica budget %d", maxReplicas)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("replica: provider %d has no user groups", l)
+	}
+	shareSum := 0.0
+	for _, g := range groups {
+		if g.AttachNode < 0 || g.AttachNode >= m.Net.Topo.N() {
+			return nil, fmt.Errorf("replica: group attaches at invalid node %d", g.AttachNode)
+		}
+		if g.Share < 0 {
+			return nil, fmt.Errorf("replica: negative request share %v", g.Share)
+		}
+		shareSum += g.Share
+	}
+	if math.Abs(shareSum-1) > 1e-6 {
+		return nil, fmt.Errorf("replica: request shares sum to %v, want 1", shareSum)
+	}
+
+	var replicas []int
+	cost, assign := p.evaluate(l, groups, replicas)
+	used := make(map[int]bool)
+	for len(replicas) < maxReplicas {
+		bestC, bestCost := -1, cost
+		var bestAssign []int
+		for c := 0; c < m.Net.NumCloudlets(); c++ {
+			if used[c] {
+				continue
+			}
+			candCost, candAssign := p.evaluate(l, groups, append(replicas, c))
+			if candCost < bestCost-1e-12 {
+				bestC, bestCost, bestAssign = c, candCost, candAssign
+			}
+		}
+		if bestC < 0 {
+			break // no replica addition helps
+		}
+		replicas = append(replicas, bestC)
+		used[bestC] = true
+		cost, assign = bestCost, bestAssign
+	}
+	return &Plan{
+		Cloudlets:  append([]int(nil), replicas...),
+		Cost:       cost,
+		Assignment: assign,
+	}, nil
+}
+
+// UniformGroups spreads a provider's requests evenly over the given
+// attachment nodes — a convenience for examples and tests.
+func UniformGroups(nodes []int) []UserGroup {
+	groups := make([]UserGroup, len(nodes))
+	for i, n := range nodes {
+		groups[i] = UserGroup{AttachNode: n, Share: 1 / float64(len(nodes))}
+	}
+	return groups
+}

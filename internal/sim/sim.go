@@ -1,0 +1,128 @@
+// Package sim is a small discrete-event simulation kernel with a virtual
+// clock: events are callbacks scheduled at virtual times and executed in
+// (time, insertion) order. It underpins the test-bed emulation, replacing
+// wall-clock flow dynamics with deterministic virtual time.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Kernel is a discrete-event scheduler. The zero value is unusable; call
+// NewKernel.
+type Kernel struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+	// processed counts events executed since creation.
+	processed int
+}
+
+type event struct {
+	time float64
+	seq  int64 // ties broken by insertion order for determinism
+	fn   func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() int { return k.processed }
+
+// Pending returns the number of events not yet executed.
+func (k *Kernel) Pending() int { return k.queue.Len() }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is an
+// error.
+func (k *Kernel) At(t float64, fn func()) error {
+	if fn == nil {
+		return fmt.Errorf("sim: nil event callback")
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("sim: invalid event time %v", t)
+	}
+	if t < k.now {
+		return fmt.Errorf("sim: cannot schedule at %v, clock is at %v", t, k.now)
+	}
+	heap.Push(&k.queue, event{time: t, seq: k.seq, fn: fn})
+	k.seq++
+	return nil
+}
+
+// Schedule schedules fn after the given non-negative virtual delay.
+func (k *Kernel) Schedule(delay float64, fn func()) error {
+	if delay < 0 || math.IsNaN(delay) {
+		return fmt.Errorf("sim: invalid delay %v", delay)
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// Run executes events until the queue is empty (callbacks may schedule
+// more). maxEvents is a runaway backstop; it returns an error when
+// exceeded.
+func (k *Kernel) Run(maxEvents int) error {
+	if maxEvents <= 0 {
+		maxEvents = 10_000_000
+	}
+	for n := 0; k.queue.Len() > 0; n++ {
+		if n >= maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%v", maxEvents, k.now)
+		}
+		e, _ := heap.Pop(&k.queue).(event)
+		k.now = e.time
+		k.processed++
+		e.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with time <= horizon, leaving later events
+// queued, and advances the clock to min(horizon, last event time executed).
+func (k *Kernel) RunUntil(horizon float64, maxEvents int) error {
+	if maxEvents <= 0 {
+		maxEvents = 10_000_000
+	}
+	for n := 0; k.queue.Len() > 0; n++ {
+		if n >= maxEvents {
+			return fmt.Errorf("sim: event budget %d exhausted at t=%v", maxEvents, k.now)
+		}
+		if k.queue[0].time > horizon {
+			break
+		}
+		e, _ := heap.Pop(&k.queue).(event)
+		k.now = e.time
+		k.processed++
+		e.fn()
+	}
+	if k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	if err := k.At(3, func() { order = append(order, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.At(1, func() { order = append(order, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.At(2, func() { order = append(order, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if k.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", k.Now())
+	}
+}
+
+func TestTiesBrokenByInsertion(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		if err := k.At(5, func() { order = append(order, name) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order = %v", order)
+	}
+}
+
+func TestCallbacksMaySchedule(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			if err := k.Schedule(1, tick); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	if err := k.Schedule(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 || k.Now() != 4 {
+		t.Fatalf("count=%d now=%v, want 5 / 4", count, k.Now())
+	}
+}
+
+func TestSchedulingInPastRejected(t *testing.T) {
+	k := NewKernel()
+	if err := k.At(10, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.At(5, func() {}); err == nil {
+		t.Fatal("scheduling in the past accepted")
+	}
+	if err := k.Schedule(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	if err := k.At(math.NaN(), func() {}); err == nil {
+		t.Fatal("NaN time accepted")
+	}
+	if err := k.At(11, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		if err := k.At(tm, func() { fired = append(fired, tm) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.RunUntil(2.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if k.Now() != 2.5 {
+		t.Fatalf("clock = %v, want 2.5", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after full run", fired)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	k := NewKernel()
+	var forever func()
+	forever = func() {
+		if err := k.Schedule(1, forever); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := k.Schedule(0, forever); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(100); err == nil {
+		t.Fatal("runaway schedule not caught by budget")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		if err := k.Schedule(float64(i), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Processed() != 7 {
+		t.Fatalf("processed = %d, want 7", k.Processed())
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		if err := k.Schedule(float64(i%100), func() {}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1000 == 999 {
+			if err := k.Run(0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

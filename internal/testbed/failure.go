@@ -1,0 +1,131 @@
+package testbed
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/graph"
+)
+
+// The paper's test-bed wires every switch to at least two others so "the
+// network data can still be transmitted if one switch is down". This file
+// implements that failure mode: switches can be failed and restored, transit
+// re-routes around the failure, and servers attached to a failed switch are
+// cut off.
+
+// FailSwitch marks an underlay switch as down. All underlay paths are
+// recomputed around it; servers attached to it lose connectivity (their
+// tunnels report +Inf latency). Failing an already-failed switch is an
+// error.
+func (u *Underlay) FailSwitch(s int) error {
+	if s < 0 || s >= len(u.Switches) {
+		return fmt.Errorf("testbed: switch %d out of range [0,%d)", s, len(u.Switches))
+	}
+	if u.failed == nil {
+		u.failed = make(map[int]bool)
+	}
+	if u.failed[s] {
+		return fmt.Errorf("testbed: switch %d already failed", s)
+	}
+	u.failed[s] = true
+	u.recomputePaths()
+	return nil
+}
+
+// RestoreSwitch brings a failed switch back. Restoring a healthy switch is
+// an error.
+func (u *Underlay) RestoreSwitch(s int) error {
+	if s < 0 || s >= len(u.Switches) {
+		return fmt.Errorf("testbed: switch %d out of range [0,%d)", s, len(u.Switches))
+	}
+	if !u.failed[s] {
+		return fmt.Errorf("testbed: switch %d is not failed", s)
+	}
+	delete(u.failed, s)
+	u.recomputePaths()
+	return nil
+}
+
+// Failed reports whether the switch is currently down.
+func (u *Underlay) Failed(s int) bool { return u.failed[s] }
+
+// recomputePaths rebuilds the shortest-path trees over the surviving
+// switches only.
+func (u *Underlay) recomputePaths() {
+	// Build the surviving subgraph. Failed switches keep their node IDs but
+	// lose every incident link.
+	sub := graph.New(len(u.Switches), false)
+	for s := 0; s < u.g.N(); s++ {
+		if u.failed[s] {
+			continue
+		}
+		for _, e := range u.g.Neighbors(s) {
+			if s < e.To && !u.failed[e.To] {
+				// The original graph is valid, so re-adding edges cannot fail.
+				_ = sub.AddEdge(s, e.To, e.Weight)
+			}
+		}
+	}
+	for s := range u.Switches {
+		if u.failed[s] {
+			// A failed switch reaches nothing, not even itself.
+			u.paths[s] = unreachableFrom(s, len(u.Switches))
+			continue
+		}
+		u.paths[s] = sub.Dijkstra(s)
+		// Paths into failed switches must also read as unreachable even
+		// though the subgraph technically contains the isolated node.
+	}
+}
+
+// unreachableFrom builds a ShortestPaths result where everything is
+// unreachable (used for failed sources).
+func unreachableFrom(src, n int) graph.ShortestPaths {
+	sp := graph.ShortestPaths{
+		Source: src,
+		Dist:   make([]float64, n),
+		Prev:   make([]int, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.Prev[i] = -1
+	}
+	return sp
+}
+
+// SurvivesSingleSwitchFailure verifies the paper's resilience property:
+// after failing any one switch, the remaining switches are still pairwise
+// connected. The underlay is left in its original state.
+func (u *Underlay) SurvivesSingleSwitchFailure() (bool, error) {
+	for s := range u.Switches {
+		if u.failed[s] {
+			return false, fmt.Errorf("testbed: resilience check requires a healthy underlay")
+		}
+	}
+	ok := true
+	for s := range u.Switches {
+		if err := u.FailSwitch(s); err != nil {
+			return false, err
+		}
+		for a := range u.Switches {
+			if a == s {
+				continue
+			}
+			for b := range u.Switches {
+				if b == s || b == a {
+					continue
+				}
+				if math.IsInf(u.PathLatencyMs(a, b), 1) {
+					ok = false
+				}
+			}
+		}
+		if err := u.RestoreSwitch(s); err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return ok, nil
+}

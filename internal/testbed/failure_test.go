@@ -1,0 +1,205 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/core"
+)
+
+func TestSurvivesSingleSwitchFailure(t *testing.T) {
+	u, err := NewUnderlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := u.SurvivesSingleSwitchFailure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("underlay does not survive a single switch failure — the paper's resilience requirement")
+	}
+	// The check must leave the underlay healthy.
+	for s := range u.Switches {
+		if u.Failed(s) {
+			t.Fatalf("switch %d left failed after resilience check", s)
+		}
+	}
+}
+
+func TestFailureReroutesTransit(t *testing.T) {
+	u, err := NewUnderlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Record all healthy path latencies, then fail each switch and check
+	// that surviving pairs never get faster (rerouting can only lengthen).
+	n := u.NumSwitches()
+	healthy := make([][]float64, n)
+	for a := 0; a < n; a++ {
+		healthy[a] = make([]float64, n)
+		for b := 0; b < n; b++ {
+			healthy[a][b] = u.PathLatencyMs(a, b)
+		}
+	}
+	for s := 0; s < n; s++ {
+		if err := u.FailSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == s || b == s {
+					if a != b && !math.IsInf(u.PathLatencyMs(a, b), 1) {
+						t.Fatalf("path touching failed switch %d reported finite latency", s)
+					}
+					continue
+				}
+				if u.PathLatencyMs(a, b) < healthy[a][b]-1e-12 {
+					t.Fatalf("failing switch %d made path %d-%d faster", s, a, b)
+				}
+			}
+		}
+		if err := u.RestoreSwitch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Restored underlay must match the healthy baseline exactly.
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if u.PathLatencyMs(a, b) != healthy[a][b] {
+				t.Fatalf("restore did not recover path %d-%d", a, b)
+			}
+		}
+	}
+}
+
+func TestFailureAffectsTunnelLatency(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.Workload.NumProviders = 10
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two overlay nodes on servers attached to different switches.
+	var a, b int
+	found := false
+	for i := 0; i < tb.Overlay.N() && !found; i++ {
+		for j := i + 1; j < tb.Overlay.N(); j++ {
+			si := tb.Underlay.Servers[tb.HostServer[i]].Switch
+			sj := tb.Underlay.Servers[tb.HostServer[j]].Switch
+			if si != sj {
+				a, b = i, j
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no cross-switch overlay pair found")
+	}
+	before := tb.TunnelLatencyMs(a, b)
+	// Fail the switch hosting a: the tunnel must become unreachable.
+	sa := tb.Underlay.Servers[tb.HostServer[a]].Switch
+	if err := tb.Underlay.FailSwitch(sa); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(tb.TunnelLatencyMs(a, b), 1) {
+		t.Fatal("tunnel through failed host switch still reachable")
+	}
+	if err := tb.Underlay.RestoreSwitch(sa); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.TunnelLatencyMs(a, b); got != before {
+		t.Fatalf("tunnel latency %v after restore, want %v", got, before)
+	}
+}
+
+func TestFailureValidation(t *testing.T) {
+	u, err := NewUnderlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.FailSwitch(99); err == nil {
+		t.Fatal("out-of-range switch accepted")
+	}
+	if err := u.RestoreSwitch(0); err == nil {
+		t.Fatal("restoring healthy switch accepted")
+	}
+	if err := u.FailSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.FailSwitch(0); err == nil {
+		t.Fatal("double failure accepted")
+	}
+	if _, err := u.SurvivesSingleSwitchFailure(); err == nil {
+		t.Fatal("resilience check on degraded underlay accepted")
+	}
+	if err := u.RestoreSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleFailureMayPartition(t *testing.T) {
+	// Failing two switches can cut off transit for some pairs; the model
+	// must report it as unreachable, not panic.
+	u, err := NewUnderlay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := u.FailSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.FailSwitch(2); err != nil {
+		t.Fatal(err)
+	}
+	// Remaining switches 1, 3, 4: links 3-4 and 1-4 survive; all three
+	// should still reach each other in this particular topology.
+	for _, pair := range [][2]int{{1, 3}, {1, 4}, {3, 4}} {
+		if math.IsInf(u.PathLatencyMs(pair[0], pair[1]), 1) {
+			t.Fatalf("pair %v unexpectedly partitioned", pair)
+		}
+	}
+}
+
+func TestMeasureCountsUnreachableFlows(t *testing.T) {
+	cfg := DefaultConfig(51)
+	cfg.Workload.NumProviders = 25
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.LCF(tb.Market, core.LCFOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := tb.Deploy(res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := tb.Measure(dep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.FlowsUnreachable != 0 {
+		t.Fatalf("healthy underlay reported %d unreachable flows", healthy.FlowsUnreachable)
+	}
+	if err := tb.Underlay.FailSwitch(0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := tb.Underlay.RestoreSwitch(0); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	degraded, err := tb.Measure(dep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.FlowsUnreachable == 0 {
+		t.Fatal("switch failure left every flow reachable on a 5-server overlay")
+	}
+	if degraded.FlowsCompleted+degraded.FlowsUnreachable != len(tb.Market.Providers) {
+		t.Fatalf("flow accounting: %d completed + %d unreachable != %d providers",
+			degraded.FlowsCompleted, degraded.FlowsUnreachable, len(tb.Market.Providers))
+	}
+}

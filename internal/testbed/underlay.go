@@ -1,0 +1,157 @@
+// Package testbed emulates the paper's Section IV-C test-bed in
+// deterministic virtual time: a physical underlay of five hardware switches
+// and five servers, an overlay of Open-vSwitch nodes and VMs built on the
+// AS1755 topology and connected by VXLAN-style tunnels mapped onto underlay
+// paths, and a controller that runs the caching algorithms as applications
+// and installs flow rules for every deployed service.
+//
+// The hardware test-bed itself (Huawei/H3C/Ruijie/Cisco/Centec switches,
+// i7-8700 servers, a Ryu controller) is not reproducible offline; this
+// package substitutes a flow-level discrete-event emulation that exercises
+// the identical decision -> flow-installation -> measurement pipeline. The
+// measured social cost is computed from the installed deployment artifacts
+// (tunnel paths, tenant counts), so tests can verify it coincides with the
+// analytic cost model.
+package testbed
+
+import (
+	"fmt"
+
+	"mecache/internal/graph"
+)
+
+// SwitchModel identifies an underlay hardware switch; the five models match
+// the paper's test-bed inventory.
+type SwitchModel string
+
+// The underlay switch models from Section IV-C.
+const (
+	SwitchHuawei SwitchModel = "Huawei-S5720-32C-HI-24S-AC"
+	SwitchH3C    SwitchModel = "H3C-S5560-30S-EI"
+	SwitchRuijie SwitchModel = "Ruijie-RG-5750C-28Gt4XS-H"
+	SwitchCisco  SwitchModel = "CISCO-3750X-24T"
+	SwitchCentec SwitchModel = "Centec-aSW1100-48T4X"
+)
+
+// Switch is a physical underlay switch.
+type Switch struct {
+	Model SwitchModel
+	// PortCount bounds how many flow rules the controller may install.
+	PortCount int
+}
+
+// Server is a physical compute host attached to one underlay switch.
+type Server struct {
+	// Name labels the host.
+	Name string
+	// Switch is the index of the underlay switch it attaches to.
+	Switch int
+	// CPUCores and RAMGiB describe the host (i7-8700: 6 cores, 16 GiB).
+	CPUCores int
+	RAMGiB   int
+}
+
+// Underlay is the physical substrate: switches, inter-switch links with
+// latencies, and servers.
+type Underlay struct {
+	Switches []Switch
+	Servers  []Server
+	// g is the switch graph; edge weights are link latencies in ms.
+	g *graph.Graph
+	// paths caches per-switch shortest-path trees over surviving switches.
+	paths []graph.ShortestPaths
+	// failed marks switches that are currently down (see failure.go).
+	failed map[int]bool
+	// linkCap holds per-link capacities in Gbps, keyed by sorted endpoints.
+	linkCap map[[2]int]float64
+}
+
+// linkKey normalizes an undirected link's endpoints.
+func linkKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// PathLinks returns the underlay links (as sorted endpoint pairs) along the
+// current shortest path between two switches; nil when unreachable or when
+// a == b.
+func (u *Underlay) PathLinks(a, b int) [][2]int {
+	path := u.SwitchPath(a, b)
+	if len(path) < 2 {
+		return nil
+	}
+	links := make([][2]int, 0, len(path)-1)
+	for i := 0; i+1 < len(path); i++ {
+		links = append(links, linkKey(path[i], path[i+1]))
+	}
+	return links
+}
+
+// LinkCapacityGbps returns the capacity of an underlay link, or 0 for an
+// unknown link.
+func (u *Underlay) LinkCapacityGbps(a, b int) float64 {
+	return u.linkCap[linkKey(a, b)]
+}
+
+// NewUnderlay builds the five-switch test-bed underlay. Each switch is
+// connected to at least two others (the paper's resilience requirement:
+// traffic survives one switch failure), with per-link latencies in
+// milliseconds.
+func NewUnderlay() (*Underlay, error) {
+	u := &Underlay{
+		Switches: []Switch{
+			{Model: SwitchHuawei, PortCount: 24},
+			{Model: SwitchH3C, PortCount: 30},
+			{Model: SwitchRuijie, PortCount: 28},
+			{Model: SwitchCisco, PortCount: 24},
+			{Model: SwitchCentec, PortCount: 48},
+		},
+	}
+	u.g = graph.New(len(u.Switches), false)
+	// Ring plus two chords: every switch has degree >= 2. Capacities match
+	// the hardware's uplink ports (10 GbE trunks, one 40 GbE chord).
+	links := []struct {
+		a, b         int
+		latencyMs    float64
+		capacityGbps float64
+	}{
+		{0, 1, 0.08, 10}, {1, 2, 0.06, 10}, {2, 3, 0.07, 10}, {3, 4, 0.05, 10}, {4, 0, 0.09, 10},
+		{0, 2, 0.11, 40}, {1, 4, 0.10, 10},
+	}
+	u.linkCap = make(map[[2]int]float64, len(links))
+	for _, l := range links {
+		if err := u.g.AddEdge(l.a, l.b, l.latencyMs); err != nil {
+			return nil, fmt.Errorf("testbed: underlay link (%d,%d): %w", l.a, l.b, err)
+		}
+		u.linkCap[linkKey(l.a, l.b)] = l.capacityGbps
+	}
+	for i := 0; i < 5; i++ {
+		u.Servers = append(u.Servers, Server{
+			Name:     fmt.Sprintf("server-%d", i),
+			Switch:   i,
+			CPUCores: 6,
+			RAMGiB:   16,
+		})
+	}
+	u.paths = make([]graph.ShortestPaths, len(u.Switches))
+	for s := range u.Switches {
+		u.paths[s] = u.g.Dijkstra(s)
+	}
+	return u, nil
+}
+
+// SwitchPath returns the underlay switch sequence between two switches
+// (inclusive); nil only if disconnected, which the fixed topology prevents.
+func (u *Underlay) SwitchPath(a, b int) []int {
+	return u.paths[a].PathTo(b)
+}
+
+// PathLatencyMs returns the one-way underlay latency between two switches.
+func (u *Underlay) PathLatencyMs(a, b int) float64 {
+	return u.paths[a].Dist[b]
+}
+
+// NumSwitches returns the underlay switch count.
+func (u *Underlay) NumSwitches() int { return len(u.Switches) }

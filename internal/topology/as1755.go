@@ -1,0 +1,71 @@
+package topology
+
+import (
+	"math"
+
+	"mecache/internal/graph"
+	"mecache/internal/rng"
+)
+
+// as1755Nodes and as1755Links match the published size of the Internet
+// Topology Zoo's AS1755 (Ebone) map used for the paper's test-bed overlay.
+// The Zoo dataset itself is an external artifact; we synthesize a
+// deterministic graph of the same scale and degree character (a sparse
+// European backbone: a long ring of PoPs with preferential-attachment
+// chords). The algorithms under test consume only node count, locality and
+// path lengths, all of which the synthetic twin preserves.
+const (
+	as1755Nodes = 87
+	as1755Links = 161
+)
+
+// AS1755 returns the deterministic AS1755-like topology (87 nodes,
+// 161 links). Repeated calls return structurally identical topologies.
+func AS1755() *Topology {
+	r := rng.New(0x1755)
+	n := as1755Nodes
+	g := graph.New(n, false)
+	pos := make([]Point, n)
+
+	// PoPs arranged on an ellipse (roughly how Ebone's European PoPs lay
+	// out), with jitter for distinct link weights.
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pos[i] = Point{
+			X: clamp01(0.5 + 0.42*math.Cos(theta) + r.FloatRange(-0.02, 0.02)),
+			Y: clamp01(0.5 + 0.30*math.Sin(theta) + r.FloatRange(-0.02, 0.02)),
+		}
+	}
+	// Backbone ring: n links.
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		_ = g.AddEdge(i, j, dist(pos[i], pos[j])+0.01)
+	}
+	// Preferential-attachment chords until the published link count is hit.
+	// Degree-weighted endpoint selection reproduces the Zoo map's skewed
+	// degree distribution (a few high-degree hub PoPs).
+	degreeSum := 2 * n
+	for g.M() < as1755Links {
+		u := pickByDegree(r, g, degreeSum)
+		v := r.Intn(n)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		_ = g.AddEdge(u, v, dist(pos[u], pos[v])+0.01)
+		degreeSum += 2
+	}
+	return &Topology{Name: "as1755", Graph: g, Pos: pos}
+}
+
+// pickByDegree samples a node with probability proportional to its degree.
+func pickByDegree(r *rng.Source, g *graph.Graph, degreeSum int) int {
+	target := r.Intn(degreeSum)
+	acc := 0
+	for v := 0; v < g.N(); v++ {
+		acc += g.Degree(v)
+		if target < acc {
+			return v
+		}
+	}
+	return g.N() - 1
+}

@@ -1,0 +1,186 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/graph"
+	"mecache/internal/rng"
+)
+
+// TransitStubConfig parameterizes the GT-ITM-style hierarchical generator.
+// The classic GT-ITM transit-stub model builds a small, densely connected
+// transit backbone; each transit node sponsors several stub domains; stub
+// domains are internally connected random graphs attached to their transit
+// node.
+type TransitStubConfig struct {
+	// Transits is the number of transit (backbone) domains. Must be >= 1.
+	Transits int
+	// NodesPerTransit is the number of backbone nodes per transit domain.
+	NodesPerTransit int
+	// StubsPerTransitNode is the number of stub domains hanging off each
+	// transit node.
+	StubsPerTransitNode int
+	// NodesPerStub is the number of nodes in each stub domain.
+	NodesPerStub int
+	// IntraStubProb is the probability of an edge between two nodes of the
+	// same stub domain (on top of a spanning path that keeps it connected).
+	IntraStubProb float64
+	// ExtraTransitProb adds redundant transit-transit links beyond the
+	// backbone ring for resilience, as GT-ITM does.
+	ExtraTransitProb float64
+}
+
+// DefaultTransitStub returns a configuration that yields approximately n
+// nodes with GT-ITM's canonical 1:3 transit:stub flavor. The generated size
+// is exact for the sizes used in the paper's sweeps (50..400) because the
+// remainder is absorbed by the final stub domain.
+func DefaultTransitStub(n int) TransitStubConfig {
+	// Scale the backbone with sqrt(n) so large networks get a larger core.
+	transitNodes := int(math.Max(2, math.Round(math.Sqrt(float64(n))/2)))
+	return TransitStubConfig{
+		Transits:            1,
+		NodesPerTransit:     transitNodes,
+		StubsPerTransitNode: 2,
+		NodesPerStub:        4,
+		IntraStubProb:       0.3,
+		ExtraTransitProb:    0.3,
+	}
+}
+
+// TransitStub generates a GT-ITM-style transit-stub topology with exactly n
+// nodes. Backbone nodes are placed centrally; stub domains cluster around
+// their transit node, so edge weights (geometric distances) preserve the
+// locality structure the MEC experiments rely on (cloudlets near the edge,
+// data centers in the core).
+func TransitStub(r *rng.Source, n int, cfg TransitStubConfig) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: TransitStub needs n >= 2, got %d", n)
+	}
+	if cfg.Transits < 1 || cfg.NodesPerTransit < 1 {
+		return nil, fmt.Errorf("topology: invalid transit configuration %+v", cfg)
+	}
+	backbone := cfg.Transits * cfg.NodesPerTransit
+	if backbone > n {
+		backbone = n
+	}
+
+	g := graph.New(n, false)
+	pos := make([]Point, n)
+
+	// Place backbone nodes on a small central circle.
+	for i := 0; i < backbone; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(backbone)
+		pos[i] = Point{
+			X: 0.5 + 0.12*math.Cos(theta) + r.FloatRange(-0.01, 0.01),
+			Y: 0.5 + 0.12*math.Sin(theta) + r.FloatRange(-0.01, 0.01),
+		}
+	}
+	// Backbone ring plus random chords.
+	for i := 0; i < backbone; i++ {
+		j := (i + 1) % backbone
+		if i != j && !g.HasEdge(i, j) {
+			if err := g.AddEdge(i, j, dist(pos[i], pos[j])+0.01); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := 0; i < backbone; i++ {
+		for j := i + 2; j < backbone; j++ {
+			if !g.HasEdge(i, j) && r.Bool(cfg.ExtraTransitProb) {
+				if err := g.AddEdge(i, j, dist(pos[i], pos[j])+0.01); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Distribute the remaining nodes into stub domains round-robin over
+	// transit nodes; each stub is a connected cluster near its transit node.
+	remaining := n - backbone
+	stubSize := cfg.NodesPerStub
+	if stubSize < 1 {
+		stubSize = 4
+	}
+	next := backbone
+	transit := 0
+	for remaining > 0 {
+		size := stubSize
+		if size > remaining {
+			size = remaining
+		}
+		anchor := transit % backbone
+		transit++
+		// Cluster center pushed outward from the backbone circle.
+		theta := 2 * math.Pi * (float64(anchor)/float64(backbone) + r.FloatRange(-0.08, 0.08))
+		radius := r.FloatRange(0.28, 0.45)
+		cx := 0.5 + radius*math.Cos(theta)
+		cy := 0.5 + radius*math.Sin(theta)
+		members := make([]int, 0, size)
+		for k := 0; k < size; k++ {
+			id := next
+			next++
+			pos[id] = Point{
+				X: clamp01(cx + r.FloatRange(-0.06, 0.06)),
+				Y: clamp01(cy + r.FloatRange(-0.06, 0.06)),
+			}
+			members = append(members, id)
+		}
+		// Spanning path keeps the stub connected; extra intra-stub edges by
+		// probability.
+		for k := 1; k < len(members); k++ {
+			u, v := members[k-1], members[k]
+			if err := g.AddEdge(u, v, dist(pos[u], pos[v])+0.01); err != nil {
+				return nil, err
+			}
+		}
+		for a := 0; a < len(members); a++ {
+			for b := a + 2; b < len(members); b++ {
+				if r.Bool(cfg.IntraStubProb) {
+					u, v := members[a], members[b]
+					if !g.HasEdge(u, v) {
+						if err := g.AddEdge(u, v, dist(pos[u], pos[v])+0.01); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+		// Attach the stub to its transit node (and occasionally a second one,
+		// GT-ITM's multi-homing).
+		gate := members[0]
+		if err := g.AddEdge(gate, anchor, dist(pos[gate], pos[anchor])+0.01); err != nil {
+			return nil, err
+		}
+		if backbone > 1 && r.Bool(0.25) {
+			second := (anchor + 1 + r.Intn(backbone-1)) % backbone
+			tail := members[len(members)-1]
+			if second != anchor && !g.HasEdge(tail, second) && tail != second {
+				if err := g.AddEdge(tail, second, dist(pos[tail], pos[second])+0.01); err != nil {
+					return nil, err
+				}
+			}
+		}
+		remaining -= size
+	}
+
+	ensureConnected(g, pos)
+	return &Topology{Name: fmt.Sprintf("gtitm-%d", n), Graph: g, Pos: pos}, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// GTITM is the convenience entry point used by the experiment drivers: a
+// transit-stub network of exactly n nodes with the default configuration,
+// deterministically derived from seed.
+func GTITM(seed uint64, n int) (*Topology, error) {
+	return TransitStub(rng.New(seed), n, DefaultTransitStub(n))
+}

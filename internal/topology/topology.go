@@ -1,0 +1,117 @@
+// Package topology generates the network topologies used in the paper's
+// evaluation: GT-ITM-style transit-stub hierarchies and Waxman random graphs
+// for the simulations (Section IV-A varies GT-ITM networks from 50 to 400
+// switch nodes), and an AS1755-like Internet-Topology-Zoo graph for the
+// test-bed overlay (Section IV-C).
+//
+// The original GT-ITM tool and the Topology Zoo dataset are external
+// artifacts; this package re-implements their structural models from scratch
+// so that every experiment is self-contained and deterministic. See DESIGN.md
+// section 4 for the substitution rationale.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/graph"
+	"mecache/internal/rng"
+)
+
+// Point is a node position on the unit plane; generators place nodes
+// geometrically so that edge weights can reflect distance locality.
+type Point struct {
+	X, Y float64
+}
+
+// Topology is a generated network: a connected undirected graph plus node
+// coordinates (used for distance-dependent edge probabilities and weights).
+type Topology struct {
+	Name  string
+	Graph *graph.Graph
+	Pos   []Point
+}
+
+// N returns the number of nodes.
+func (t *Topology) N() int { return t.Graph.N() }
+
+// M returns the number of links.
+func (t *Topology) M() int { return t.Graph.M() }
+
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// ensureConnected links any disconnected component to the nearest node of the
+// visited region, preserving geometric locality. Generators call it so every
+// returned topology is connected, matching GT-ITM's post-processing.
+func ensureConnected(g *graph.Graph, pos []Point) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	inMain := make([]bool, n)
+	for _, v := range g.BFSOrder(0) {
+		inMain[v] = true
+	}
+	for {
+		// Find the first node outside the main component.
+		u := -1
+		for v := 0; v < n; v++ {
+			if !inMain[v] {
+				u = v
+				break
+			}
+		}
+		if u < 0 {
+			return
+		}
+		// Connect it to the geometrically nearest node inside the component.
+		best, bestD := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if inMain[v] {
+				if d := dist(pos[u], pos[v]); d < bestD {
+					best, bestD = v, d
+				}
+			}
+		}
+		// best is always found because node 0 is in the main component.
+		_ = g.AddEdge(u, best, bestD+0.01)
+		for _, v := range g.BFSOrder(u) {
+			inMain[v] = true
+		}
+	}
+}
+
+// Waxman generates a Waxman random graph with n nodes: nodes are placed
+// uniformly on the unit square and each pair (u,v) is linked with probability
+// alpha * exp(-d(u,v) / (beta * L)), where L is the maximum possible
+// distance. The result is post-processed to be connected. Typical parameters
+// are alpha=0.4, beta=0.14 (the GT-ITM defaults).
+func Waxman(r *rng.Source, n int, alpha, beta float64) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: Waxman needs n > 0, got %d", n)
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 {
+		return nil, fmt.Errorf("topology: Waxman parameters alpha=%v beta=%v out of range", alpha, beta)
+	}
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: r.Float64(), Y: r.Float64()}
+	}
+	g := graph.New(n, false)
+	maxD := math.Sqrt2
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := dist(pos[u], pos[v])
+			if r.Bool(alpha * math.Exp(-d/(beta*maxD))) {
+				if err := g.AddEdge(u, v, d+0.01); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	ensureConnected(g, pos)
+	return &Topology{Name: fmt.Sprintf("waxman-%d", n), Graph: g, Pos: pos}, nil
+}

@@ -1,0 +1,238 @@
+// Package workload generates service-market instances with the parameter
+// settings of the paper's Section IV-A: a topology with cloudlets at 10% of
+// the nodes (placed at the network edge) and 5 remote data centers, VM
+// counts drawn from [15, 30], per-VM bandwidth from [10, 100] Mbps,
+// transmission prices from [$0.05, $0.12]/GB, processing prices from
+// [$0.15, $0.22]/GB, per-request traffic from [10, 200] MB, service data
+// volumes from [1, 5] GB, congestion coefficients α_i, β_i from [0, 1], and
+// consistency updates shipping 10% of the service data volume.
+//
+// Every range is a Config field so that the figure drivers can sweep the
+// parameters the paper sweeps (a_max, b_max, request counts, update volume).
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/topology"
+)
+
+// Range is a closed numeric interval [Lo, Hi].
+type Range struct {
+	Lo, Hi float64
+}
+
+// draw samples uniformly from the range.
+func (rg Range) draw(r *rng.Source) float64 {
+	if rg.Hi <= rg.Lo {
+		return rg.Lo
+	}
+	return r.FloatRange(rg.Lo, rg.Hi)
+}
+
+// IntRange is a closed integer interval [Lo, Hi].
+type IntRange struct {
+	Lo, Hi int
+}
+
+func (rg IntRange) draw(r *rng.Source) int {
+	if rg.Hi <= rg.Lo {
+		return rg.Lo
+	}
+	return r.IntRange(rg.Lo, rg.Hi)
+}
+
+// Config holds every tunable of the Section IV-A setting.
+type Config struct {
+	Seed         uint64
+	NumProviders int
+	// CloudletFraction is the share of topology nodes hosting a cloudlet
+	// (paper: 10%).
+	CloudletFraction float64
+	// NumDCs is the number of remote data centers (paper: 5).
+	NumDCs int
+	// VMs per cloudlet (paper: [15, 30]).
+	VMs IntRange
+	// VMBandwidthMbps is the bandwidth capacity per VM (paper: [10, 100]).
+	VMBandwidthMbps Range
+	// VMComputeUnits is the compute capacity contributed by one VM.
+	VMComputeUnits float64
+	// TransPricePerGB is the transmission price range (paper: [0.05, 0.12]).
+	TransPricePerGB Range
+	// ProcPricePerGB is the processing price range (paper: [0.15, 0.22]).
+	ProcPricePerGB Range
+	// TrafficPerReqMB is per-request traffic volume (paper: [10, 200] MB).
+	TrafficPerReqMB Range
+	// DataGB is the service data volume (paper: [1, 5] GB).
+	DataGB Range
+	// Alpha and Beta are the congestion coefficients (paper: [0, 1]).
+	Alpha Range
+	Beta  Range
+	// UpdateRatio is the consistency-update share of DataGB (paper: 0.10).
+	UpdateRatio float64
+	// Requests per provider.
+	Requests IntRange
+	// ComputeDemand is the total compute demand a_l·r_l of a service, in VM
+	// compute units.
+	ComputeDemand Range
+	// BandwidthDemand is the total bandwidth demand b_l·r_l in Mbps.
+	BandwidthDemand Range
+	// InstCost is c_l^ins.
+	InstCost Range
+	// FixedBandwidthCost is c_i^bdw.
+	FixedBandwidthCost Range
+	// BackhaulHops is the WAN distance between a data center's gateway and
+	// the actual remote cloud (the "remote" in remote data center).
+	BackhaulHops IntRange
+}
+
+// Default returns the Section IV-A parameter setting.
+func Default(seed uint64) Config {
+	return Config{
+		Seed:               seed,
+		NumProviders:       100,
+		CloudletFraction:   0.10,
+		NumDCs:             5,
+		VMs:                IntRange{15, 30},
+		VMBandwidthMbps:    Range{10, 100},
+		VMComputeUnits:     1.0,
+		TransPricePerGB:    Range{0.05, 0.12},
+		ProcPricePerGB:     Range{0.15, 0.22},
+		TrafficPerReqMB:    Range{10, 200},
+		DataGB:             Range{1, 5},
+		Alpha:              Range{0, 1},
+		Beta:               Range{0, 1},
+		UpdateRatio:        0.10,
+		Requests:           IntRange{10, 50},
+		ComputeDemand:      Range{0.5, 3.0},
+		BandwidthDemand:    Range{20, 120},
+		InstCost:           Range{0.5, 1.5},
+		FixedBandwidthCost: Range{0.1, 0.5},
+		BackhaulHops:       IntRange{8, 15},
+	}
+}
+
+// Generate builds a market on the given topology. Cloudlets are placed at
+// the nodes farthest from the topology center (the network edge, where
+// GT-ITM stubs live); data centers at the most central nodes (the core).
+func Generate(topo *topology.Topology, cfg Config) (*mec.Market, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("workload: nil topology")
+	}
+	n := topo.N()
+	numCL := int(float64(n) * cfg.CloudletFraction)
+	if numCL < 1 {
+		numCL = 1
+	}
+	numDC := cfg.NumDCs
+	if numDC < 1 {
+		numDC = 1
+	}
+	if numCL+numDC > n {
+		return nil, fmt.Errorf("workload: %d cloudlets + %d DCs exceed %d nodes", numCL, numDC, n)
+	}
+	if cfg.NumProviders < 1 {
+		return nil, fmt.Errorf("workload: need at least one provider, got %d", cfg.NumProviders)
+	}
+
+	r := rng.New(cfg.Seed)
+
+	// Rank nodes by centrality (distance from the geometric center of the
+	// layout): DCs at the core, cloudlets at the edge.
+	type ranked struct {
+		node int
+		d    float64
+	}
+	nodes := make([]ranked, n)
+	for v := 0; v < n; v++ {
+		dx, dy := topo.Pos[v].X-0.5, topo.Pos[v].Y-0.5
+		nodes[v] = ranked{node: v, d: dx*dx + dy*dy}
+	}
+	sort.Slice(nodes, func(a, b int) bool { return nodes[a].d < nodes[b].d })
+
+	dcNodes := make([]int, numDC)
+	for i := 0; i < numDC; i++ {
+		dcNodes[i] = nodes[i].node
+	}
+	// Cloudlets: random subset of the outer half (the "network edge").
+	outerStart := n / 2
+	if outerStart < numDC {
+		outerStart = numDC
+	}
+	outer := nodes[outerStart:]
+	if len(outer) < numCL {
+		outer = nodes[numDC:]
+	}
+	pick := r.Choose(len(outer), numCL)
+	clNodes := make([]int, numCL)
+	for i, p := range pick {
+		clNodes[i] = outer[p].node
+	}
+
+	cloudlets := make([]mec.Cloudlet, numCL)
+	for i := range cloudlets {
+		vms := cfg.VMs.draw(r)
+		cloudlets[i] = mec.Cloudlet{
+			Node:               clNodes[i],
+			NumVMs:             vms,
+			ComputeCap:         float64(vms) * cfg.VMComputeUnits,
+			BandwidthCap:       float64(vms) * cfg.VMBandwidthMbps.draw(r),
+			Alpha:              cfg.Alpha.draw(r),
+			Beta:               cfg.Beta.draw(r),
+			FixedBandwidthCost: cfg.FixedBandwidthCost.draw(r),
+			ProcPricePerGB:     cfg.ProcPricePerGB.draw(r),
+			TransPricePerGBHop: cfg.TransPricePerGB.draw(r),
+		}
+	}
+	dcs := make([]mec.DataCenter, numDC)
+	for i := range dcs {
+		dcs[i] = mec.DataCenter{
+			Node:               dcNodes[i],
+			BackhaulHops:       cfg.BackhaulHops.draw(r),
+			ProcPricePerGB:     cfg.ProcPricePerGB.draw(r),
+			TransPricePerGBHop: cfg.TransPricePerGB.draw(r),
+		}
+	}
+	net, err := mec.NewNetwork(topo, cloudlets, dcs)
+	if err != nil {
+		return nil, err
+	}
+
+	providers := make([]mec.Provider, cfg.NumProviders)
+	for l := range providers {
+		providers[l] = cfg.DrawProvider(r, numDC, n)
+	}
+	return mec.NewMarket(net, providers)
+}
+
+// DrawProvider samples one provider from the configured ranges, attaching
+// it at a uniform node and homing it at a uniform data center. The dynamic
+// market simulator uses this to draw arrivals from the same population as
+// the static experiments.
+func (cfg Config) DrawProvider(r *rng.Source, numDCs, numNodes int) mec.Provider {
+	reqs := cfg.Requests.draw(r)
+	return mec.Provider{
+		Requests:        reqs,
+		ComputePerReq:   cfg.ComputeDemand.draw(r) / float64(reqs),
+		BandwidthPerReq: cfg.BandwidthDemand.draw(r) / float64(reqs),
+		InstCost:        cfg.InstCost.draw(r),
+		TrafficGBPerReq: cfg.TrafficPerReqMB.draw(r) / 1024.0,
+		DataGB:          cfg.DataGB.draw(r),
+		UpdateRatio:     cfg.UpdateRatio,
+		HomeDC:          r.Intn(numDCs),
+		AttachNode:      r.Intn(numNodes),
+	}
+}
+
+// GenerateGTITM is the convenience used by the simulation figures: a
+// GT-ITM-style topology of the given size plus a market generated with cfg.
+func GenerateGTITM(size int, cfg Config) (*mec.Market, error) {
+	topo, err := topology.GTITM(cfg.Seed^0x9e3779b9, size)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(topo, cfg)
+}

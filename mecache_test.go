@@ -1,0 +1,167 @@
+package mecache_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"mecache"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	market, err := mecache.GenerateMarketGTITM(100, mecache.DefaultWorkload(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mecache.LCF(market, mecache.LCFOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SocialCost <= 0 {
+		t.Fatalf("social cost %v", res.SocialCost)
+	}
+	jo, err := mecache.JoOffloadCache(market, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := mecache.OffloadCache(market)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SocialCost > jo.SocialCost || res.SocialCost > off.SocialCost {
+		t.Fatalf("LCF (%v) should undercut JoOffloadCache (%v) and OffloadCache (%v)",
+			res.SocialCost, jo.SocialCost, off.SocialCost)
+	}
+}
+
+func TestPublicGameAPI(t *testing.T) {
+	market, err := mecache.GenerateMarketGTITM(60, func() mecache.WorkloadConfig {
+		cfg := mecache.DefaultWorkload(2)
+		cfg.NumProviders = 20
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mecache.NewGame(market)
+	dyn, err := mecache.BestResponseDynamics(g, mecache.AllRemote(market), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dyn.Converged {
+		t.Fatal("dynamics did not converge")
+	}
+	if !g.IsNash(dyn.Placement) {
+		t.Fatal("not a Nash equilibrium")
+	}
+}
+
+func TestPublicTopologyAPI(t *testing.T) {
+	top, err := mecache.GTITM(1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.N() != 120 {
+		t.Fatalf("GTITM size %d", top.N())
+	}
+	as := mecache.AS1755()
+	if as.N() != 87 || as.M() != 161 {
+		t.Fatalf("AS1755 shape %d/%d", as.N(), as.M())
+	}
+	wax, err := mecache.Waxman(2, 40, 0.4, 0.14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wax.N() != 40 {
+		t.Fatalf("Waxman size %d", wax.N())
+	}
+}
+
+func TestPublicTestbedAPI(t *testing.T) {
+	cfg := mecache.DefaultTestbedConfig(5)
+	cfg.Workload.NumProviders = 15
+	tb, err := mecache.NewTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mecache.LCF(tb.Market, mecache.LCFOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := tb.Deploy(res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := tb.Measure(dep, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tb.Market.SocialCost(res.Placement)
+	if math.Abs(meas.MeasuredSocialCost-want) > 1e-6*math.Max(1, want) {
+		t.Fatalf("measured %v != model %v", meas.MeasuredSocialCost, want)
+	}
+}
+
+func TestPublicExperimentAPI(t *testing.T) {
+	cfg := mecache.DefaultFig2(1)
+	cfg.Sizes = []int{50}
+	cfg.NumProviders = 20
+	cfg.Reps = 1
+	fig, err := mecache.Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestApproximationRatioAndPoABound(t *testing.T) {
+	market, err := mecache.GenerateMarketGTITM(80, mecache.DefaultWorkload(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := mecache.ApproximationRatio(market)
+	if ratio <= 1 {
+		t.Fatalf("approximation ratio %v", ratio)
+	}
+	if b := mecache.PoABound(2, 3, 0.5); b <= 0 || math.IsInf(b, 0) {
+		t.Fatalf("PoA bound %v", b)
+	}
+}
+
+func TestManualMarketConstruction(t *testing.T) {
+	top, err := mecache.GTITM(9, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := mecache.NewNetwork(top,
+		[]mecache.Cloudlet{{
+			Node: 10, NumVMs: 20, ComputeCap: 20, BandwidthCap: 500,
+			Alpha: 0.5, Beta: 0.5, FixedBandwidthCost: 0.2,
+			ProcPricePerGB: 0.2, TransPricePerGBHop: 0.1,
+		}},
+		[]mecache.DataCenter{{Node: 0, BackhaulHops: 10, ProcPricePerGB: 0.2, TransPricePerGBHop: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	market, err := mecache.NewMarket(net, []mecache.Provider{{
+		Requests: 20, ComputePerReq: 0.05, BandwidthPerReq: 2,
+		InstCost: 1, TrafficGBPerReq: 0.05, DataGB: 2, UpdateRatio: 0.1,
+		HomeDC: 0, AttachNode: 20,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mecache.Appro(market, mecache.ApproOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := market.Validate(res.Placement); err != nil {
+		t.Fatal(err)
+	}
+}

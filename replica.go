@@ -1,0 +1,30 @@
+package mecache
+
+import (
+	"mecache/internal/replica"
+)
+
+// Multi-replica caching: the extension direction of the paper's reference
+// [26] ("Collaborate or separate?") — a provider caches several replicas
+// and each user group is served by the nearest instance.
+type (
+	// ReplicaPlanner computes replica placements for one provider against
+	// a market and its current cloudlet loads.
+	ReplicaPlanner = replica.Planner
+	// ReplicaPlan is a chosen replica set with its cost and per-group
+	// serving assignment.
+	ReplicaPlan = replica.Plan
+	// UserGroup is an attachment node plus its share of a provider's
+	// requests.
+	UserGroup = replica.UserGroup
+)
+
+// NewReplicaPlanner builds a planner; loads gives the current number of
+// services at each cloudlet (nil for an empty network).
+func NewReplicaPlanner(m *Market, loads []int) (*ReplicaPlanner, error) {
+	return replica.NewPlanner(m, loads)
+}
+
+// UniformUserGroups spreads a provider's requests evenly over the given
+// attachment nodes.
+func UniformUserGroups(nodes []int) []UserGroup { return replica.UniformGroups(nodes) }
