@@ -1,0 +1,156 @@
+// Command mecfault runs the dynamic service market under fault injection:
+// cloudlets suffer outages and repairs, cached instances crash, and the
+// affected providers recover according to a failover policy. A single run
+// reports resilience metrics as JSON; -sweep runs the full Fig-F resilience
+// sweep (failure rate x policy) and renders its tables.
+//
+// Usage:
+//
+//	mecfault -horizon 200 -mtbf 100 -mttr 5 -policy re-place
+//	mecfault -sweep -seed 7
+//	mecfault -sweep -csv > figf.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mecache"
+)
+
+// output is the JSON document a single mecfault run emits.
+type output struct {
+	Horizon              float64 `json:"horizon"`
+	ArrivalRate          float64 `json:"arrivalRate"`
+	MeanLifetime         float64 `json:"meanLifetime"`
+	Epoch                float64 `json:"epoch"`
+	Xi                   float64 `json:"xi"`
+	Seed                 uint64  `json:"seed"`
+	CloudletMTBF         float64 `json:"cloudletMTBF"`
+	CloudletMTTR         float64 `json:"cloudletMTTR"`
+	InstanceMTBF         float64 `json:"instanceMTBF"`
+	Policy               string  `json:"policy"`
+	Arrivals             int     `json:"arrivals"`
+	Departures           int     `json:"departures"`
+	Rejections           int     `json:"rejections"`
+	TimeAvgSocialCost    float64 `json:"timeAvgSocialCost"`
+	CachedFraction       float64 `json:"cachedFraction"`
+	CloudletOutages      int     `json:"cloudletOutages"`
+	CloudletRepairs      int     `json:"cloudletRepairs"`
+	InstanceCrashes      int     `json:"instanceCrashes"`
+	Failovers            int     `json:"failovers"`
+	FailoverReplacements int     `json:"failoverReplacements"`
+	FailbackReturns      int     `json:"failbackReturns"`
+	WaitTimeouts         int     `json:"waitTimeouts"`
+	Availability         float64 `json:"availability"`
+	MeanTimeToRecover    float64 `json:"meanTimeToRecover"`
+	SLAViolationFraction float64 `json:"slaViolationFraction"`
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mecfault:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mecfault", flag.ContinueOnError)
+	horizon := fs.Float64("horizon", 200, "virtual simulation duration")
+	rate := fs.Float64("rate", 1.0, "provider arrival rate")
+	lifetime := fs.Float64("lifetime", 40, "mean service lifetime")
+	epoch := fs.Float64("epoch", 20, "LCF re-optimization period (0 = selfish only)")
+	xi := fs.Float64("xi", 0.7, "coordinated fraction at each epoch")
+	seed := fs.Uint64("seed", 1, "random seed")
+	size := fs.Int("size", 150, "GT-ITM network size")
+	mtbf := fs.Float64("mtbf", 100, "mean cloudlet up-time between outages (0 disables outages)")
+	mttr := fs.Float64("mttr", 5, "mean cloudlet outage duration")
+	instMTBF := fs.Float64("instance-mtbf", 0, "mean cached-instance up-time before a crash (0 disables crashes)")
+	detection := fs.Float64("detection", 0.5, "failure detection delay")
+	waitTimeout := fs.Float64("wait-timeout", 20, "give-up time for wait-for-repair")
+	policyName := fs.String("policy", mecache.PolicyRemoteFallback.String(),
+		"failover policy: "+strings.Join(policyNames(), ", "))
+	sweep := fs.Bool("sweep", false, "run the Fig-F resilience sweep instead of a single run")
+	csv := fs.Bool("csv", false, "with -sweep, emit CSV instead of aligned tables")
+	pretty := fs.Bool("pretty", true, "indent the JSON output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sweep {
+		cfg := mecache.DefaultFigF(*seed)
+		fig, err := mecache.FigF(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			return fig.WriteCSV(w)
+		}
+		return fig.Render(w)
+	}
+
+	policy, err := mecache.ParseFailoverPolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	cfg := mecache.DefaultDynamicConfig(*seed)
+	cfg.Horizon = *horizon
+	cfg.ArrivalRate = *rate
+	cfg.MeanLifetime = *lifetime
+	cfg.Epoch = *epoch
+	cfg.Xi = *xi
+	cfg.Fault = mecache.FaultConfig{
+		CloudletMTBF:   *mtbf,
+		CloudletMTTR:   *mttr,
+		InstanceMTBF:   *instMTBF,
+		DetectionDelay: *detection,
+		WaitTimeout:    *waitTimeout,
+		Policy:         policy,
+	}
+
+	topo, err := mecache.GTITM(*seed, *size)
+	if err != nil {
+		return err
+	}
+	sim, err := mecache.NewDynamicSimulator(topo, cfg)
+	if err != nil {
+		return err
+	}
+	m, err := sim.Run()
+	if err != nil {
+		return err
+	}
+
+	out := output{
+		Horizon: *horizon, ArrivalRate: *rate, MeanLifetime: *lifetime,
+		Epoch: *epoch, Xi: *xi, Seed: *seed,
+		CloudletMTBF: *mtbf, CloudletMTTR: *mttr, InstanceMTBF: *instMTBF,
+		Policy:   policy.String(),
+		Arrivals: m.Arrivals, Departures: m.Departures, Rejections: m.Rejections,
+		TimeAvgSocialCost: m.TimeAvgSocialCost, CachedFraction: m.CachedFraction,
+		CloudletOutages: m.CloudletOutages, CloudletRepairs: m.CloudletRepairs,
+		InstanceCrashes: m.InstanceCrashes, Failovers: m.Failovers,
+		FailoverReplacements: m.FailoverReplacements, FailbackReturns: m.FailbackReturns,
+		WaitTimeouts: m.WaitTimeouts, Availability: m.Availability,
+		MeanTimeToRecover: m.MeanTimeToRecover, SLAViolationFraction: m.SLAViolationFraction,
+	}
+	enc := json.NewEncoder(w)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(out)
+}
+
+// policyNames lists the accepted -policy values.
+func policyNames() []string {
+	ps := mecache.FailoverPolicies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.String()
+	}
+	return names
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-horizon", "60", "-mtbf", "30", "-mttr", "4", "-seed", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if out.Arrivals == 0 || out.TimeAvgSocialCost <= 0 {
+		t.Fatalf("implausible metrics %+v", out)
+	}
+	if out.Availability <= 0 || out.Availability > 1 {
+		t.Fatalf("availability %v outside (0,1]", out.Availability)
+	}
+	if out.Policy != "remote-fallback" {
+		t.Fatalf("default policy echoed as %q", out.Policy)
+	}
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, pol := range []string{"remote-fallback", "re-place", "wait-for-repair"} {
+		var buf bytes.Buffer
+		if err := run(&buf, []string{"-horizon", "50", "-mtbf", "25", "-policy", pol}); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+		var out output
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Policy != pol {
+			t.Fatalf("policy echoed as %q, want %q", out.Policy, pol)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	args := []string{"-horizon", "50", "-mtbf", "25", "-seed", "9", "-policy", "re-place"}
+	var a, b bytes.Buffer
+	if err := run(&a, args); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, args); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("same-seed runs diverge:\n%s\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-sweep", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"Fig F", "availability", "remote-fallback", "re-place", "wait-for-repair"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, text)
+		}
+	}
+	buf.Reset()
+	if err := run(&buf, []string{"-sweep", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "failure rate,remote-fallback") {
+		t.Fatalf("CSV sweep missing header:\n%s", buf.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-policy", "nonsense"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run(&buf, []string{"-horizon", "0"}); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	if err := run(&buf, []string{"-mtbf", "10", "-mttr", "0"}); err == nil {
+		t.Fatal("zero MTTR with outages enabled accepted")
+	}
+}

@@ -223,3 +223,79 @@ func TestFacadeWeightedGame(t *testing.T) {
 		t.Fatal("weighted dynamics did not reach a Nash equilibrium")
 	}
 }
+
+func TestFacadeFaultInjection(t *testing.T) {
+	// Dynamic market under faults through the facade.
+	cfg := mecache.DefaultDynamicConfig(3)
+	cfg.Horizon = 40
+	cfg.Fault = mecache.DefaultFaultConfig()
+	cfg.Fault.CloudletMTBF = 20
+	cfg.Fault.CloudletMTTR = 3
+	cfg.Fault.Policy = mecache.PolicyReplace
+	sim, err := mecache.NewDynamicSimulator(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Availability <= 0 || m.Availability > 1 {
+		t.Fatalf("availability %v outside (0,1]", m.Availability)
+	}
+
+	// Policy parsing round-trips through the facade.
+	for _, p := range mecache.FailoverPolicies() {
+		got, err := mecache.ParseFailoverPolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("policy %v round-trip: got %v, err %v", p, got, err)
+		}
+	}
+
+	// Test-bed fault measurement through the facade.
+	tb, err := mecache.NewTestbed(mecache.DefaultTestbedConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mecache.LCF(tb.Market, mecache.LCFOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := tb.Deploy(res.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm, err := tb.MeasureUnderFaults(dep, 1, mecache.DefaultTestbedFaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fm.SwitchFailures == 0 {
+		t.Fatal("default testbed fault scenario injected nothing")
+	}
+}
+
+func TestFacadeConstructorsRejectMisuse(t *testing.T) {
+	// Parameter misuse that used to panic deep in the rng layer must come
+	// back as descriptive errors from the facade constructors.
+	cfg := mecache.DefaultWorkload(1)
+	cfg.Requests.Lo, cfg.Requests.Hi = 0, 0
+	if _, err := mecache.GenerateMarketGTITM(80, cfg); err == nil ||
+		!strings.Contains(err.Error(), "Requests") {
+		t.Fatalf("zero-request config: err = %v", err)
+	}
+	cfg = mecache.DefaultWorkload(1)
+	cfg.DataGB.Lo, cfg.DataGB.Hi = 5, 1
+	topo, err := mecache.GTITM(1, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mecache.GenerateMarket(topo, cfg); err == nil ||
+		!strings.Contains(err.Error(), "DataGB") {
+		t.Fatalf("inverted DataGB range: err = %v", err)
+	}
+	dcfg := mecache.DefaultDynamicConfig(1)
+	dcfg.Workload.CloudletFraction = 2
+	if _, err := mecache.NewDynamicSimulator(nil, dcfg); err == nil {
+		t.Fatal("dynamic simulator accepted CloudletFraction 2")
+	}
+}

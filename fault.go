@@ -1,0 +1,67 @@
+package mecache
+
+import (
+	"mecache/internal/experiments"
+	"mecache/internal/fault"
+	"mecache/internal/testbed"
+)
+
+// Fault-injection and failover types: the resilience dimension grafted onto
+// the paper's market, where cloudlets suffer outages, cached instances
+// crash, and underlay switches and links fail mid-measurement.
+type (
+	// FaultConfig parameterizes the dynamic market's failure model
+	// (cloudlet MTBF/MTTR, instance crashes, failover policy).
+	FaultConfig = fault.Config
+	// FailoverPolicy selects how providers recover from a cloudlet
+	// failure.
+	FailoverPolicy = fault.Policy
+	// FaultOutage records one failure interval of one target.
+	FaultOutage = fault.Outage
+	// TestbedFaultConfig parameterizes mid-measurement underlay faults and
+	// the flows' retry/backoff discipline.
+	TestbedFaultConfig = testbed.FaultConfig
+	// FaultMeasurement extends a test-bed Measurement with fault, retry,
+	// and timeout counts.
+	FaultMeasurement = testbed.FaultMeasurement
+	// FigFConfig drives the resilience sweep (failure rate x policy).
+	FigFConfig = experiments.FigFConfig
+)
+
+// The failover policies compared by the resilience experiments.
+const (
+	// PolicyRemoteFallback degrades affected providers to their remote
+	// original (the paper's "not to cache" strategy) until departure.
+	PolicyRemoteFallback = fault.PolicyRemoteFallback
+	// PolicyReplace re-runs a capacity-aware best response over the
+	// surviving cloudlets.
+	PolicyReplace = fault.PolicyReplace
+	// PolicyWaitForRepair serves remotely and returns to the repaired
+	// cloudlet when the saving beats the re-instantiation cost.
+	PolicyWaitForRepair = fault.PolicyWaitForRepair
+)
+
+// DefaultFaultConfig returns a moderate cloudlet failure model with
+// remote-fallback failover.
+func DefaultFaultConfig() FaultConfig { return fault.DefaultConfig() }
+
+// FailoverPolicies lists every policy in display order.
+func FailoverPolicies() []FailoverPolicy { return fault.Policies() }
+
+// ParseFailoverPolicy parses a policy name ("remote-fallback", "re-place",
+// "wait-for-repair").
+func ParseFailoverPolicy(s string) (FailoverPolicy, error) { return fault.ParsePolicy(s) }
+
+// DefaultTestbedFaultConfig returns an aggressive but bounded underlay
+// fault scenario for MeasureUnderFaults.
+func DefaultTestbedFaultConfig(seed uint64) TestbedFaultConfig {
+	return testbed.DefaultFaultConfig(seed)
+}
+
+// DefaultFigF returns the standard resilience sweep (failure rates x all
+// three failover policies).
+func DefaultFigF(seed uint64) FigFConfig { return experiments.DefaultFigF(seed) }
+
+// FigF runs the resilience sweep: availability, mean time-to-recover,
+// SLA-violation fraction, and social cost under failures, per policy.
+func FigF(cfg FigFConfig) (*Figure, error) { return experiments.FigF(cfg) }

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"mecache/internal/core"
+	"mecache/internal/fault"
 	"mecache/internal/game"
 	"mecache/internal/mec"
 	"mecache/internal/rng"
@@ -57,6 +58,50 @@ type Config struct {
 	// trough near 0), approximating the day/night demand swing real edge
 	// markets see. Zero period disables it.
 	DiurnalPeriod float64
+	// Fault configures the failure model: cloudlet outages and repairs,
+	// cached-instance crashes, and the failover policy affected providers
+	// follow. The zero value disables faults entirely; enabling them never
+	// perturbs the arrival/lifetime draws of a fault-free run (faults use a
+	// dedicated random stream).
+	Fault fault.Config
+}
+
+// Validate rejects configurations the simulator cannot run meaningfully:
+// non-positive or NaN horizon, arrival rate, or mean lifetime (the kernel
+// would loop forever or the averages would be NaN), Xi outside [0,1],
+// negative epochs, and invalid fault models.
+func (cfg Config) Validate() error {
+	pos := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("dynamic: %s must be positive and finite, got %v", name, v)
+		}
+		return nil
+	}
+	if err := pos("Horizon", cfg.Horizon); err != nil {
+		return err
+	}
+	if err := pos("ArrivalRate", cfg.ArrivalRate); err != nil {
+		return err
+	}
+	if err := pos("MeanLifetime", cfg.MeanLifetime); err != nil {
+		return err
+	}
+	if math.IsNaN(cfg.Epoch) || math.IsInf(cfg.Epoch, 0) || cfg.Epoch < 0 {
+		return fmt.Errorf("dynamic: Epoch must be non-negative and finite, got %v", cfg.Epoch)
+	}
+	if math.IsNaN(cfg.Xi) || cfg.Xi < 0 || cfg.Xi > 1 {
+		return fmt.Errorf("dynamic: Xi %v outside [0,1]", cfg.Xi)
+	}
+	if math.IsNaN(cfg.DiurnalPeriod) || math.IsInf(cfg.DiurnalPeriod, 0) || cfg.DiurnalPeriod < 0 {
+		return fmt.Errorf("dynamic: DiurnalPeriod must be non-negative and finite, got %v", cfg.DiurnalPeriod)
+	}
+	if cfg.MaxActive < 0 {
+		return fmt.Errorf("dynamic: MaxActive must be non-negative, got %d", cfg.MaxActive)
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return err
+	}
+	return cfg.Fault.Validate()
 }
 
 // DefaultConfig returns a moderately loaded dynamic market.
@@ -97,13 +142,66 @@ type Metrics struct {
 	// MigrationsSuppressed counts epoch moves skipped by the
 	// MigrationAware hysteresis.
 	MigrationsSuppressed int
+
+	// Fault/resilience metrics; all zero (Availability = 1) unless
+	// Config.Fault enables a failure process.
+	//
+	// CloudletOutages and CloudletRepairs count whole-cloudlet failure and
+	// repair events within the horizon; InstanceCrashes counts individual
+	// cached-instance crashes.
+	CloudletOutages int
+	CloudletRepairs int
+	InstanceCrashes int
+	// Failovers counts completed recoveries: a provider hit by a failure
+	// reached its post-failure steady placement. FailoverReplacements are
+	// recoveries that re-cached at a (different or repaired) cloudlet under
+	// PolicyReplace; FailbackReturns are wait-for-repair providers that
+	// passed the hysteresis check and returned to the repaired cloudlet;
+	// WaitTimeouts are waits that gave up and stayed remote.
+	Failovers            int
+	FailoverReplacements int
+	FailbackReturns      int
+	WaitTimeouts         int
+	// Availability is 1 minus the fraction of active provider-time spent
+	// unreachable (the detection window after each failure, before the
+	// fallback to the remote original takes effect).
+	Availability float64
+	// MeanTimeToRecover averages, over completed failovers, the virtual
+	// time from the failure to the provider's post-failure steady
+	// placement. Under wait-for-repair this includes the wait itself.
+	MeanTimeToRecover float64
+	// SLAViolationFraction is the fraction of active provider-time spent
+	// either unreachable or degraded (served by the remote original while
+	// the policy has not yet reached its steady placement, e.g. during a
+	// wait-for-repair).
+	SLAViolationFraction float64
 }
+
+// pstate tracks a live provider's failure-handling state.
+type pstate int
+
+const (
+	// stateOK: serving normally at its current choice.
+	stateOK pstate = iota
+	// stateDetecting: its serving instance just failed; the failure is not
+	// yet detected, requests are lost (unreachable).
+	stateDetecting
+	// stateWaiting: served by the remote original while waiting for its
+	// failed cloudlet to repair (PolicyWaitForRepair only).
+	stateWaiting
+)
 
 // liveProvider is an active provider with its current strategy.
 type liveProvider struct {
 	id     int
 	p      mec.Provider
 	choice int // cloudlet index or mec.Remote
+
+	// Failure-handling state (stateOK in fault-free runs).
+	state      pstate
+	failedAt   float64 // time of the failure currently being handled
+	waitingFor int     // cloudlet awaited under PolicyWaitForRepair
+	waitSeq    int     // invalidates stale timeout/resolution events
 }
 
 // Simulator runs one dynamic market. Create with New, run with Run.
@@ -121,16 +219,24 @@ type Simulator struct {
 	costIntegral float64
 	cachedTime   float64 // integral of cached fraction
 	err          error   // first error raised inside a kernel callback
+
+	// Fault machinery (nil/zero when Config.Fault is disabled). fr is the
+	// dedicated fault random stream; failedCl mirrors which cloudlets are
+	// currently down.
+	fr          *rng.Source
+	injector    *fault.Injector
+	failedCl    []bool
+	activeTime  float64 // integral of len(live)
+	downTime    float64 // integral of unreachable provider count
+	degradTime  float64 // integral of degraded (waiting) provider count
+	recoverySum float64 // summed failure->recovery durations
 }
 
 // New builds a simulator over the given topology (nil means a default
 // GT-ITM network of 150 nodes).
 func New(topo *topology.Topology, cfg Config) (*Simulator, error) {
-	if cfg.Horizon <= 0 || cfg.ArrivalRate <= 0 || cfg.MeanLifetime <= 0 {
-		return nil, fmt.Errorf("dynamic: horizon, arrival rate and lifetime must be positive")
-	}
-	if cfg.Xi < 0 || cfg.Xi > 1 {
-		return nil, fmt.Errorf("dynamic: xi %v outside [0,1]", cfg.Xi)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	var err error
 	if topo == nil {
@@ -148,12 +254,17 @@ func New(topo *topology.Topology, cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{
+	s := &Simulator{
 		cfg:    cfg,
 		net:    m.Net,
 		kernel: sim.NewKernel(),
 		r:      rng.New(cfg.Seed),
-	}, nil
+		// The fault stream is seeded independently of the main stream so
+		// that enabling faults leaves arrival/lifetime draws untouched.
+		fr:       rng.New(cfg.Seed ^ 0xfa17fa17fa17fa17),
+		failedCl: make([]bool, m.Net.NumCloudlets()),
+	}
+	return s, nil
 }
 
 // market assembles a Market over the active providers; ids maps market
@@ -196,6 +307,18 @@ func (s *Simulator) integrate() error {
 			}
 		}
 		s.cachedTime += float64(cached) / float64(len(pl)) * dt
+		s.activeTime += float64(len(pl)) * dt
+		down, degraded := 0, 0
+		for _, lp := range s.live {
+			switch lp.state {
+			case stateDetecting:
+				down++
+			case stateWaiting:
+				degraded++
+			}
+		}
+		s.downTime += float64(down) * dt
+		s.degradTime += float64(degraded) * dt
 	}
 	s.lastT = now
 	return nil
@@ -227,13 +350,19 @@ func (s *Simulator) arrive() error {
 	}
 
 	// Selfish join: best response against everyone else's current choices.
+	// Under an active fault model the response is masked so arrivals never
+	// cache at a cloudlet that is currently down.
 	m, pl, err := s.market()
 	if err != nil {
 		return err
 	}
-	g := game.New(m)
-	choice, _ := g.BestResponse(pl, len(pl)-1)
-	lp.choice = choice
+	if s.cfg.Fault.Enabled() {
+		lp.choice = s.bestResponseAvoidingFailed(m, pl, len(pl)-1)
+	} else {
+		g := game.New(m)
+		choice, _ := g.BestResponse(pl, len(pl)-1)
+		lp.choice = choice
+	}
 
 	// Exponential lifetime.
 	life := s.r.Exp(1 / s.cfg.MeanLifetime)
@@ -295,6 +424,17 @@ func (s *Simulator) epoch() error {
 	if err != nil {
 		return err
 	}
+	if s.cfg.Fault.Enabled() {
+		// LCF plans over the full network; hold providers that are mid-
+		// failover (their choice is managed by the failure machinery) and
+		// cancel any assignment onto a cloudlet that is currently down.
+		for i, lp := range s.live {
+			if lp.state != stateOK ||
+				(res.Placement[i] != mec.Remote && s.failedCl[res.Placement[i]]) {
+				res.Placement[i] = pl[i]
+			}
+		}
+	}
 	if !s.cfg.MigrationAware {
 		for i, lp := range s.live {
 			if res.Placement[i] != pl[i] {
@@ -343,6 +483,267 @@ func (s *Simulator) epoch() error {
 	return nil
 }
 
+// findLive locates an active provider by id; idx is -1 after departure.
+func (s *Simulator) findLive(id int) (int, *liveProvider) {
+	for i, lp := range s.live {
+		if lp.id == id {
+			return i, lp
+		}
+	}
+	return -1, nil
+}
+
+// resourceLoads tallies per-cloudlet tenant count and compute/bandwidth
+// usage of pl, excluding provider skip (use -1 to exclude nobody).
+func (s *Simulator) resourceLoads(m *mec.Market, pl mec.Placement, skip int) (count []int, compute, bandwidth []float64) {
+	nc := m.Net.NumCloudlets()
+	count = make([]int, nc)
+	compute = make([]float64, nc)
+	bandwidth = make([]float64, nc)
+	for j, c := range pl {
+		if j == skip || c == mec.Remote {
+			continue
+		}
+		p := &m.Providers[j]
+		count[c]++
+		compute[c] += p.ComputeDemand()
+		bandwidth[c] += p.BandwidthDemand()
+	}
+	return count, compute, bandwidth
+}
+
+// fitsAt reports whether provider l fits cloudlet i given loads that
+// exclude l (mirrors the game engine's capacity slack).
+func fitsAt(m *mec.Market, l, i int, compute, bandwidth []float64) bool {
+	p := &m.Providers[l]
+	cl := &m.Net.Cloudlets[i]
+	return compute[i]+p.ComputeDemand() <= cl.ComputeCap+1e-9 &&
+		bandwidth[i]+p.BandwidthDemand() <= cl.BandwidthCap+1e-9
+}
+
+// bestResponseAvoidingFailed is the capacity-aware best response of
+// provider l restricted to live cloudlets: the same candidate scan as
+// game.BestResponse, with currently failed cloudlets excluded.
+func (s *Simulator) bestResponseAvoidingFailed(m *mec.Market, pl mec.Placement, l int) int {
+	count, compute, bandwidth := s.resourceLoads(m, pl, l)
+	best := mec.Remote
+	bestC := m.RemoteCost(l)
+	for i := 0; i < m.Net.NumCloudlets(); i++ {
+		if s.failedCl[i] || !fitsAt(m, l, i, compute, bandwidth) {
+			continue
+		}
+		if c := m.CostAt(l, i, count[i]+1); c < bestC-1e-15 {
+			best, bestC = i, c
+		}
+	}
+	return best
+}
+
+// cloudletFail is the injector's outage hook: every provider cached at the
+// failed cloudlet loses its instance, falls back to the remote original for
+// cost purposes, and is unreachable until the failure is detected.
+func (s *Simulator) cloudletFail(i int) error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	s.failedCl[i] = true
+	s.metrics.CloudletOutages++
+	for _, lp := range s.live {
+		if lp.choice == i {
+			s.beginFailover(lp, i)
+		}
+	}
+	return nil
+}
+
+// beginFailover marks the provider unreachable and schedules the policy
+// resolution once the failure is detected. source is the failed cloudlet,
+// or -1 for an isolated instance crash.
+func (s *Simulator) beginFailover(lp *liveProvider, source int) {
+	lp.choice = mec.Remote // the original instance will absorb the traffic
+	lp.state = stateDetecting
+	lp.failedAt = s.kernel.Now()
+	lp.waitSeq++
+	id, seq := lp.id, lp.waitSeq
+	// DetectionDelay is validated non-negative, so Schedule cannot fail.
+	_ = s.kernel.Schedule(s.cfg.Fault.DetectionDelay, s.wrap(func() error {
+		return s.resolveFailover(id, source, seq)
+	}))
+}
+
+// resolveFailover applies the failover policy once a failure is detected.
+func (s *Simulator) resolveFailover(id, source, seq int) error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	idx, lp := s.findLive(id)
+	if lp == nil || lp.state != stateDetecting || lp.waitSeq != seq {
+		return nil // departed, or superseded by a newer failure
+	}
+	switch s.cfg.Fault.Policy {
+	case fault.PolicyRemoteFallback:
+		lp.state = stateOK
+		s.recordRecovery(lp)
+	case fault.PolicyReplace:
+		if err := s.replace(idx, lp); err != nil {
+			return err
+		}
+		s.recordRecovery(lp)
+	case fault.PolicyWaitForRepair:
+		switch {
+		case source >= 0 && s.failedCl[source]:
+			lp.state = stateWaiting
+			lp.waitingFor = source
+			if s.cfg.Fault.WaitTimeout > 0 {
+				wseq := lp.waitSeq
+				_ = s.kernel.Schedule(s.cfg.Fault.WaitTimeout, s.wrap(func() error {
+					return s.waitTimeout(id, wseq)
+				}))
+			}
+		case source >= 0:
+			// Repaired within the detection window: try to return at once.
+			if err := s.tryFailback(idx, lp, source); err != nil {
+				return err
+			}
+			s.recordRecovery(lp)
+		default:
+			// An instance crash leaves nothing to wait for: the cloudlet is
+			// healthy, so re-placement is the sensible reaction.
+			if err := s.replace(idx, lp); err != nil {
+				return err
+			}
+			s.recordRecovery(lp)
+		}
+	}
+	return nil
+}
+
+// replace re-places a provider with a best response over live cloudlets,
+// paying the re-instantiation cost when a new cached instance is created.
+func (s *Simulator) replace(idx int, lp *liveProvider) error {
+	m, pl, err := s.market()
+	if err != nil {
+		return err
+	}
+	lp.choice = s.bestResponseAvoidingFailed(m, pl, idx)
+	lp.state = stateOK
+	if lp.choice != mec.Remote {
+		s.metrics.MigrationCost += lp.p.InstCost
+		s.metrics.FailoverReplacements++
+	}
+	return nil
+}
+
+// tryFailback ends a wait: the provider returns to the repaired cloudlet
+// only if the hysteresis check passes — its cost saving over staying remote
+// must exceed the re-instantiation cost — and it still fits.
+func (s *Simulator) tryFailback(idx int, lp *liveProvider, cl int) error {
+	m, pl, err := s.market()
+	if err != nil {
+		return err
+	}
+	count, compute, bandwidth := s.resourceLoads(m, pl, idx)
+	saving := m.RemoteCost(idx) - m.CostAt(idx, cl, count[cl]+1)
+	if fitsAt(m, idx, cl, compute, bandwidth) && saving > lp.p.InstCost {
+		lp.choice = cl
+		s.metrics.MigrationCost += lp.p.InstCost
+		s.metrics.FailbackReturns++
+	}
+	lp.state = stateOK
+	lp.waitingFor = 0
+	return nil
+}
+
+// waitTimeout gives up a wait-for-repair that outlived the configured
+// timeout; the provider settles for the remote original.
+func (s *Simulator) waitTimeout(id, seq int) error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	_, lp := s.findLive(id)
+	if lp == nil || lp.state != stateWaiting || lp.waitSeq != seq {
+		return nil // departed, repaired, or failed again in the meantime
+	}
+	lp.state = stateOK
+	lp.waitingFor = 0
+	s.metrics.WaitTimeouts++
+	s.recordRecovery(lp)
+	return nil
+}
+
+// cloudletRepair is the injector's repair hook: waiting providers get their
+// chance to return.
+func (s *Simulator) cloudletRepair(i int) error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	s.failedCl[i] = false
+	s.metrics.CloudletRepairs++
+	if s.cfg.Fault.Policy != fault.PolicyWaitForRepair {
+		return nil
+	}
+	for idx, lp := range s.live {
+		if lp.state == stateWaiting && lp.waitingFor == i {
+			lp.waitSeq++ // invalidate the pending timeout
+			if err := s.tryFailback(idx, lp, i); err != nil {
+				return err
+			}
+			s.recordRecovery(lp)
+		}
+	}
+	return nil
+}
+
+// recordRecovery closes one failover: the provider reached its post-failure
+// steady placement.
+func (s *Simulator) recordRecovery(lp *liveProvider) {
+	s.metrics.Failovers++
+	s.recoverySum += s.kernel.Now() - lp.failedAt
+}
+
+// cachedCount counts live providers currently cached at a cloudlet.
+func (s *Simulator) cachedCount() int {
+	n := 0
+	for _, lp := range s.live {
+		if lp.choice != mec.Remote {
+			n++
+		}
+	}
+	return n
+}
+
+// scheduleNextCrash continues the cached-instance crash process: a thinned
+// Poisson stream whose rate tracks the current number of cached instances
+// (floored at one so the process never stalls while the market is empty).
+func (s *Simulator) scheduleNextCrash() error {
+	rate := float64(max(1, s.cachedCount())) / s.cfg.Fault.InstanceMTBF
+	dt := s.fr.Exp(rate)
+	if s.kernel.Now()+dt >= s.cfg.Horizon {
+		return nil
+	}
+	return s.kernel.Schedule(dt, s.wrap(s.instanceCrash))
+}
+
+// instanceCrash kills one uniformly chosen cached instance (thinning: the
+// event is a no-op when nothing is cached) and reschedules the process.
+func (s *Simulator) instanceCrash() error {
+	if err := s.integrate(); err != nil {
+		return err
+	}
+	var victims []*liveProvider
+	for _, lp := range s.live {
+		if lp.choice != mec.Remote && lp.state == stateOK {
+			victims = append(victims, lp)
+		}
+	}
+	if len(victims) > 0 {
+		lp := victims[s.fr.Intn(len(victims))]
+		s.metrics.InstanceCrashes++
+		s.beginFailover(lp, -1)
+	}
+	return s.scheduleNextCrash()
+}
+
 // wrap adapts an error-returning step to the kernel's func() callbacks,
 // stashing the first error.
 func (s *Simulator) wrap(fn func() error) func() {
@@ -363,6 +764,31 @@ func (s *Simulator) Run() (*Metrics, error) {
 			return nil, err
 		}
 	}
+	if s.cfg.Fault.CloudletMTBF > 0 {
+		inj, err := fault.NewInjector(s.kernel, s.fr.Split(), s.cfg.Horizon)
+		if err != nil {
+			return nil, err
+		}
+		inj.OnFail = func(i int) {
+			if s.err == nil {
+				s.err = s.cloudletFail(i)
+			}
+		}
+		inj.OnRepair = func(i int) {
+			if s.err == nil {
+				s.err = s.cloudletRepair(i)
+			}
+		}
+		if err := inj.Start(s.net.NumCloudlets(), s.cfg.Fault.CloudletMTBF, s.cfg.Fault.CloudletMTTR); err != nil {
+			return nil, err
+		}
+		s.injector = inj
+	}
+	if s.cfg.Fault.InstanceMTBF > 0 {
+		if err := s.scheduleNextCrash(); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.kernel.RunUntil(s.cfg.Horizon, 0); err != nil {
 		return nil, err
 	}
@@ -378,6 +804,14 @@ func (s *Simulator) Run() (*Metrics, error) {
 	if s.metrics.Epochs > 0 && s.metrics.PeakActive > 0 {
 		s.metrics.ReconfigurationRate = float64(s.metrics.Reconfigurations) /
 			(float64(s.metrics.Epochs) * float64(s.metrics.PeakActive))
+	}
+	s.metrics.Availability = 1
+	if s.activeTime > 0 {
+		s.metrics.Availability = 1 - s.downTime/s.activeTime
+		s.metrics.SLAViolationFraction = (s.downTime + s.degradTime) / s.activeTime
+	}
+	if s.metrics.Failovers > 0 {
+		s.metrics.MeanTimeToRecover = s.recoverySum / float64(s.metrics.Failovers)
 	}
 	return &s.metrics, nil
 }

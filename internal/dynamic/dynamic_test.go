@@ -1,9 +1,11 @@
 package dynamic
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
+	"mecache/internal/fault"
 	"mecache/internal/mec"
 	"mecache/internal/workload"
 )
@@ -294,5 +296,226 @@ func TestDiurnalArrivals(t *testing.T) {
 	lo, hi := flat.Arrivals/2, flat.Arrivals*2
 	if m.Arrivals < lo || m.Arrivals > hi {
 		t.Fatalf("diurnal arrivals %d far from flat %d", m.Arrivals, flat.Arrivals)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"NaN horizon", func(c *Config) { c.Horizon = math.NaN() }},
+		{"negative rate", func(c *Config) { c.ArrivalRate = -1 }},
+		{"NaN rate", func(c *Config) { c.ArrivalRate = math.NaN() }},
+		{"zero lifetime", func(c *Config) { c.MeanLifetime = 0 }},
+		{"NaN lifetime", func(c *Config) { c.MeanLifetime = math.NaN() }},
+		{"negative epoch", func(c *Config) { c.Epoch = -5 }},
+		{"NaN epoch", func(c *Config) { c.Epoch = math.NaN() }},
+		{"xi above 1", func(c *Config) { c.Xi = 1.5 }},
+		{"NaN xi", func(c *Config) { c.Xi = math.NaN() }},
+		{"negative max active", func(c *Config) { c.MaxActive = -1 }},
+		{"negative diurnal", func(c *Config) { c.DiurnalPeriod = -1 }},
+		{"bad fault model", func(c *Config) { c.Fault.CloudletMTBF = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(1)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+		if _, err := New(nil, cfg); err == nil {
+			t.Errorf("%s accepted by New", tc.name)
+		}
+	}
+}
+
+// Satellite: the MaxActive rejection path must count rejections, never fail
+// the run, and be deterministic under a fixed seed.
+func TestMaxActiveRejectionsDeterministic(t *testing.T) {
+	run := func() *Metrics {
+		cfg := DefaultConfig(17)
+		cfg.Horizon = 60
+		cfg.ArrivalRate = 6
+		cfg.MeanLifetime = 200 // long-lived: the cap must bind hard
+		cfg.MaxActive = 15
+		sim, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatalf("rejections must never be fatal: %v", err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.Rejections == 0 {
+		t.Fatal("overloaded market saw no rejections")
+	}
+	if a.PeakActive > 15 {
+		t.Fatalf("peak active %d exceeds cap", a.PeakActive)
+	}
+	if *a != *b {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+	if a.Arrivals != a.Departures+a.FinalActive {
+		t.Fatalf("accounting: %d arrivals != %d departures + %d final",
+			a.Arrivals, a.Departures, a.FinalActive)
+	}
+}
+
+// faultyConfig returns a failure-prone market that still runs quickly.
+func faultyConfig(seed uint64, policy fault.Policy) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Horizon = 80
+	cfg.Fault = fault.Config{
+		CloudletMTBF:   40,
+		CloudletMTTR:   6,
+		InstanceMTBF:   60,
+		DetectionDelay: 0.5,
+		WaitTimeout:    15,
+		Policy:         policy,
+	}
+	return cfg
+}
+
+func TestFaultPoliciesRun(t *testing.T) {
+	for _, policy := range fault.Policies() {
+		t.Run(policy.String(), func(t *testing.T) {
+			sim, err := New(nil, faultyConfig(21, policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.CloudletOutages == 0 {
+				t.Fatal("no cloudlet outages at MTBF 40 over horizon 80")
+			}
+			if m.Failovers == 0 {
+				t.Fatal("outages hit nobody: no failovers recorded")
+			}
+			if m.Availability < 0 || m.Availability > 1 {
+				t.Fatalf("availability %v outside [0,1]", m.Availability)
+			}
+			if m.Availability == 1 {
+				t.Fatal("failures with a positive detection delay left availability at 1")
+			}
+			if m.SLAViolationFraction < 0 || m.SLAViolationFraction > 1 {
+				t.Fatalf("SLA violation fraction %v outside [0,1]", m.SLAViolationFraction)
+			}
+			if m.SLAViolationFraction < 1-m.Availability-1e-12 {
+				t.Fatalf("violations %v below unavailability %v", m.SLAViolationFraction, 1-m.Availability)
+			}
+			if m.MeanTimeToRecover < 0.5-1e-9 {
+				t.Fatalf("mean time to recover %v below the detection delay", m.MeanTimeToRecover)
+			}
+			// No surviving provider may sit on a failed cloudlet.
+			for _, lp := range sim.live {
+				if lp.choice != mec.Remote && sim.failedCl[lp.choice] {
+					t.Fatalf("provider %d still cached at failed cloudlet %d", lp.id, lp.choice)
+				}
+			}
+		})
+	}
+}
+
+func TestFaultRunDeterministic(t *testing.T) {
+	for _, policy := range fault.Policies() {
+		run := func() *Metrics {
+			sim, err := New(nil, faultyConfig(33, policy))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		a, b := run(), run()
+		if *a != *b {
+			t.Fatalf("%v: same seed, different metrics:\n%+v\n%+v", policy, a, b)
+		}
+	}
+}
+
+func TestFaultFreeRunUnaffected(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.Horizon = 60
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CloudletOutages != 0 || m.InstanceCrashes != 0 || m.Failovers != 0 {
+		t.Fatalf("fault-free run reported failures: %+v", m)
+	}
+	if m.Availability != 1 || m.SLAViolationFraction != 0 || m.MeanTimeToRecover != 0 {
+		t.Fatalf("fault-free run degraded: %+v", m)
+	}
+}
+
+func TestWaitForRepairTradesRecoveryForStability(t *testing.T) {
+	run := func(policy fault.Policy) *Metrics {
+		sim, err := New(nil, faultyConfig(51, policy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	replace := run(fault.PolicyReplace)
+	wait := run(fault.PolicyWaitForRepair)
+	// Waiting providers recover only when their cloudlet repairs (or the
+	// timeout fires), so recovery is necessarily slower than re-placement,
+	// which completes at the detection delay.
+	if wait.MeanTimeToRecover < replace.MeanTimeToRecover {
+		t.Fatalf("wait-for-repair recovered faster (%v) than re-place (%v)",
+			wait.MeanTimeToRecover, replace.MeanTimeToRecover)
+	}
+	// And only the wait policy accrues degraded (waiting) time beyond the
+	// shared detection windows.
+	if wait.SLAViolationFraction <= 1-wait.Availability {
+		t.Fatal("wait-for-repair accrued no waiting time")
+	}
+}
+
+func TestInstanceCrashesOnly(t *testing.T) {
+	cfg := DefaultConfig(61)
+	cfg.Horizon = 80
+	cfg.Fault = fault.Config{
+		InstanceMTBF:   30,
+		DetectionDelay: 0.2,
+		Policy:         fault.PolicyReplace,
+	}
+	sim, err := New(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InstanceCrashes == 0 {
+		t.Fatal("no instance crashes at MTBF 30 over horizon 80")
+	}
+	if m.CloudletOutages != 0 {
+		t.Fatal("cloudlet outages occurred with the process disabled")
+	}
+	if m.Failovers == 0 {
+		t.Fatal("crashes recorded no failovers")
 	}
 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mecache/internal/dynamic"
+	"mecache/internal/fault"
+	"mecache/internal/stats"
+)
+
+// FigFConfig parameterizes the resilience sweep ("Fig F"): the dynamic
+// market is rerun under increasing cloudlet failure rates, once per failover
+// policy, and the availability / recovery / cost trade-off is tabulated.
+// The paper's market assumes cloudlets never die; this figure quantifies
+// what each recovery discipline costs when they do.
+type FigFConfig struct {
+	Seed uint64
+	// FailureRates are the swept per-cloudlet failure rates (1/MTBF, in
+	// events per unit of virtual time).
+	FailureRates []float64
+	// MTTR is the mean cloudlet repair time used at every point.
+	MTTR float64
+	// Policies are the failover policies compared (one series each).
+	Policies []fault.Policy
+	// Dynamic is the base market configuration; its Fault field is
+	// overwritten at every sweep point.
+	Dynamic dynamic.Config
+	// Reps averages this many independent runs (distinct seeds) per point.
+	Reps int
+}
+
+// DefaultFigF returns a sweep over failure rates spanning "rare" (one
+// outage per two horizons) to "constant churn" (MTBF well under the mean
+// service lifetime), comparing all three failover policies.
+func DefaultFigF(seed uint64) FigFConfig {
+	dcfg := dynamic.DefaultConfig(seed)
+	dcfg.Horizon = 100
+	dcfg.Fault = fault.DefaultConfig()
+	return FigFConfig{
+		Seed:         seed,
+		FailureRates: []float64{0.005, 0.01, 0.02, 0.04},
+		MTTR:         5,
+		Policies:     fault.Policies(),
+		Dynamic:      dcfg,
+		Reps:         2,
+	}
+}
+
+// FigF runs the resilience sweep: for each failure rate and policy it runs
+// the full dynamic market with fault injection and reports (a) availability,
+// (b) mean time-to-recover, (c) SLA-violation fraction, and (d) the
+// time-averaged social cost under failures.
+func FigF(cfg FigFConfig) (*Figure, error) {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if len(cfg.FailureRates) == 0 {
+		return nil, fmt.Errorf("experiments: figF: no failure rates to sweep")
+	}
+	if len(cfg.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: figF: no failover policies to compare")
+	}
+	names := make([]string, len(cfg.Policies))
+	for i, p := range cfg.Policies {
+		names[i] = p.String()
+	}
+	avail := newSeriesMap(names...)
+	mttr := newSeriesMap(names...)
+	viol := newSeriesMap(names...)
+	cost := newSeriesMap(names...)
+
+	var xs []float64
+	for _, rate := range cfg.FailureRates {
+		if rate <= 0 {
+			return nil, fmt.Errorf("experiments: figF: failure rate must be positive, got %v", rate)
+		}
+		xs = append(xs, rate)
+		for pi, pol := range cfg.Policies {
+			var as, ms, vs, cs []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				dcfg := cfg.Dynamic
+				dcfg.Seed = cfg.Seed + uint64(rep)*15485863
+				dcfg.Workload.Seed = dcfg.Seed
+				dcfg.Fault.CloudletMTBF = 1 / rate
+				dcfg.Fault.CloudletMTTR = cfg.MTTR
+				dcfg.Fault.Policy = pol
+				sim, err := dynamic.New(nil, dcfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
+				}
+				met, err := sim.Run()
+				if err != nil {
+					return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
+				}
+				as = append(as, met.Availability)
+				ms = append(ms, met.MeanTimeToRecover)
+				vs = append(vs, met.SLAViolationFraction)
+				cs = append(cs, met.TimeAvgSocialCost)
+			}
+			name := names[pi]
+			a, m, v, c := stats.Summarize(as), stats.Summarize(ms), stats.Summarize(vs), stats.Summarize(cs)
+			avail.add(name, a.Mean)
+			avail.addErr(name, a.CI95())
+			mttr.add(name, m.Mean)
+			mttr.addErr(name, m.CI95())
+			viol.add(name, v.Mean)
+			viol.addErr(name, v.CI95())
+			cost.add(name, c.Mean)
+			cost.addErr(name, c.CI95())
+		}
+	}
+	return &Figure{
+		Name: "Fig F: resilience under cloudlet failures, by failover policy",
+		Tables: []Table{
+			{Title: "Fig F(a) availability", XLabel: "failure rate", X: xs, YLabel: "availability", Series: avail.series()},
+			{Title: "Fig F(b) mean time-to-recover", XLabel: "failure rate", X: xs, YLabel: "time to recover", Series: mttr.series()},
+			{Title: "Fig F(c) SLA-violation fraction", XLabel: "failure rate", X: xs, YLabel: "violation fraction", Series: viol.series()},
+			{Title: "Fig F(d) social cost under failures", XLabel: "failure rate", X: xs, YLabel: "social cost ($)", Series: cost.series()},
+		},
+	}, nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"mecache/internal/fault"
+)
+
+// smallFigF keeps the resilience sweep fast enough for -race runs.
+func smallFigF(seed uint64) FigFConfig {
+	cfg := DefaultFigF(seed)
+	cfg.FailureRates = []float64{0.01, 0.03}
+	cfg.Reps = 1
+	cfg.Dynamic.Horizon = 60
+	return cfg
+}
+
+func TestFigFSmallSweep(t *testing.T) {
+	fig, err := FigF(smallFigF(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 4 {
+		t.Fatalf("FigF has %d panels, want 4", len(fig.Tables))
+	}
+	polNames := make(map[string]bool)
+	for _, p := range fault.Policies() {
+		polNames[p.String()] = true
+	}
+	for _, tb := range fig.Tables {
+		if len(tb.X) != 2 {
+			t.Fatalf("%s has %d x values, want 2", tb.Title, len(tb.X))
+		}
+		if len(tb.Series) != len(polNames) {
+			t.Fatalf("%s has %d series, want %d", tb.Title, len(tb.Series), len(polNames))
+		}
+		for _, s := range tb.Series {
+			if !polNames[s.Name] {
+				t.Fatalf("%s has unknown series %q", tb.Title, s.Name)
+			}
+			if len(s.Y) != len(tb.X) {
+				t.Fatalf("%s series %s has %d points, want %d", tb.Title, s.Name, len(s.Y), len(tb.X))
+			}
+		}
+	}
+	// Availability panel: every point must be a valid fraction, and with
+	// faults enabled at these rates some unavailability must register.
+	for _, s := range fig.Tables[0].Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("availability %v at point %d of %s outside [0,1]", y, i, s.Name)
+			}
+		}
+	}
+	for _, s := range fig.Tables[2].Series {
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("SLA violation fraction %v at point %d of %s outside [0,1]", y, i, s.Name)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("rendered figure is empty")
+	}
+}
+
+// The acceptance criterion: the seeded resilience sweep is bit-for-bit
+// deterministic across two same-seed runs.
+func TestFigFDeterministic(t *testing.T) {
+	a, err := FigF(smallFigF(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FigF(smallFigF(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed FigF runs diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFigFValidation(t *testing.T) {
+	cfg := smallFigF(1)
+	cfg.FailureRates = nil
+	if _, err := FigF(cfg); err == nil {
+		t.Fatal("empty failure-rate sweep accepted")
+	}
+	cfg = smallFigF(1)
+	cfg.Policies = nil
+	if _, err := FigF(cfg); err == nil {
+		t.Fatal("empty policy list accepted")
+	}
+	cfg = smallFigF(1)
+	cfg.FailureRates = []float64{-0.5}
+	if _, err := FigF(cfg); err == nil {
+		t.Fatal("negative failure rate accepted")
+	}
+}

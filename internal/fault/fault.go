@@ -1,0 +1,298 @@
+// Package fault injects stochastic failures into the mecache simulations.
+//
+// The paper's market caches services "temporarily while keeping the original
+// instances of the services", precisely so the remote copy can absorb edge
+// failures. This package makes those failures first-class events: alternating
+// renewal processes (exponential mean-time-between-failures / mean-time-to-
+// repair) drive cloudlet outages, per-cached-instance crashes, and underlay
+// switch failures over the discrete-event kernel, and a failover Policy
+// decides how affected providers react.
+//
+// The Injector is the shared engine: the dynamic market uses it for cloudlet
+// outage/repair processes, and the test-bed uses it for mid-measurement
+// switch failures. All randomness flows through a dedicated rng stream so
+// that enabling faults never perturbs the draws of a fault-free run.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/rng"
+	"mecache/internal/sim"
+)
+
+// Policy selects how providers react when the cloudlet caching their service
+// fails (or their cached instance crashes).
+type Policy int
+
+const (
+	// PolicyRemoteFallback is graceful degradation to the paper's "not to
+	// cache" strategy: affected providers fall back to the original instance
+	// in their home data center and stay there.
+	PolicyRemoteFallback Policy = iota
+	// PolicyReplace re-places affected providers with a capacity-aware best
+	// response over the surviving cloudlets, paying the re-instantiation
+	// cost when a new cached instance is created.
+	PolicyReplace
+	// PolicyWaitForRepair serves affected providers from the remote original
+	// while waiting for the failed cloudlet to come back; on repair each
+	// provider returns only if the move passes a hysteresis check (its cost
+	// saving exceeds the re-instantiation cost). Waits give up after the
+	// configured timeout.
+	PolicyWaitForRepair
+)
+
+// String returns the policy's command-line name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRemoteFallback:
+		return "remote-fallback"
+	case PolicyReplace:
+		return "re-place"
+	case PolicyWaitForRepair:
+		return "wait-for-repair"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Policies lists every failover policy in a fixed order (the order the
+// resilience sweep reports them in).
+func Policies() []Policy {
+	return []Policy{PolicyRemoteFallback, PolicyReplace, PolicyWaitForRepair}
+}
+
+// ParsePolicy parses a command-line policy name.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown policy %q (want remote-fallback, re-place or wait-for-repair)", s)
+}
+
+// Config parameterizes the dynamic market's fault model. All times are in
+// the market's virtual time unit. A zero MTBF disables that failure process;
+// the zero value disables faults entirely.
+type Config struct {
+	// CloudletMTBF is the mean up-time between outages of one cloudlet;
+	// zero disables cloudlet outages.
+	CloudletMTBF float64
+	// CloudletMTTR is the mean outage duration (exponential).
+	CloudletMTTR float64
+	// InstanceMTBF is the mean up-time of one cached service instance before
+	// it crashes (independent of whole-cloudlet outages); zero disables
+	// instance crashes.
+	InstanceMTBF float64
+	// DetectionDelay is the virtual time between a failure and the moment
+	// the failover policy takes effect. During it the affected providers
+	// are unreachable — this is the availability gap the metrics report.
+	DetectionDelay float64
+	// WaitTimeout bounds PolicyWaitForRepair: a provider still waiting after
+	// this long gives up and stays remote. Zero means wait forever.
+	WaitTimeout float64
+	// Policy selects the failover reaction.
+	Policy Policy
+}
+
+// DefaultConfig returns a moderately failure-prone edge: cloudlets fail
+// about once per 100 time units and repair in about 5, cached instances
+// crash about once per 200, and failures take 0.5 time units to detect.
+func DefaultConfig() Config {
+	return Config{
+		CloudletMTBF:   100,
+		CloudletMTTR:   5,
+		InstanceMTBF:   200,
+		DetectionDelay: 0.5,
+		WaitTimeout:    20,
+		Policy:         PolicyRemoteFallback,
+	}
+}
+
+// Enabled reports whether any failure process is active.
+func (c Config) Enabled() bool { return c.CloudletMTBF > 0 || c.InstanceMTBF > 0 }
+
+// Validate rejects NaN, negative, or otherwise unusable parameters.
+func (c Config) Validate() error {
+	check := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("fault: %s must be finite and non-negative, got %v", name, v)
+		}
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"CloudletMTBF", c.CloudletMTBF},
+		{"CloudletMTTR", c.CloudletMTTR},
+		{"InstanceMTBF", c.InstanceMTBF},
+		{"DetectionDelay", c.DetectionDelay},
+		{"WaitTimeout", c.WaitTimeout},
+	} {
+		if err := check(f.name, f.v); err != nil {
+			return err
+		}
+	}
+	if c.CloudletMTBF > 0 && c.CloudletMTTR <= 0 {
+		return fmt.Errorf("fault: cloudlet outages enabled (MTBF %v) but CloudletMTTR is %v; repairs would never happen", c.CloudletMTBF, c.CloudletMTTR)
+	}
+	switch c.Policy {
+	case PolicyRemoteFallback, PolicyReplace, PolicyWaitForRepair:
+	default:
+		return fmt.Errorf("fault: unknown policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Outage is one completed (or still-open) down interval of a target.
+type Outage struct {
+	Target int
+	Start  float64
+	// End is the repair time, or NaN while the outage is still open.
+	End float64
+}
+
+// Stats summarizes an Injector's activity.
+type Stats struct {
+	Failures int
+	Repairs  int
+	// Downtime is the total target-down time accrued so far (open outages
+	// counted up to the kernel's current clock).
+	Downtime float64
+}
+
+// Injector drives alternating up/down renewal processes for a set of
+// targets over a discrete-event kernel: each target stays up Exp(MTBF),
+// fails, stays down Exp(MTTR), repairs, and repeats until the horizon.
+// OnFail/OnRepair hooks fire inside kernel events, in deterministic
+// (time, insertion) order.
+type Injector struct {
+	kernel  *sim.Kernel
+	r       *rng.Source
+	horizon float64
+
+	mtbf, mttr float64
+	up         []bool
+	downSince  []float64
+	stats      Stats
+	outages    []Outage
+
+	// OnFail and OnRepair are invoked with the target index right after the
+	// injector flips its state. Either may be nil.
+	OnFail   func(target int)
+	OnRepair func(target int)
+}
+
+// NewInjector builds an injector over the kernel with a dedicated random
+// stream. Events are only scheduled at times < horizon, so a run driven by
+// RunUntil(horizon) sees a finite event set.
+func NewInjector(k *sim.Kernel, r *rng.Source, horizon float64) (*Injector, error) {
+	if k == nil || r == nil {
+		return nil, fmt.Errorf("fault: injector needs a kernel and a random source")
+	}
+	if math.IsNaN(horizon) || horizon <= 0 {
+		return nil, fmt.Errorf("fault: injector horizon must be positive, got %v", horizon)
+	}
+	return &Injector{kernel: k, r: r, horizon: horizon}, nil
+}
+
+// Start begins n alternating renewal processes with the given mean time
+// between failures and mean time to repair. Every target starts up; the
+// first failure of target i is drawn independently.
+func (in *Injector) Start(n int, mtbf, mttr float64) error {
+	if in.up != nil {
+		return fmt.Errorf("fault: injector already started")
+	}
+	if n <= 0 {
+		return fmt.Errorf("fault: need at least one target, got %d", n)
+	}
+	if mtbf <= 0 || mttr <= 0 || math.IsNaN(mtbf) || math.IsNaN(mttr) {
+		return fmt.Errorf("fault: MTBF %v and MTTR %v must be positive", mtbf, mttr)
+	}
+	in.mtbf, in.mttr = mtbf, mttr
+	in.up = make([]bool, n)
+	in.downSince = make([]float64, n)
+	for i := range in.up {
+		in.up[i] = true
+		if err := in.scheduleFailure(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Injector) scheduleFailure(target int) error {
+	t := in.kernel.Now() + in.r.Exp(1/in.mtbf)
+	if t >= in.horizon {
+		return nil
+	}
+	return in.kernel.At(t, func() { in.fail(target) })
+}
+
+func (in *Injector) fail(target int) {
+	in.up[target] = false
+	in.downSince[target] = in.kernel.Now()
+	in.stats.Failures++
+	in.outages = append(in.outages, Outage{Target: target, Start: in.kernel.Now(), End: math.NaN()})
+	if in.OnFail != nil {
+		in.OnFail(target)
+	}
+	// Repairs are scheduled even past the horizon: a failure within the
+	// window must eventually repair if the caller runs the kernel dry.
+	t := in.kernel.Now() + in.r.Exp(1/in.mttr)
+	_ = in.kernel.At(t, func() { in.repair(target) })
+}
+
+func (in *Injector) repair(target int) {
+	in.up[target] = true
+	in.stats.Repairs++
+	in.stats.Downtime += in.kernel.Now() - in.downSince[target]
+	for i := len(in.outages) - 1; i >= 0; i-- {
+		if in.outages[i].Target == target && math.IsNaN(in.outages[i].End) {
+			in.outages[i].End = in.kernel.Now()
+			break
+		}
+	}
+	if in.OnRepair != nil {
+		in.OnRepair(target)
+	}
+	_ = in.scheduleFailure(target)
+}
+
+// Up reports whether the target is currently up.
+func (in *Injector) Up(target int) bool {
+	if in.up == nil {
+		return true
+	}
+	return in.up[target]
+}
+
+// AnyDown reports whether any target is currently down.
+func (in *Injector) AnyDown() bool {
+	for _, u := range in.up {
+		if !u {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the activity summary with open outages accrued up to the
+// kernel's current clock.
+func (in *Injector) Stats() Stats {
+	s := in.stats
+	for i, u := range in.up {
+		if !u {
+			s.Downtime += in.kernel.Now() - in.downSince[i]
+		}
+	}
+	return s
+}
+
+// Outages returns a copy of the outage log. Open outages have End = NaN.
+func (in *Injector) Outages() []Outage {
+	return append([]Outage(nil), in.outages...)
+}

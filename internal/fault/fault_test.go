@@ -1,0 +1,178 @@
+package fault
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"mecache/internal/rng"
+	"mecache/internal/sim"
+)
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, p := range Policies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("disabled config rejected: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.CloudletMTBF = math.NaN()
+	if err := bad.Validate(); err == nil {
+		t.Fatal("NaN MTBF accepted")
+	}
+	bad = DefaultConfig()
+	bad.DetectionDelay = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("negative detection delay accepted")
+	}
+	bad = DefaultConfig()
+	bad.CloudletMTTR = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("outages without repairs accepted")
+	}
+	bad = DefaultConfig()
+	bad.Policy = Policy(99)
+	if err := bad.Validate(); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestInjectorAlternates(t *testing.T) {
+	k := sim.NewKernel()
+	in, err := NewInjector(k, rng.New(1), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	in.OnFail = func(target int) {
+		if in.Up(target) {
+			t.Fatalf("OnFail(%d) with target still up", target)
+		}
+		events = append(events, "fail")
+	}
+	in.OnRepair = func(target int) {
+		if !in.Up(target) {
+			t.Fatalf("OnRepair(%d) with target still down", target)
+		}
+		events = append(events, "repair")
+	}
+	if err := in.Start(3, 20, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no failures over 500 time units at MTBF 20")
+	}
+	st := in.Stats()
+	if st.Failures != st.Repairs {
+		t.Fatalf("kernel ran dry but %d failures vs %d repairs", st.Failures, st.Repairs)
+	}
+	if st.Downtime <= 0 {
+		t.Fatal("failures occurred but zero downtime accrued")
+	}
+	for _, o := range in.Outages() {
+		if math.IsNaN(o.End) {
+			t.Fatalf("open outage %+v after kernel ran dry", o)
+		}
+		if o.End <= o.Start {
+			t.Fatalf("outage %+v has non-positive duration", o)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !in.Up(i) {
+			t.Fatalf("target %d left down after all repairs ran", i)
+		}
+	}
+	if in.AnyDown() {
+		t.Fatal("AnyDown true after all repairs")
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	run := func() (Stats, []Outage) {
+		k := sim.NewKernel()
+		in, err := NewInjector(k, rng.New(42), 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := in.Start(4, 15, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return in.Stats(), in.Outages()
+	}
+	s1, o1 := run()
+	s2, o2 := run()
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatalf("same seed, different outage logs")
+	}
+}
+
+func TestInjectorValidation(t *testing.T) {
+	k := sim.NewKernel()
+	if _, err := NewInjector(nil, rng.New(1), 10); err == nil {
+		t.Fatal("nil kernel accepted")
+	}
+	if _, err := NewInjector(k, rng.New(1), 0); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+	in, err := NewInjector(k, rng.New(1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(0, 1, 1); err == nil {
+		t.Fatal("zero targets accepted")
+	}
+	if err := in.Start(2, 0, 1); err == nil {
+		t.Fatal("zero MTBF accepted")
+	}
+	if err := in.Start(2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(2, 1, 1); err == nil {
+		t.Fatal("double start accepted")
+	}
+}
+
+func TestInjectorHorizonBoundsFirstFailures(t *testing.T) {
+	// With a horizon far below the MTBF, most runs see no failure at all;
+	// the injector must leave the kernel empty rather than scheduling past
+	// the horizon forever.
+	k := sim.NewKernel()
+	in, err := NewInjector(k, rng.New(7), 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Start(2, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := in.Stats(); st.Failures != 0 {
+		t.Fatalf("expected no failures in a 0.001 window at MTBF 1000, got %d", st.Failures)
+	}
+}

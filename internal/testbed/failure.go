@@ -49,6 +49,67 @@ func (u *Underlay) RestoreSwitch(s int) error {
 // Failed reports whether the switch is currently down.
 func (u *Underlay) Failed(s int) bool { return u.failed[s] }
 
+// checkLink validates that (a, b) names an existing underlay link.
+func (u *Underlay) checkLink(a, b int) error {
+	if a < 0 || a >= len(u.Switches) || b < 0 || b >= len(u.Switches) {
+		return fmt.Errorf("testbed: link endpoints (%d,%d) out of range [0,%d)", a, b, len(u.Switches))
+	}
+	if _, ok := u.linkCap[linkKey(a, b)]; !ok {
+		return fmt.Errorf("testbed: no underlay link between switches %d and %d", a, b)
+	}
+	return nil
+}
+
+// FailLink cuts one underlay link (a fiber cut rather than a whole-switch
+// outage): transit re-routes around it, and endpoints stay reachable over
+// surviving links. Failing an unknown or already-failed link is an error.
+func (u *Underlay) FailLink(a, b int) error {
+	if err := u.checkLink(a, b); err != nil {
+		return err
+	}
+	if u.failedLinks == nil {
+		u.failedLinks = make(map[[2]int]bool)
+	}
+	k := linkKey(a, b)
+	if u.failedLinks[k] {
+		return fmt.Errorf("testbed: link (%d,%d) already failed", a, b)
+	}
+	u.failedLinks[k] = true
+	u.recomputePaths()
+	return nil
+}
+
+// RestoreLink repairs a failed link. Restoring a healthy link is an error.
+func (u *Underlay) RestoreLink(a, b int) error {
+	if err := u.checkLink(a, b); err != nil {
+		return err
+	}
+	k := linkKey(a, b)
+	if !u.failedLinks[k] {
+		return fmt.Errorf("testbed: link (%d,%d) is not failed", a, b)
+	}
+	delete(u.failedLinks, k)
+	u.recomputePaths()
+	return nil
+}
+
+// LinkFailed reports whether the underlay link is currently down.
+func (u *Underlay) LinkFailed(a, b int) bool { return u.failedLinks[linkKey(a, b)] }
+
+// Links returns every underlay link as a sorted endpoint pair, in a
+// deterministic order (the injector indexes into this slice).
+func (u *Underlay) Links() [][2]int {
+	links := make([][2]int, 0, len(u.linkCap))
+	for s := 0; s < u.g.N(); s++ {
+		for _, e := range u.g.Neighbors(s) {
+			if s < e.To {
+				links = append(links, [2]int{s, e.To})
+			}
+		}
+	}
+	return links
+}
+
 // recomputePaths rebuilds the shortest-path trees over the surviving
 // switches only.
 func (u *Underlay) recomputePaths() {
@@ -60,7 +121,7 @@ func (u *Underlay) recomputePaths() {
 			continue
 		}
 		for _, e := range u.g.Neighbors(s) {
-			if s < e.To && !u.failed[e.To] {
+			if s < e.To && !u.failed[e.To] && !u.failedLinks[linkKey(s, e.To)] {
 				// The original graph is valid, so re-adding edges cannot fail.
 				_ = sub.AddEdge(s, e.To, e.Weight)
 			}

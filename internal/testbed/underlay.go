@@ -60,8 +60,10 @@ type Underlay struct {
 	g *graph.Graph
 	// paths caches per-switch shortest-path trees over surviving switches.
 	paths []graph.ShortestPaths
-	// failed marks switches that are currently down (see failure.go).
-	failed map[int]bool
+	// failed marks switches that are currently down (see failure.go);
+	// failedLinks marks individual down links.
+	failed      map[int]bool
+	failedLinks map[[2]int]bool
 	// linkCap holds per-link capacities in Gbps, keyed by sorted endpoints.
 	linkCap map[[2]int]float64
 }

@@ -13,6 +13,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"mecache/internal/mec"
@@ -115,12 +116,77 @@ func Default(seed uint64) Config {
 	}
 }
 
+// Validate rejects configurations whose draws would panic deep inside the
+// random-number layer or silently produce nonsense markets (zero-request
+// providers divide demands by zero; inverted or negative ranges draw
+// negative prices and capacities).
+func (cfg Config) Validate() error {
+	ranges := []struct {
+		name string
+		rg   Range
+	}{
+		{"VMBandwidthMbps", cfg.VMBandwidthMbps},
+		{"TransPricePerGB", cfg.TransPricePerGB},
+		{"ProcPricePerGB", cfg.ProcPricePerGB},
+		{"TrafficPerReqMB", cfg.TrafficPerReqMB},
+		{"DataGB", cfg.DataGB},
+		{"Alpha", cfg.Alpha},
+		{"Beta", cfg.Beta},
+		{"ComputeDemand", cfg.ComputeDemand},
+		{"BandwidthDemand", cfg.BandwidthDemand},
+		{"InstCost", cfg.InstCost},
+		{"FixedBandwidthCost", cfg.FixedBandwidthCost},
+	}
+	for _, f := range ranges {
+		if math.IsNaN(f.rg.Lo) || math.IsNaN(f.rg.Hi) || math.IsInf(f.rg.Lo, 0) || math.IsInf(f.rg.Hi, 0) {
+			return fmt.Errorf("workload: %s range [%v, %v] must be finite", f.name, f.rg.Lo, f.rg.Hi)
+		}
+		if f.rg.Lo < 0 {
+			return fmt.Errorf("workload: %s range [%v, %v] must be non-negative", f.name, f.rg.Lo, f.rg.Hi)
+		}
+		if f.rg.Hi < f.rg.Lo {
+			return fmt.Errorf("workload: %s range [%v, %v] is inverted", f.name, f.rg.Lo, f.rg.Hi)
+		}
+	}
+	if cfg.NumProviders < 1 {
+		return fmt.Errorf("workload: need at least one provider, got %d", cfg.NumProviders)
+	}
+	if math.IsNaN(cfg.CloudletFraction) || cfg.CloudletFraction < 0 || cfg.CloudletFraction > 1 {
+		return fmt.Errorf("workload: CloudletFraction %v outside [0,1]", cfg.CloudletFraction)
+	}
+	if cfg.NumDCs < 0 {
+		return fmt.Errorf("workload: NumDCs must be non-negative, got %d", cfg.NumDCs)
+	}
+	if math.IsNaN(cfg.VMComputeUnits) || math.IsInf(cfg.VMComputeUnits, 0) || cfg.VMComputeUnits < 0 {
+		return fmt.Errorf("workload: VMComputeUnits must be finite and non-negative, got %v", cfg.VMComputeUnits)
+	}
+	if math.IsNaN(cfg.UpdateRatio) || math.IsInf(cfg.UpdateRatio, 0) || cfg.UpdateRatio < 0 {
+		return fmt.Errorf("workload: UpdateRatio must be finite and non-negative, got %v", cfg.UpdateRatio)
+	}
+	if cfg.Requests.Lo < 1 {
+		return fmt.Errorf("workload: Requests range [%d, %d] must start at >= 1 (requests divide per-request demands)", cfg.Requests.Lo, cfg.Requests.Hi)
+	}
+	if cfg.Requests.Hi < cfg.Requests.Lo {
+		return fmt.Errorf("workload: Requests range [%d, %d] is inverted", cfg.Requests.Lo, cfg.Requests.Hi)
+	}
+	if cfg.VMs.Lo < 0 || cfg.VMs.Hi < cfg.VMs.Lo {
+		return fmt.Errorf("workload: VMs range [%d, %d] invalid", cfg.VMs.Lo, cfg.VMs.Hi)
+	}
+	if cfg.BackhaulHops.Lo < 0 || cfg.BackhaulHops.Hi < cfg.BackhaulHops.Lo {
+		return fmt.Errorf("workload: BackhaulHops range [%d, %d] invalid", cfg.BackhaulHops.Lo, cfg.BackhaulHops.Hi)
+	}
+	return nil
+}
+
 // Generate builds a market on the given topology. Cloudlets are placed at
 // the nodes farthest from the topology center (the network edge, where
 // GT-ITM stubs live); data centers at the most central nodes (the core).
 func Generate(topo *topology.Topology, cfg Config) (*mec.Market, error) {
 	if topo == nil {
 		return nil, fmt.Errorf("workload: nil topology")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	n := topo.N()
 	numCL := int(float64(n) * cfg.CloudletFraction)

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -189,5 +190,54 @@ func BenchmarkGenerate400(b *testing.B) {
 		if _, err := GenerateGTITM(400, cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestConfigValidateRejectsMisuse(t *testing.T) {
+	if err := Default(1).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero providers", func(c *Config) { c.NumProviders = 0 }},
+		{"zero-request providers", func(c *Config) { c.Requests = IntRange{0, 50} }},
+		{"inverted requests", func(c *Config) { c.Requests = IntRange{50, 10} }},
+		{"negative price", func(c *Config) { c.TransPricePerGB = Range{-0.05, 0.12} }},
+		{"inverted price", func(c *Config) { c.ProcPricePerGB = Range{0.22, 0.15} }},
+		{"NaN volume", func(c *Config) { c.DataGB = Range{math.NaN(), 5} }},
+		{"infinite demand", func(c *Config) { c.ComputeDemand = Range{0.5, math.Inf(1)} }},
+		{"cloudlet fraction > 1", func(c *Config) { c.CloudletFraction = 1.5 }},
+		{"negative cloudlet fraction", func(c *Config) { c.CloudletFraction = -0.1 }},
+		{"negative DCs", func(c *Config) { c.NumDCs = -1 }},
+		{"negative update ratio", func(c *Config) { c.UpdateRatio = -0.1 }},
+		{"negative VM range", func(c *Config) { c.VMs = IntRange{-3, 10} }},
+		{"inverted backhaul", func(c *Config) { c.BackhaulHops = IntRange{15, 8} }},
+	}
+	for _, tc := range cases {
+		cfg := Default(1)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the config", tc.name)
+		}
+		if _, err := GenerateGTITM(80, cfg); err == nil {
+			t.Errorf("%s: GenerateGTITM accepted the config", tc.name)
+		}
+	}
+}
+
+func TestGenerateValidatesBeforeDrawing(t *testing.T) {
+	// A config that would previously panic inside the rng layer (uniform
+	// draw over an inverted interval) must surface as an error instead.
+	cfg := Default(2)
+	cfg.TrafficPerReqMB = Range{200, 10}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Generate panicked: %v", r)
+		}
+	}()
+	if _, err := GenerateGTITM(60, cfg); err == nil {
+		t.Fatal("inverted range accepted")
 	}
 }
