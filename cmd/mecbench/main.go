@@ -7,6 +7,7 @@
 //	mecbench -fig 2 -seed 42             # only Figure 2
 //	mecbench -fig poa                    # the Price-of-Anarchy study
 //	mecbench -fig 2 -quick               # reduced sweep for a fast smoke run
+//	mecbench -fig poa -parallel 1        # force the serial sweep path
 //	mecbench -fig 3 -format csv          # plot-ready CSV
 //	mecbench -fig 3 -format svg -out dir # one SVG chart per panel
 package main
@@ -35,6 +36,7 @@ func run(w io.Writer, args []string) error {
 	quick := fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
 	format := fs.String("format", "table", "output format: table, csv, or svg")
 	outDir := fs.String("out", ".", "directory for svg output files")
+	par := fs.Int("parallel", 0, "sweep worker pool size: 0 = one worker per CPU, 1 = serial; any value produces identical tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +50,7 @@ func run(w io.Writer, args []string) error {
 
 	if selected("2") {
 		cfg := mecache.DefaultFig2(*seed)
+		cfg.Parallelism = *par
 		if *quick {
 			cfg.Sizes = []int{50, 150, 250}
 			cfg.Reps = 1
@@ -59,6 +62,7 @@ func run(w io.Writer, args []string) error {
 	}
 	if selected("3") {
 		cfg := mecache.DefaultFig3(*seed)
+		cfg.Parallelism = *par
 		if *quick {
 			cfg.SelfishFractions = []float64{0, 0.3, 0.6, 1}
 			cfg.Reps = 1
@@ -107,6 +111,7 @@ func run(w io.Writer, args []string) error {
 	}
 	if selected("ablation") {
 		cfg := mecache.DefaultAblation(*seed)
+		cfg.Parallelism = *par
 		if *quick {
 			cfg.XiValues = []float64{0, 0.5, 1}
 			cfg.Reps = 1
@@ -121,6 +126,7 @@ func run(w io.Writer, args []string) error {
 	}
 	if selected("poa") {
 		cfg := mecache.DefaultPoA(*seed)
+		cfg.Parallelism = *par
 		if *quick {
 			cfg.XiValues = []float64{0, 0.5, 1}
 			cfg.Reps = 1

@@ -8,6 +8,7 @@
 //
 //	mecfault -horizon 200 -mtbf 100 -mttr 5 -policy re-place
 //	mecfault -sweep -seed 7
+//	mecfault -sweep -parallel 1          # force the serial sweep path
 //	mecfault -sweep -csv > figf.csv
 package main
 
@@ -75,6 +76,7 @@ func run(w io.Writer, args []string) error {
 	policyName := fs.String("policy", mecache.PolicyRemoteFallback.String(),
 		"failover policy: "+strings.Join(policyNames(), ", "))
 	sweep := fs.Bool("sweep", false, "run the Fig-F resilience sweep instead of a single run")
+	par := fs.Int("parallel", 0, "with -sweep, worker pool size: 0 = one worker per CPU, 1 = serial; any value produces identical tables")
 	csv := fs.Bool("csv", false, "with -sweep, emit CSV instead of aligned tables")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +85,7 @@ func run(w io.Writer, args []string) error {
 
 	if *sweep {
 		cfg := mecache.DefaultFigF(*seed)
+		cfg.Parallelism = *par
 		fig, err := mecache.FigF(cfg)
 		if err != nil {
 			return err

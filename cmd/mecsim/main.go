@@ -6,6 +6,7 @@
 //
 //	mecsim -size 250 -providers 100 -selfish 0.3 -seed 1
 //	mecsim -topology as1755 -providers 80
+//	mecsim -parallel 0                   # run the three algorithms concurrently
 package main
 
 import (
@@ -53,6 +54,7 @@ func run(w io.Writer, args []string) error {
 	providers := fs.Int("providers", 100, "number of network service providers")
 	selfish := fs.Float64("selfish", 0.3, "selfish fraction 1-xi in [0,1]")
 	seed := fs.Uint64("seed", 1, "random seed")
+	par := fs.Int("parallel", 1, "worker pool for the three algorithms: 0 = one per CPU, 1 = serial; >1 leaves runMillis contended")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +86,7 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 
-	results, err := mecache.RunAll(market, 1-*selfish, *seed)
+	results, err := mecache.RunAllParallel(market, 1-*selfish, *seed, *par)
 	if err != nil {
 		return err
 	}

@@ -83,9 +83,17 @@ func PoAStudy(cfg PoAConfig) (*Figure, error) { return experiments.PoAStudy(cfg)
 func Ablation(cfg AblationConfig) (*Figure, error) { return experiments.Ablation(cfg) }
 
 // RunAll executes LCF and both baselines on a market and returns
-// per-algorithm outcomes.
+// per-algorithm outcomes. The algorithms run serially so their Seconds
+// timings are uncontended.
 func RunAll(m *Market, xi float64, seed uint64) (map[string]AlgoOutcome, error) {
 	return experiments.RunAll(m, xi, seed)
+}
+
+// RunAllParallel is RunAll with the three algorithms dispatched on a worker
+// pool (workers 0 = one per CPU, 1 = serial). Placements and costs are
+// identical to RunAll at any width; only the timing fields contend.
+func RunAllParallel(m *Market, xi float64, seed uint64, workers int) (map[string]AlgoOutcome, error) {
+	return experiments.RunAllParallel(m, xi, seed, workers)
 }
 
 // Test-bed emulation types (the Section IV-C substitute).

@@ -309,17 +309,15 @@ func ApproximationRatio(m *mec.Market) float64 {
 }
 
 // RankByCost orders provider indices by decreasing cost under pl (the
-// Largest Cost First ranking of Algorithm 2, step 2).
+// Largest Cost First ranking of Algorithm 2, step 2). Costs come from a
+// single ProviderCosts pass, so the ranking is O(N log N) instead of the
+// O(N²) a per-provider placement rescan would cost.
 func RankByCost(m *mec.Market, pl mec.Placement) []int {
-	n := len(m.Providers)
-	idx := make([]int, n)
+	idx := make([]int, len(m.Providers))
 	for l := range idx {
 		idx[l] = l
 	}
-	costs := make([]float64, n)
-	for l := range costs {
-		costs[l] = m.ProviderCost(pl, l)
-	}
+	costs := m.ProviderCosts(pl)
 	sort.SliceStable(idx, func(a, b int) bool { return costs[idx[a]] > costs[idx[b]] })
 	return idx
 }

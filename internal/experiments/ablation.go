@@ -6,6 +6,7 @@ import (
 	"mecache/internal/core"
 	"mecache/internal/game"
 	"mecache/internal/mec"
+	"mecache/internal/parallel"
 	"mecache/internal/stats"
 	"mecache/internal/workload"
 )
@@ -23,6 +24,10 @@ type AblationConfig struct {
 	// PoAProviders sizes the exactly-solvable markets of the PoS/PoA panel.
 	PoAProviders int
 	Restarts     int
+	// Parallelism bounds each panel's worker pool (one task per swept
+	// point × repetition). Values below 1 mean one worker per CPU; 1 runs
+	// serially. Every width yields identical tables.
+	Parallelism int
 }
 
 // DefaultAblation returns the standard ablation sweep.
@@ -63,28 +68,36 @@ func Ablation(cfg AblationConfig) (*Figure, error) {
 		for i, st := range strategies {
 			names[i] = st.name
 		}
+		// Task grid: (xi, strategy, rep), flattened row-major.
+		costs, err := parallel.Map(cfg.Parallelism, len(cfg.XiValues)*len(strategies)*cfg.Reps,
+			func(t int) (float64, error) {
+				xi := cfg.XiValues[t/(len(strategies)*cfg.Reps)]
+				st := strategies[t/cfg.Reps%len(strategies)]
+				rep := t % cfg.Reps
+				wcfg := workload.Default(cfg.Seed + uint64(rep)*7919)
+				wcfg.NumProviders = cfg.NumProviders
+				m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.LCF(m, core.LCFOptions{
+					Xi: xi, Seed: wcfg.Seed, Strategy: st.s,
+					Appro: core.ApproOptions{Solver: core.SolverTransport},
+				})
+				if err != nil {
+					return 0, fmt.Errorf("experiments: ablation %s: %w", st.name, err)
+				}
+				return res.SocialCost, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		sm := newSeriesMap(names...)
 		var xs []float64
-		for _, xi := range cfg.XiValues {
-			for _, st := range strategies {
-				var ys []float64
-				for rep := 0; rep < cfg.Reps; rep++ {
-					wcfg := workload.Default(cfg.Seed + uint64(rep)*7919)
-					wcfg.NumProviders = cfg.NumProviders
-					m, err := workload.GenerateGTITM(cfg.Size, wcfg)
-					if err != nil {
-						return nil, err
-					}
-					res, err := core.LCF(m, core.LCFOptions{
-						Xi: xi, Seed: wcfg.Seed, Strategy: st.s,
-						Appro: core.ApproOptions{Solver: core.SolverTransport},
-					})
-					if err != nil {
-						return nil, fmt.Errorf("experiments: ablation %s: %w", st.name, err)
-					}
-					ys = append(ys, res.SocialCost)
-				}
-				sum := stats.Summarize(ys)
+		for xiIdx, xi := range cfg.XiValues {
+			for stIdx, st := range strategies {
+				at := (xiIdx*len(strategies) + stIdx) * cfg.Reps
+				sum := stats.Summarize(costs[at : at+cfg.Reps])
 				sm.add(st.name, sum.Mean)
 				sm.addErr(st.name, sum.CI95())
 			}
@@ -98,32 +111,42 @@ func Ablation(cfg AblationConfig) (*Figure, error) {
 
 	// Panel (b): congestion-aware vs congestion-blind Appro pricing.
 	{
+		counts := []int{40, 60, 80, 100, 120}
+		blinds := []bool{false, true}
+		// Task grid: (provider count, pricing mode, rep), flattened.
+		costs, err := parallel.Map(cfg.Parallelism, len(counts)*len(blinds)*cfg.Reps,
+			func(t int) (float64, error) {
+				n := counts[t/(len(blinds)*cfg.Reps)]
+				blind := blinds[t/cfg.Reps%len(blinds)]
+				rep := t % cfg.Reps
+				wcfg := workload.Default(cfg.Seed + uint64(rep)*104729)
+				wcfg.NumProviders = n
+				m, err := workload.GenerateGTITM(cfg.Size, wcfg)
+				if err != nil {
+					return 0, err
+				}
+				res, err := core.Appro(m, core.ApproOptions{
+					Solver:          core.SolverTransport,
+					CongestionBlind: blind,
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.SocialCost, nil
+			})
+		if err != nil {
+			return nil, err
+		}
 		sm := newSeriesMap("marginal pricing", "Eq. 9 flat pricing")
 		var xs []float64
-		for _, n := range []int{40, 60, 80, 100, 120} {
-			for _, blind := range []bool{false, true} {
+		for ni, n := range counts {
+			for bi, blind := range blinds {
 				name := "marginal pricing"
 				if blind {
 					name = "Eq. 9 flat pricing"
 				}
-				var ys []float64
-				for rep := 0; rep < cfg.Reps; rep++ {
-					wcfg := workload.Default(cfg.Seed + uint64(rep)*104729)
-					wcfg.NumProviders = n
-					m, err := workload.GenerateGTITM(cfg.Size, wcfg)
-					if err != nil {
-						return nil, err
-					}
-					res, err := core.Appro(m, core.ApproOptions{
-						Solver:          core.SolverTransport,
-						CongestionBlind: blind,
-					})
-					if err != nil {
-						return nil, err
-					}
-					ys = append(ys, res.SocialCost)
-				}
-				sum := stats.Summarize(ys)
+				at := (ni*len(blinds) + bi) * cfg.Reps
+				sum := stats.Summarize(costs[at : at+cfg.Reps])
 				sm.add(name, sum.Mean)
 				sm.addErr(name, sum.CI95())
 			}
@@ -137,26 +160,26 @@ func Ablation(cfg AblationConfig) (*Figure, error) {
 
 	// Panel (c): Price of Stability vs Price of Anarchy.
 	{
-		sm := newSeriesMap("PoS", "PoA")
-		var xs []float64
-		for _, xi := range cfg.XiValues {
-			var poss, poas []float64
-			for rep := 0; rep < cfg.Reps; rep++ {
+		type ratios struct{ pos, poa float64 }
+		pts, err := parallel.Map(cfg.Parallelism, len(cfg.XiValues)*cfg.Reps,
+			func(t int) (ratios, error) {
+				xi, rep := cfg.XiValues[t/cfg.Reps], t%cfg.Reps
 				wcfg := workload.Default(cfg.Seed + uint64(rep)*31 + uint64(100*xi))
 				wcfg.NumProviders = cfg.PoAProviders
 				m, err := workload.GenerateGTITM(50, wcfg)
 				if err != nil {
-					return nil, err
+					return ratios{}, err
 				}
 				_, opt, err := game.ExactOptimum(m, 1<<24)
 				if err != nil {
-					return nil, err
+					return ratios{}, err
 				}
 				lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: wcfg.Seed})
 				if err != nil {
-					return nil, err
+					return ratios{}, err
 				}
 				g := game.New(m)
+				g.Parallelism = 1 // the panel's tasks already fill the pool
 				base := make(mec.Placement, len(m.Providers))
 				for l := range base {
 					base[l] = mec.Remote
@@ -167,14 +190,25 @@ func Ablation(cfg AblationConfig) (*Figure, error) {
 				}
 				pos, err := g.EmpiricalPoS(base, opt, cfg.Restarts, 0, wcfg.Seed)
 				if err != nil {
-					return nil, err
+					return ratios{}, err
 				}
 				poa, err := g.EmpiricalPoA(base, opt, cfg.Restarts, 0, wcfg.Seed)
 				if err != nil {
-					return nil, err
+					return ratios{}, err
 				}
-				poss = append(poss, pos)
-				poas = append(poas, poa)
+				return ratios{pos: pos, poa: poa}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sm := newSeriesMap("PoS", "PoA")
+		var xs []float64
+		for xiIdx, xi := range cfg.XiValues {
+			var poss, poas []float64
+			for rep := 0; rep < cfg.Reps; rep++ {
+				p := pts[xiIdx*cfg.Reps+rep]
+				poss = append(poss, p.pos)
+				poas = append(poas, p.poa)
 			}
 			posSum, poaSum := stats.Summarize(poss), stats.Summarize(poas)
 			sm.add("PoS", posSum.Mean)

@@ -5,6 +5,7 @@ import (
 
 	"mecache/internal/dynamic"
 	"mecache/internal/fault"
+	"mecache/internal/parallel"
 	"mecache/internal/stats"
 )
 
@@ -27,6 +28,11 @@ type FigFConfig struct {
 	Dynamic dynamic.Config
 	// Reps averages this many independent runs (distinct seeds) per point.
 	Reps int
+	// Parallelism bounds the sweep's worker pool, one task per
+	// (rate, policy, rep) triple. Values below 1 mean one worker per CPU;
+	// 1 runs serially. Every width yields identical tables: each dynamic
+	// run is seeded purely by its grid position.
+	Parallelism int
 }
 
 // DefaultFigF returns a sweep over failure rates spanning "rare" (one
@@ -69,29 +75,46 @@ func FigF(cfg FigFConfig) (*Figure, error) {
 	viol := newSeriesMap(names...)
 	cost := newSeriesMap(names...)
 
-	var xs []float64
 	for _, rate := range cfg.FailureRates {
 		if rate <= 0 {
 			return nil, fmt.Errorf("experiments: figF: failure rate must be positive, got %v", rate)
 		}
+	}
+
+	// Task grid: (rate, policy, rep), flattened row-major; each task runs
+	// one full dynamic market with fault injection.
+	mets, err := parallel.Map(cfg.Parallelism, len(cfg.FailureRates)*len(cfg.Policies)*cfg.Reps,
+		func(t int) (*dynamic.Metrics, error) {
+			rate := cfg.FailureRates[t/(len(cfg.Policies)*cfg.Reps)]
+			pol := cfg.Policies[t/cfg.Reps%len(cfg.Policies)]
+			rep := t % cfg.Reps
+			dcfg := cfg.Dynamic
+			dcfg.Seed = cfg.Seed + uint64(rep)*15485863
+			dcfg.Workload.Seed = dcfg.Seed
+			dcfg.Fault.CloudletMTBF = 1 / rate
+			dcfg.Fault.CloudletMTTR = cfg.MTTR
+			dcfg.Fault.Policy = pol
+			sim, err := dynamic.New(nil, dcfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
+			}
+			met, err := sim.Run()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
+			}
+			return met, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs []float64
+	for ri, rate := range cfg.FailureRates {
 		xs = append(xs, rate)
-		for pi, pol := range cfg.Policies {
+		for pi := range cfg.Policies {
 			var as, ms, vs, cs []float64
 			for rep := 0; rep < cfg.Reps; rep++ {
-				dcfg := cfg.Dynamic
-				dcfg.Seed = cfg.Seed + uint64(rep)*15485863
-				dcfg.Workload.Seed = dcfg.Seed
-				dcfg.Fault.CloudletMTBF = 1 / rate
-				dcfg.Fault.CloudletMTTR = cfg.MTTR
-				dcfg.Fault.Policy = pol
-				sim, err := dynamic.New(nil, dcfg)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
-				}
-				met, err := sim.Run()
-				if err != nil {
-					return nil, fmt.Errorf("experiments: figF rate %v policy %s: %w", rate, pol, err)
-				}
+				met := mets[(ri*len(cfg.Policies)+pi)*cfg.Reps+rep]
 				as = append(as, met.Availability)
 				ms = append(ms, met.MeanTimeToRecover)
 				vs = append(vs, met.SLAViolationFraction)

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"mecache/internal/parallel"
 	"mecache/internal/workload"
 )
 
@@ -14,6 +15,11 @@ type Fig2Config struct {
 	NumProviders    int
 	SelfishFraction float64 // 1-ξ
 	Reps            int     // independent instances averaged per point
+	// Parallelism bounds the sweep's worker pool, one task per
+	// (size, repetition) pair. Values below 1 mean one worker per CPU; 1
+	// runs the sweep serially. Every width produces identical tables: each
+	// task's randomness is a pure function of its (size, rep) seed.
+	Parallelism int
 }
 
 // DefaultFig2 returns the paper's Figure-2 sweep.
@@ -40,23 +46,26 @@ func Fig2(cfg Fig2Config) (*Figure, error) {
 	coord := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
 	runtime := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
 
-	var xs []float64
-	for _, size := range cfg.Sizes {
-		runs := make([]map[string]AlgoOutcome, 0, cfg.Reps)
-		for rep := 0; rep < cfg.Reps; rep++ {
+	// One task per (size, rep) pair; results land at their task index, so
+	// the aggregation below sees them in the same order at any parallelism.
+	runs, err := parallel.Map(cfg.Parallelism, len(cfg.Sizes)*cfg.Reps,
+		func(t int) (map[string]AlgoOutcome, error) {
+			size, rep := cfg.Sizes[t/cfg.Reps], t%cfg.Reps
 			wcfg := workload.Default(cfg.Seed + uint64(rep)*7919 + uint64(size))
 			wcfg.NumProviders = cfg.NumProviders
 			m, err := workload.GenerateGTITM(size, wcfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig2 size %d: %w", size, err)
 			}
-			out, err := RunAll(m, xi, wcfg.Seed)
-			if err != nil {
-				return nil, err
-			}
-			runs = append(runs, out)
-		}
-		avg, ci := aggregateOutcomes(runs)
+			return RunAll(m, xi, wcfg.Seed)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs []float64
+	for si, size := range cfg.Sizes {
+		avg, ci := aggregateOutcomes(runs[si*cfg.Reps : (si+1)*cfg.Reps])
 		xs = append(xs, float64(size))
 		for name, o := range avg {
 			social.add(name, o.Social)
@@ -87,6 +96,9 @@ type Fig3Config struct {
 	NumProviders     int
 	SelfishFractions []float64
 	Reps             int
+	// Parallelism bounds the sweep's worker pool, one task per
+	// (fraction, repetition) pair; see Fig2Config.Parallelism.
+	Parallelism int
 }
 
 // DefaultFig3 returns the paper's Figure-3 sweep.
@@ -111,23 +123,24 @@ func Fig3(cfg Fig3Config) (*Figure, error) {
 	coord := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
 	runtime := newSeriesMap(AlgoLCF, AlgoJoOffloadCache, AlgoOffloadCache)
 
-	var xs []float64
-	for _, frac := range cfg.SelfishFractions {
-		runs := make([]map[string]AlgoOutcome, 0, cfg.Reps)
-		for rep := 0; rep < cfg.Reps; rep++ {
+	runs, err := parallel.Map(cfg.Parallelism, len(cfg.SelfishFractions)*cfg.Reps,
+		func(t int) (map[string]AlgoOutcome, error) {
+			frac, rep := cfg.SelfishFractions[t/cfg.Reps], t%cfg.Reps
 			wcfg := workload.Default(cfg.Seed + uint64(rep)*104729)
 			wcfg.NumProviders = cfg.NumProviders
 			m, err := workload.GenerateGTITM(cfg.Size, wcfg)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig3: %w", err)
 			}
-			out, err := RunAll(m, 1-frac, wcfg.Seed+uint64(1000*frac))
-			if err != nil {
-				return nil, err
-			}
-			runs = append(runs, out)
-		}
-		avg, ci := aggregateOutcomes(runs)
+			return RunAll(m, 1-frac, wcfg.Seed+uint64(1000*frac))
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var xs []float64
+	for fi, frac := range cfg.SelfishFractions {
+		avg, ci := aggregateOutcomes(runs[fi*cfg.Reps : (fi+1)*cfg.Reps])
 		xs = append(xs, frac)
 		for name, o := range avg {
 			social.add(name, o.Social)

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"testing"
+
+	"mecache/internal/workload"
+)
+
+// widths are the worker-pool sizes every sweep must agree across. 0 means
+// one worker per CPU, so on multi-core runners it genuinely interleaves.
+var widths = []int{1, 4, runtime.NumCPU()}
+
+// fingerprint serializes a figure's deterministic content. Panels whose
+// title marks them as wall-clock timings are dropped: running times are
+// real measurements and legitimately vary run to run; everything else must
+// be byte-identical at any parallelism.
+func fingerprint(t *testing.T, fig *Figure) string {
+	t.Helper()
+	var kept []Table
+	for _, tb := range fig.Tables {
+		if strings.Contains(tb.Title, "running times") {
+			continue
+		}
+		kept = append(kept, tb)
+	}
+	b, err := json.Marshal(kept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFig2ByteIdenticalAcrossParallelism: the GT-ITM sweep must produce the
+// same tables (minus the timing panel) at parallelism 1, 4, and NumCPU.
+func TestFig2ByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	run := func(par int) string {
+		cfg := DefaultFig2(21)
+		cfg.Sizes = []int{50, 80}
+		cfg.NumProviders = 20
+		cfg.Reps = 2
+		cfg.Parallelism = par
+		fig, err := Fig2(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(t, fig)
+	}
+	want := run(1)
+	for _, par := range widths[1:] {
+		if got := run(par); got != want {
+			t.Fatalf("Fig2 diverges at parallelism %d", par)
+		}
+	}
+}
+
+// TestPoAStudyByteIdenticalAcrossParallelism covers both fan-out layers:
+// the (xi, rep) sweep and the restart search inside each point.
+func TestPoAStudyByteIdenticalAcrossParallelism(t *testing.T) {
+	run := func(par int) string {
+		cfg := DefaultPoA(9)
+		cfg.XiValues = []float64{0, 0.5, 1}
+		cfg.NumProviders = 4
+		cfg.Restarts = 8
+		cfg.Reps = 2
+		cfg.Parallelism = par
+		fig, err := PoAStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(t, fig)
+	}
+	want := run(1)
+	for _, par := range widths[1:] {
+		if got := run(par); got != want {
+			t.Fatalf("PoA study diverges at parallelism %d", par)
+		}
+	}
+}
+
+// TestFigFByteIdenticalAcrossParallelism: the resilience sweep runs on
+// virtual time, so all four panels — including recovery times — must match
+// exactly at any width.
+func TestFigFByteIdenticalAcrossParallelism(t *testing.T) {
+	run := func(par int) string {
+		cfg := smallFigF(5)
+		cfg.Reps = 2
+		cfg.Parallelism = par
+		fig, err := FigF(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	want := run(1)
+	for _, par := range widths[1:] {
+		if got := run(par); got != want {
+			t.Fatalf("FigF diverges at parallelism %d", par)
+		}
+	}
+}
+
+// TestRunAllParallelMatchesSerial: dispatching the three algorithms on a
+// pool must not change any placement or cost — only Seconds may differ.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	wcfg := workload.Default(13)
+	wcfg.NumProviders = 25
+	m, err := workload.GenerateGTITM(60, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunAll(m, 0.5, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range widths {
+		got, err := RunAllParallel(m, 0.5, 13, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(serial) {
+			t.Fatalf("parallelism %d: %d outcomes, want %d", par, len(got), len(serial))
+		}
+		for name, want := range serial {
+			o, ok := got[name]
+			if !ok {
+				t.Fatalf("parallelism %d: missing algorithm %q", par, name)
+			}
+			if o.Social != want.Social || o.Coordinated != want.Coordinated || o.Selfish != want.Selfish {
+				t.Fatalf("parallelism %d: %s costs (%v,%v,%v) != serial (%v,%v,%v)",
+					par, name, o.Social, o.Coordinated, o.Selfish,
+					want.Social, want.Coordinated, want.Selfish)
+			}
+			if len(o.Placement) != len(want.Placement) {
+				t.Fatalf("parallelism %d: %s placement length mismatch", par, name)
+			}
+			for l := range want.Placement {
+				if o.Placement[l] != want.Placement[l] {
+					t.Fatalf("parallelism %d: %s placement diverges at provider %d", par, name, l)
+				}
+			}
+		}
+	}
+}
+
+// TestAblationPanelCByteIdenticalAcrossParallelism exercises the PoS/PoA
+// panel, the sweep that stacks the pool on top of per-point Nash searches.
+func TestAblationPanelCByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep in -short mode")
+	}
+	run := func(par int) string {
+		cfg := DefaultAblation(4)
+		cfg.Size = 50
+		cfg.NumProviders = 10
+		cfg.XiValues = []float64{0, 1}
+		cfg.Reps = 1
+		cfg.PoAProviders = 4
+		cfg.Restarts = 6
+		cfg.Parallelism = par
+		fig, err := Ablation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(t, fig)
+	}
+	want := run(1)
+	for _, par := range widths[1:] {
+		if got := run(par); got != want {
+			t.Fatalf("ablation diverges at parallelism %d", par)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"mecache/internal/core"
 	"mecache/internal/game"
 	"mecache/internal/mec"
+	"mecache/internal/parallel"
 	"mecache/internal/workload"
 )
 
@@ -19,6 +20,10 @@ type PoAConfig struct {
 	XiValues     []float64
 	Restarts     int // random initializations when hunting the worst NE
 	Reps         int
+	// Parallelism bounds the sweep's worker pool, one task per (ξ, rep)
+	// pair. Values below 1 mean one worker per CPU; 1 runs serially. Every
+	// width yields identical tables (substream seeding per task).
+	Parallelism int
 }
 
 // DefaultPoA returns a tractable PoA sweep.
@@ -41,27 +46,29 @@ func PoAStudy(cfg PoAConfig) (*Figure, error) {
 	if cfg.Reps < 1 {
 		cfg.Reps = 1
 	}
-	empirical := newSeriesMap("empirical PoA", "Theorem-1 bound")
-	var xs []float64
-	for _, xi := range cfg.XiValues {
-		var sumPoA, sumBound float64
-		for rep := 0; rep < cfg.Reps; rep++ {
+	type point struct{ poa, bound float64 }
+	pts, err := parallel.Map(cfg.Parallelism, len(cfg.XiValues)*cfg.Reps,
+		func(t int) (point, error) {
+			xi, rep := cfg.XiValues[t/cfg.Reps], t%cfg.Reps
 			wcfg := workload.Default(cfg.Seed + uint64(rep)*31 + uint64(100*xi))
 			wcfg.NumProviders = cfg.NumProviders
 			m, err := workload.GenerateGTITM(cfg.Size, wcfg)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			_, opt, err := game.ExactOptimum(m, 1<<24)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: poa optimum: %w", err)
+				return point{}, fmt.Errorf("experiments: poa optimum: %w", err)
 			}
 			// Build the Stackelberg game: pin LCF's coordinated providers.
 			lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: wcfg.Seed})
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
 			g := game.New(m)
+			// The sweep points already saturate the pool; the inner restart
+			// search stays serial (identical results either way).
+			g.Parallelism = 1
 			base := make(mec.Placement, len(m.Providers))
 			for l := range base {
 				base[l] = mec.Remote
@@ -72,11 +79,23 @@ func PoAStudy(cfg PoAConfig) (*Figure, error) {
 			}
 			poa, err := g.EmpiricalPoA(base, opt, cfg.Restarts, 0, wcfg.Seed)
 			if err != nil {
-				return nil, err
+				return point{}, err
 			}
-			sumPoA += poa
 			delta, kappa := m.DeltaKappa()
-			sumBound += game.PoABound(delta, kappa, xi)
+			return point{poa: poa, bound: game.PoABound(delta, kappa, xi)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	empirical := newSeriesMap("empirical PoA", "Theorem-1 bound")
+	var xs []float64
+	for xiIdx, xi := range cfg.XiValues {
+		var sumPoA, sumBound float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			p := pts[xiIdx*cfg.Reps+rep]
+			sumPoA += p.poa
+			sumBound += p.bound
 		}
 		xs = append(xs, xi)
 		empirical.add("empirical PoA", sumPoA/float64(cfg.Reps))

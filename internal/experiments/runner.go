@@ -7,6 +7,7 @@ import (
 	"mecache/internal/baselines"
 	"mecache/internal/core"
 	"mecache/internal/mec"
+	"mecache/internal/parallel"
 	"mecache/internal/stats"
 )
 
@@ -34,15 +35,54 @@ type AlgoOutcome struct {
 
 // RunAll executes the three algorithms on the market with the given
 // coordinated fraction ξ and returns per-algorithm outcomes keyed by name.
+// The algorithms run serially, so the per-algorithm Seconds timings are
+// uncontended (the quantity Figs. 2(d)/3(d) plot).
 func RunAll(m *mec.Market, xi float64, seed uint64) (map[string]AlgoOutcome, error) {
+	return RunAllParallel(m, xi, seed, 1)
+}
+
+// RunAllParallel is RunAll with the three algorithms dispatched on a worker
+// pool of the given width (0 = one worker per CPU, 1 = serial). Placements
+// and costs are identical to RunAll at any width — each algorithm is a pure
+// function of (market, seed) — but concurrent algorithms contend for cores,
+// so the Seconds timings are only comparable at width 1.
+func RunAllParallel(m *mec.Market, xi float64, seed uint64, workers int) (map[string]AlgoOutcome, error) {
 	out := make(map[string]AlgoOutcome, 3)
 
-	start := time.Now()
-	lcf, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: seed, Appro: core.ApproOptions{Solver: core.SolverTransport}})
+	var (
+		lcf        *core.LCFResult
+		jo, off    *baselines.Result
+		lcfSeconds float64
+		joSeconds  float64
+		offSeconds float64
+	)
+	err := parallel.Run(workers, 3, func(i int) error {
+		start := time.Now()
+		switch i {
+		case 0:
+			res, err := core.LCF(m, core.LCFOptions{Xi: xi, Seed: seed, Appro: core.ApproOptions{Solver: core.SolverTransport}})
+			if err != nil {
+				return fmt.Errorf("experiments: LCF: %w", err)
+			}
+			lcf, lcfSeconds = res, time.Since(start).Seconds()
+		case 1:
+			res, err := baselines.JoOffloadCache(m, seed)
+			if err != nil {
+				return fmt.Errorf("experiments: JoOffloadCache: %w", err)
+			}
+			jo, joSeconds = res, time.Since(start).Seconds()
+		case 2:
+			res, err := baselines.OffloadCache(m)
+			if err != nil {
+				return fmt.Errorf("experiments: OffloadCache: %w", err)
+			}
+			off, offSeconds = res, time.Since(start).Seconds()
+		}
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: LCF: %w", err)
+		return nil, err
 	}
-	lcfSeconds := time.Since(start).Seconds()
 
 	coordinated := lcf.Coordinated
 	selfish := make([]int, 0, len(m.Providers)-len(coordinated))
@@ -62,31 +102,19 @@ func RunAll(m *mec.Market, xi float64, seed uint64) (map[string]AlgoOutcome, err
 		Selfish:     lcf.SelfishCost,
 		Seconds:     lcfSeconds,
 	}
-
-	start = time.Now()
-	jo, err := baselines.JoOffloadCache(m, seed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: JoOffloadCache: %w", err)
-	}
 	out[AlgoJoOffloadCache] = AlgoOutcome{
 		Placement:   jo.Placement,
 		Social:      jo.SocialCost,
 		Coordinated: m.GroupCost(jo.Placement, coordinated),
 		Selfish:     m.GroupCost(jo.Placement, selfish),
-		Seconds:     time.Since(start).Seconds(),
-	}
-
-	start = time.Now()
-	off, err := baselines.OffloadCache(m)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: OffloadCache: %w", err)
+		Seconds:     joSeconds,
 	}
 	out[AlgoOffloadCache] = AlgoOutcome{
 		Placement:   off.Placement,
 		Social:      off.SocialCost,
 		Coordinated: m.GroupCost(off.Placement, coordinated),
 		Selfish:     m.GroupCost(off.Placement, selfish),
-		Seconds:     time.Since(start).Seconds(),
+		Seconds:     offSeconds,
 	}
 	return out, nil
 }

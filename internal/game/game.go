@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mecache/internal/mec"
+	"mecache/internal/parallel"
 	"mecache/internal/rng"
 )
 
@@ -32,6 +33,13 @@ type Game struct {
 	// Epsilon is the minimum strict improvement for a move (guards against
 	// floating-point livelock).
 	Epsilon float64
+	// Parallelism bounds the worker pool of the randomized-restart searches
+	// (WorstNashSocialCost, BestNashSocialCost, and the empirical PoA/PoS
+	// built on them). Values below 1 mean one worker per CPU; 1 runs every
+	// restart serially on the calling goroutine. Results are bit-for-bit
+	// identical for every setting: restart t always draws from
+	// rng.Substream(seed, t), never from a stream shared across restarts.
+	Parallelism int
 }
 
 // New returns a game over the market with no pinned players, capacity
@@ -246,8 +254,11 @@ func (g *Game) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds
 // initial placements: it runs dynamics from `restarts` random starts and
 // returns the placement with the highest social cost among the reached
 // equilibria. base supplies the strategies of pinned players (they are
-// copied into every start); unpinned players are randomized. Used for the
-// empirical PoA (Theorem 1).
+// copied into every start); unpinned players are randomized over
+// capacity-feasible strategies. r seeds the per-restart substreams (nil
+// falls back to a fixed seed); restarts run on the Parallelism worker
+// pool with identical results at any width. Used for the empirical PoA
+// (Theorem 1).
 func (g *Game) WorstNashSocialCost(base mec.Placement, r *rng.Source, restarts, maxRounds int) (mec.Placement, float64, error) {
 	return g.extremeNash(base, r, restarts, maxRounds, func(candidate, incumbent float64) bool {
 		return candidate > incumbent
@@ -265,7 +276,11 @@ func (g *Game) BestNashSocialCost(base mec.Placement, r *rng.Source, restarts, m
 }
 
 // extremeNash runs randomized-restart dynamics and keeps the equilibrium
-// preferred by better().
+// preferred by better(). Restarts fan out over the Parallelism worker pool:
+// restart t derives its entire randomness (initial placement and dynamics
+// order) from rng.Substream(seed, t), so the search visits the same
+// equilibria — and returns the same one, chosen in restart order — for
+// every worker count.
 func (g *Game) extremeNash(base mec.Placement, r *rng.Source, restarts, maxRounds int, better func(candidate, incumbent float64) bool, init0 float64) (mec.Placement, float64, error) {
 	if err := g.Market.Validate(base); err != nil {
 		return nil, 0, err
@@ -273,11 +288,81 @@ func (g *Game) extremeNash(base mec.Placement, r *rng.Source, restarts, maxRound
 	if restarts < 1 {
 		restarts = 1
 	}
+	// A nil source is a usable default (fixed seed, reproducible), not a
+	// panic in r.Intn — mirroring BestResponseDynamics' nil tolerance.
+	if r == nil {
+		r = rng.New(0xec0de5eed)
+	}
+	seed := r.Uint64()
+
+	// Reject capacity-infeasible "equilibria" (Eq. 4/5) only when the
+	// pinned base load is itself feasible: Appro's Shmoys-Tardos path may
+	// overload a cloudlet (its additive guarantee), and the selfish players
+	// cannot undo the leader's overload.
+	checkFeasible := g.CapacityAware && g.pinnedFeasible(base)
+
+	type candidate struct {
+		pl       mec.Placement
+		cost     float64
+		feasible bool
+	}
+	cands, err := parallel.Map(g.Parallelism, restarts, func(t int) (candidate, error) {
+		rr := rng.Substream(seed, uint64(t))
+		res, err := g.BestResponseDynamics(g.randomInit(base, rr), rr, maxRounds)
+		if err != nil {
+			return candidate{}, err
+		}
+		c := candidate{
+			pl:       res.Placement,
+			cost:     g.Market.SocialCost(res.Placement),
+			feasible: true,
+		}
+		if checkFeasible && g.Market.CheckCapacity(res.Placement, 0) != nil {
+			c.feasible = false
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
 	var bestPl mec.Placement
 	best := init0
+	for _, c := range cands {
+		if c.feasible && better(c.cost, best) {
+			best = c.cost
+			bestPl = c.pl
+		}
+	}
+	if bestPl == nil {
+		return nil, 0, fmt.Errorf("game: no capacity-feasible equilibrium among %d restarts", restarts)
+	}
+	return bestPl, best, nil
+}
+
+// pinnedFeasible reports whether the pinned strategies of base alone
+// respect every cloudlet capacity.
+func (g *Game) pinnedFeasible(base mec.Placement) bool {
+	pinnedOnly := base.Clone()
+	for l := range pinnedOnly {
+		if !g.Pinned[l] {
+			pinnedOnly[l] = mec.Remote
+		}
+	}
+	return g.Market.CheckCapacity(pinnedOnly, 0) == nil
+}
+
+// randomInit draws a random start for one restart: pinned players keep
+// their base strategies; every other player picks uniformly among Remote
+// and — when CapacityAware — the cloudlets that still fit it given the
+// players drawn so far, falling back to Remote when nothing fits. This
+// keeps every start capacity-feasible (modulo a pinned overload), so an
+// overloaded tenant too expensive to evict can never masquerade as part of
+// an equilibrium. Without CapacityAware the draw is uniform over all
+// strategies.
+func (g *Game) randomInit(base mec.Placement, r *rng.Source) mec.Placement {
+	init := base.Clone()
 	nc := g.Market.Net.NumCloudlets()
-	for t := 0; t < restarts; t++ {
-		init := base.Clone()
+	if !g.CapacityAware {
 		for l := range init {
 			if g.Pinned[l] {
 				continue
@@ -290,16 +375,33 @@ func (g *Game) extremeNash(base mec.Placement, r *rng.Source, restarts, maxRound
 				init[l] = k
 			}
 		}
-		res, err := g.BestResponseDynamics(init, r, maxRounds)
-		if err != nil {
-			return nil, 0, err
-		}
-		if sc := g.Market.SocialCost(res.Placement); better(sc, best) {
-			best = sc
-			bestPl = res.Placement
+		return init
+	}
+	for l := range init {
+		if !g.Pinned[l] {
+			init[l] = mec.Remote
 		}
 	}
-	return bestPl, best, nil
+	rl := g.newLoads(init) // pinned load only; unpinned are Remote so far
+	feasible := make([]int, 0, nc)
+	for l := range init {
+		if g.Pinned[l] {
+			continue
+		}
+		feasible = feasible[:0]
+		for i := 0; i < nc; i++ {
+			if g.fits(rl, l, i) {
+				feasible = append(feasible, i)
+			}
+		}
+		// Remote with probability 1/(len+1), and with certainty when no
+		// cloudlet fits.
+		if k := r.Intn(len(feasible) + 1); k < len(feasible) {
+			init[l] = feasible[k]
+			rl.add(g.Market, l, feasible[k])
+		}
+	}
+	return init
 }
 
 // EmpiricalPoS measures the realized Price of Stability: the best Nash

@@ -262,6 +262,23 @@ func (m *Market) ProviderCost(pl Placement, l int) float64 {
 	return m.CostAt(l, s, load)
 }
 
+// ProviderCosts returns every provider's cost under pl in one pass: the
+// loads are counted once (O(N + cloudlets)) instead of rescanning the
+// placement per provider, which is what makes cost rankings over large
+// markets linear rather than quadratic.
+func (m *Market) ProviderCosts(pl Placement) []float64 {
+	loads := m.Loads(pl)
+	costs := make([]float64, len(pl))
+	for l, s := range pl {
+		if s == Remote {
+			costs[l] = m.remote[l]
+		} else {
+			costs[l] = m.CostAt(l, s, loads[s])
+		}
+	}
+	return costs
+}
+
 // CostAt returns provider l's cost of caching at cloudlet i when the
 // cloudlet hosts load services in total (load includes l itself).
 func (m *Market) CostAt(l, i, load int) float64 {

@@ -257,3 +257,20 @@ func TestGroupCost(t *testing.T) {
 		t.Fatalf("GroupCost(subset) = %v should be below total %v", part, all)
 	}
 }
+
+// TestProviderCostsMatchesPerProviderCost: the batched one-pass costing
+// used by RankByCost must agree exactly with the per-provider scan.
+func TestProviderCostsMatchesPerProviderCost(t *testing.T) {
+	m := testMarket(t)
+	for _, pl := range []Placement{{0, 0}, {0, 1}, {Remote, 0}, {Remote, Remote}, {1, 1}} {
+		costs := m.ProviderCosts(pl)
+		if len(costs) != len(m.Providers) {
+			t.Fatalf("placement %v: %d costs for %d providers", pl, len(costs), len(m.Providers))
+		}
+		for l := range m.Providers {
+			if want := m.ProviderCost(pl, l); costs[l] != want {
+				t.Fatalf("placement %v provider %d: batched cost %v != %v", pl, l, costs[l], want)
+			}
+		}
+	}
+}

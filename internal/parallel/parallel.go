@@ -1,0 +1,107 @@
+// Package parallel is the deterministic worker-pool execution layer behind
+// every fan-out site in the repository: figure sweep points, repeated
+// Monte-Carlo trials, and the randomized-restart Nash searches.
+//
+// The discipline that makes parallel runs reproducible is that a task is a
+// pure function of its index: any randomness a task needs is drawn from an
+// rng substream derived from (base seed, task index) — see rng.Substream —
+// never from a stream shared with other tasks. Under that discipline the
+// result slice is bit-for-bit identical for every worker count, GOMAXPROCS
+// setting, and scheduling order, so "parallelism 1" is a debugging aid
+// rather than a different algorithm.
+//
+// Errors are aggregated, not raced: every task runs to completion, failed
+// task indices are recorded, and the joined error lists them in index
+// order, deterministically.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism option value to a worker count: values
+// below 1 (the zero value of the option structs) mean one worker per CPU;
+// anything else is returned unchanged. 1 is the exact legacy serial path.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Run executes tasks 0..n-1 on a pool of at most Workers(workers)
+// goroutines and returns the join of every task error, wrapped with its
+// task index, in index order. With one worker (or one task) every task runs
+// in the calling goroutine in index order — no goroutine is spawned.
+//
+// Tasks must be pure functions of their index (no shared mutable state, no
+// shared rng stream); writing to distinct indices of a shared result slice
+// is the intended collection pattern and is race-free.
+func Run(workers, n int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = task(i)
+		}
+		return joinIndexed(errs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return joinIndexed(errs)
+}
+
+// joinIndexed wraps every non-nil error with its task index and joins them
+// in index order.
+func joinIndexed(errs []error) error {
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("task %d: %w", i, err))
+		}
+	}
+	return errors.Join(joined...)
+}
+
+// Map runs tasks 0..n-1 under Run and collects their results by index, so
+// the output order never depends on scheduling. On any task error the
+// results are discarded and the joined error is returned.
+func Map[T any](workers, n int, task func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(workers, n, func(i int) error {
+		v, err := task(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

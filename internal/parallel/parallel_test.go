@@ -1,0 +1,104 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Fatalf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Fatalf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(1); got != 1 {
+		t.Fatalf("Workers(1) = %d", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestRunExecutesEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 64} {
+		const n = 200
+		counts := make([]int32, n)
+		err := Run(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("task called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 137
+	square := func(i int) (int, error) { return i * i, nil }
+	want, err := Map(1, n, square)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		got, err := Map(workers, n, square)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestErrorsAggregatedInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Run(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: errors swallowed", workers)
+		}
+		msg := err.Error()
+		i3 := strings.Index(msg, "task 3: boom 3")
+		i7 := strings.Index(msg, "task 7: boom 7")
+		if i3 < 0 || i7 < 0 || i3 > i7 {
+			t.Fatalf("workers=%d: error not aggregated in index order: %q", workers, msg)
+		}
+	}
+}
+
+func TestMapDiscardsResultsOnError(t *testing.T) {
+	out, err := Map(2, 4, func(i int) (int, error) {
+		if i == 2 {
+			return 0, fmt.Errorf("bad")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if out != nil {
+		t.Fatalf("partial results returned: %v", out)
+	}
+}

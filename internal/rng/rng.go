@@ -48,6 +48,21 @@ func (r *Source) Split() *Source {
 	return New(r.Uint64())
 }
 
+// Substream returns the independent child stream for task `index` of the
+// run seeded by `seed`. Unlike Split, derivation reads no mutable state:
+// the stream is a pure function of (seed, index), so parallel workers can
+// derive their streams without coordination and task i draws the same
+// numbers no matter how many workers run, in which order tasks are
+// claimed, or whether the run is serial. This is the seeding discipline
+// behind the deterministic worker pool in internal/parallel.
+func Substream(seed, index uint64) *Source {
+	// Two SplitMix64 rounds fold the pair into one well-mixed seed; the
+	// intermediate hash keeps Substream(seed, 0) distinct from New(seed).
+	_, h := splitMix64(seed)
+	_, h = splitMix64(h ^ index)
+	return New(h)
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 uniformly distributed bits.
