@@ -1,0 +1,136 @@
+// Command mecd is the market daemon: it serves the paper's service-caching
+// market over a JSON HTTP API. Providers are admitted online with a
+// capacity-aware best response, re-equilibrated periodically with the
+// LCF/Appro epoch step, and observable via /metrics (Prometheus text
+// format) and /healthz.
+//
+// Usage:
+//
+//	mecd -addr :8080 -seed 1 -size 150 -epoch 30s -xi 0.7 -policy remote-fallback
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain, the event loop stops, and (with -snapshot) the market is persisted
+// for the next start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mecache"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "mecd:", err)
+		os.Exit(1)
+	}
+}
+
+// run builds and serves the daemon until the stop channel (or a signal)
+// fires. The stop channel parameter exists for tests; main passes nil and
+// gets signal handling.
+func run(w io.Writer, args []string, stop <-chan struct{}) error {
+	fs := flag.NewFlagSet("mecd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free port)")
+	seed := fs.Uint64("seed", 1, "random seed for topology and epoch tie-breaking")
+	size := fs.Int("size", 150, "GT-ITM network size")
+	maxActive := fs.Int("max-active", 0, "admission cap on concurrently active providers (0 = unlimited)")
+	epoch := fs.Duration("epoch", 0, "wall-clock re-equilibration period (0 = manual epochs via POST /v1/admin/epoch)")
+	xi := fs.Float64("xi", 0.7, "coordinated fraction at each epoch")
+	migrationAware := fs.Bool("migration-aware", false, "suppress epoch moves not worth their re-instantiation cost")
+	policy := fs.String("policy", "remote-fallback", "failover policy: remote-fallback, re-place, or wait-for-repair")
+	snapshot := fs.String("snapshot", "", "JSON snapshot path for persistence across restarts (empty = none)")
+	portFile := fs.String("port-file", "", "write the bound listen address to this file once serving")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	pol, err := mecache.ParseFailoverPolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg := mecache.DefaultServerConfig(*seed)
+	cfg.Size = *size
+	cfg.MaxActive = *maxActive
+	cfg.EpochInterval = *epoch
+	cfg.Xi = *xi
+	cfg.MigrationAware = *migrationAware
+	cfg.Policy = pol
+	cfg.SnapshotPath = *snapshot
+
+	srv, err := mecache.NewMarketServer(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("write port file: %w", err)
+		}
+	}
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	srv.Start()
+	fmt.Fprintf(w, "mecd: serving on http://%s (seed %d, %d nodes, policy %s)\n",
+		ln.Addr(), *seed, *size, pol)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		select {
+		case err := <-serveErr:
+			return err
+		case s := <-sig:
+			log.Printf("mecd: %v, shutting down", s)
+		}
+	} else {
+		select {
+		case err := <-serveErr:
+			return err
+		case <-stop:
+		}
+	}
+
+	// Drain HTTP first so no handler is left waiting on the loop, then stop
+	// the loop (writing the final snapshot).
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Stop(ctx); err != nil {
+		return fmt.Errorf("loop shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(w, "mecd: stopped cleanly")
+	return nil
+}

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon runs the daemon on a free port and returns its base URL plus
+// a shutdown function that waits for a clean exit.
+func startDaemon(t *testing.T, extra ...string) (string, func() string) {
+	t.Helper()
+	dir := t.TempDir()
+	portFile := filepath.Join(dir, "port")
+	args := append([]string{
+		"-addr", "127.0.0.1:0",
+		"-port-file", portFile,
+		"-size", "50",
+		"-shutdown-timeout", "10s",
+	}, extra...)
+	stop := make(chan struct{})
+	var buf bytes.Buffer
+	errc := make(chan error, 1)
+	go func() { errc <- run(&buf, args, stop) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(portFile); err == nil && len(data) > 0 {
+			addr = string(data)
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, buf.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never wrote its port file\n%s", buf.String())
+	}
+	var once bool
+	return "http://" + addr, func() string {
+		if !once {
+			once = true
+			close(stop)
+			select {
+			case err := <-errc:
+				if err != nil {
+					t.Fatalf("daemon shutdown: %v\n%s", err, buf.String())
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("daemon did not stop within 15s")
+			}
+		}
+		return buf.String()
+	}
+}
+
+func TestDaemonServesAndStopsCleanly(t *testing.T) {
+	url, shutdown := startDaemon(t, "-seed", "5")
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz["status"] != "ok" {
+		t.Fatalf("healthz %d %v", resp.StatusCode, hz)
+	}
+
+	// One admission through the real TCP stack.
+	body := strings.NewReader(`{"requests":40,"computePerReq":0.5,"bandwidthPerReq":0.5,"instCost":3,"trafficGBPerReq":0.02,"dataGB":2,"updateRatio":0.1,"homeDC":0,"attachNode":1}`)
+	resp, err = http.Post(url+"/v1/providers", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := new(bytes.Buffer)
+	data.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admission status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := new(bytes.Buffer)
+	met.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(met.String(), `mecd_admissions_total{result="accepted"} 1`) {
+		t.Fatalf("metrics missing admission count:\n%s", met)
+	}
+
+	out := shutdown()
+	if !strings.Contains(out, "stopped cleanly") {
+		t.Fatalf("no clean-stop message in:\n%s", out)
+	}
+	if !strings.Contains(out, "mecd: serving on http://") {
+		t.Fatalf("no serving banner in:\n%s", out)
+	}
+}
+
+func TestDaemonSnapshotAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "market.json")
+
+	url, shutdown := startDaemon(t, "-seed", "6", "-snapshot", snap)
+	body := strings.NewReader(`{"requests":40,"computePerReq":0.5,"bandwidthPerReq":0.5,"instCost":3,"trafficGBPerReq":0.02,"dataGB":2,"updateRatio":0.1,"homeDC":0,"attachNode":1}`)
+	resp, err := http.Post(url+"/v1/providers", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("admission status %d", resp.StatusCode)
+	}
+	shutdown()
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot after shutdown: %v", err)
+	}
+
+	url2, shutdown2 := startDaemon(t, "-seed", "6", "-snapshot", snap)
+	defer shutdown2()
+	resp, err = http.Get(url2 + "/v1/market")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Active   int    `json:"active"`
+		Accepted uint64 `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if view.Active != 1 || view.Accepted != 1 {
+		t.Fatalf("restored daemon lost state: %+v", view)
+	}
+}
+
+func TestDaemonFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-policy", "nope"}, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run(&buf, []string{"-xi", "2"}, nil); err == nil {
+		t.Fatal("xi > 1 accepted")
+	}
+	if err := run(&buf, []string{"-size", "0"}, nil); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := run(&buf, []string{"-addr", "definitely:not:an:addr"}, nil); err == nil {
+		t.Fatal("unparseable address accepted")
+	}
+	if err := run(&buf, []string{"-no-such-flag"}, nil); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestDaemonEpochTicker(t *testing.T) {
+	url, shutdown := startDaemon(t, "-seed", "8", "-epoch", "25ms")
+	defer shutdown()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/v1/market")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			Epochs uint64 `json:"epochs"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&view)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if view.Epochs >= 2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("ticker never ran two epochs")
+}
+
+func TestDaemonRejectsBusyPort(t *testing.T) {
+	url, shutdown := startDaemon(t)
+	defer shutdown()
+	addr := strings.TrimPrefix(url, "http://")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-addr", addr}, nil); err == nil {
+		t.Fatal("second daemon bound the same port")
+	}
+}

@@ -45,4 +45,50 @@ func TestRunValidation(t *testing.T) {
 	if err := run(&buf, []string{"-xi", "3"}); err == nil {
 		t.Fatal("xi > 1 accepted")
 	}
+	if err := run(&buf, []string{"-rate", "-1"}); err == nil {
+		t.Fatal("negative arrival rate accepted")
+	}
+	if err := run(&buf, []string{"-lifetime", "0"}); err == nil {
+		t.Fatal("zero lifetime accepted")
+	}
+	if err := run(&buf, []string{"-size", "0"}); err == nil {
+		t.Fatal("zero network size accepted")
+	}
+	if err := run(&buf, []string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunFlagPlumbing checks each flag reaches the simulator config and is
+// echoed back, rather than silently falling back to a default.
+func TestRunFlagPlumbing(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{
+		"-horizon", "60", "-rate", "0.8", "-lifetime", "25",
+		"-epoch", "15", "-xi", "0.5", "-seed", "9",
+		"-migration-aware", "-pretty=false",
+	}
+	if err := run(&buf, args); err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n")); n != 0 {
+		t.Fatalf("-pretty=false still produced %d extra lines", n)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Horizon != 60 || out.ArrivalRate != 0.8 || out.MeanLifetime != 25 ||
+		out.Epoch != 15 || out.Xi != 0.5 || out.Seed != 9 || !out.MigrationAware {
+		t.Fatalf("flags not plumbed through: %+v", out)
+	}
+
+	// Same seed and flags must reproduce the run exactly.
+	var again bytes.Buffer
+	if err := run(&again, args); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("fixed-seed mecdyn runs diverged:\n%s\nvs\n%s", buf.String(), again.String())
+	}
 }

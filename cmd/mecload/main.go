@@ -1,0 +1,222 @@
+// Command mecload is a closed-loop load generator for the mecd market
+// daemon: N reproducible provider admissions driven by C concurrent
+// workers, with per-worker latency histograms merged into one p50/p95/p99
+// report.
+//
+// Provider i is a pure function of (seed, i) via rng.Substream, so the same
+// flags always submit the same workload regardless of concurrency — run
+// with -c 1 against a fixed-seed daemon and the final market state is
+// byte-reproducible.
+//
+// Usage:
+//
+//	mecload -url http://127.0.0.1:8080 -n 10000 -c 8 -seed 1 -churn
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"mecache/internal/parallel"
+	"mecache/internal/rng"
+	"mecache/internal/stats"
+	"mecache/internal/workload"
+)
+
+// marketFacts is the slice of GET /v1/market mecload needs to draw
+// providers the daemon's network can validate.
+type marketFacts struct {
+	NumDCs   int `json:"numDCs"`
+	NumNodes int `json:"numNodes"`
+}
+
+// latencySummary reports the merged admission-latency distribution.
+type latencySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"meanSeconds"`
+	P50   float64 `json:"p50Seconds"`
+	P95   float64 `json:"p95Seconds"`
+	P99   float64 `json:"p99Seconds"`
+	Min   float64 `json:"minSeconds"`
+	Max   float64 `json:"maxSeconds"`
+}
+
+// output is the JSON document mecload emits.
+type output struct {
+	Target      string         `json:"target"`
+	Admissions  int            `json:"admissions"`
+	Accepted    uint64         `json:"accepted"`
+	Rejected    uint64         `json:"rejected"`
+	Errors      uint64         `json:"errors"`
+	Concurrency int            `json:"concurrency"`
+	Churn       bool           `json:"churn"`
+	Seed        uint64         `json:"seed"`
+	Elapsed     float64        `json:"elapsedSeconds"`
+	Throughput  float64        `json:"admissionsPerSecond"`
+	Latency     latencySummary `json:"latency"`
+}
+
+// workerStats accumulates one worker's share of the run; workers never
+// share state, so the hot path is contention-free.
+type workerStats struct {
+	hist     *stats.Histogram
+	accepted uint64
+	rejected uint64
+	errs     uint64
+}
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mecload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("mecload", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "mecd base URL")
+	n := fs.Int("n", 1000, "total admissions to submit")
+	c := fs.Int("c", 4, "concurrent closed-loop workers")
+	seed := fs.Uint64("seed", 1, "workload seed (provider i is a pure function of seed and i)")
+	churn := fs.Bool("churn", false, "depart each provider right after admission (keeps the active set small)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	pretty := fs.Bool("pretty", true, "indent the JSON output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("nothing to do: -n %d", *n)
+	}
+	if *c <= 0 {
+		return fmt.Errorf("need at least one worker: -c %d", *c)
+	}
+
+	probe := &http.Client{Timeout: *timeout}
+	resp, err := probe.Get(*url + "/v1/market")
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", *url, err)
+	}
+	var facts marketFacts
+	err = json.NewDecoder(resp.Body).Decode(&facts)
+	resp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("decode market facts: %w", err)
+	}
+	if facts.NumDCs <= 0 || facts.NumNodes <= 0 {
+		return fmt.Errorf("implausible market: %d DCs, %d nodes", facts.NumDCs, facts.NumNodes)
+	}
+
+	wl := workload.Default(*seed)
+	workers := *c
+	if workers > *n {
+		workers = *n
+	}
+	res := make([]workerStats, workers)
+	start := time.Now()
+	err = parallel.Run(workers, workers, func(wk int) error {
+		h, err := stats.NewHistogram(stats.LatencyBuckets())
+		if err != nil {
+			return err
+		}
+		ws := &res[wk]
+		ws.hist = h
+		client := &http.Client{Timeout: *timeout}
+		for i := wk; i < *n; i += workers {
+			p := wl.DrawProvider(rng.Substream(*seed, uint64(i)), facts.NumDCs, facts.NumNodes)
+			body, err := json.Marshal(p)
+			if err != nil {
+				return err
+			}
+			t0 := time.Now()
+			resp, err := client.Post(*url+"/v1/providers", "application/json", bytes.NewReader(body))
+			if err != nil {
+				ws.errs++
+				continue
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			h.Observe(time.Since(t0).Seconds())
+			if resp.StatusCode != http.StatusCreated {
+				ws.rejected++
+				continue
+			}
+			ws.accepted++
+			if *churn {
+				var ar struct {
+					ID int64 `json:"id"`
+				}
+				if err := json.Unmarshal(data, &ar); err != nil {
+					return fmt.Errorf("worker %d: decode admission: %w", wk, err)
+				}
+				req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/providers/%d", *url, ar.ID), nil)
+				if err != nil {
+					return err
+				}
+				dresp, err := client.Do(req)
+				if err != nil {
+					ws.errs++
+					continue
+				}
+				io.Copy(io.Discard, dresp.Body)
+				dresp.Body.Close()
+				if dresp.StatusCode != http.StatusNoContent {
+					ws.errs++
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	merged, err := stats.NewHistogram(stats.LatencyBuckets())
+	if err != nil {
+		return err
+	}
+	out := output{
+		Target:      *url,
+		Admissions:  *n,
+		Concurrency: workers,
+		Churn:       *churn,
+		Seed:        *seed,
+		Elapsed:     elapsed,
+	}
+	for _, ws := range res {
+		if ws.hist != nil {
+			if err := merged.Merge(ws.hist); err != nil {
+				return err
+			}
+		}
+		out.Accepted += ws.accepted
+		out.Rejected += ws.rejected
+		out.Errors += ws.errs
+	}
+	if out.Accepted == 0 {
+		return fmt.Errorf("no admission succeeded (%d rejected, %d errors)", out.Rejected, out.Errors)
+	}
+	if elapsed > 0 {
+		out.Throughput = float64(out.Accepted+out.Rejected) / elapsed
+	}
+	out.Latency = latencySummary{
+		Count: merged.Count(),
+		Mean:  merged.Mean(),
+		P50:   merged.P50(),
+		P95:   merged.P95(),
+		P99:   merged.P99(),
+		Min:   merged.Min(),
+		Max:   merged.Max(),
+	}
+	enc := json.NewEncoder(w)
+	if *pretty {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(out)
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mecache"
+)
+
+// startMarket spins up an in-process daemon behind httptest so the load
+// generator exercises the same handler stack mecd serves.
+func startMarket(t *testing.T, mutate func(*mecache.ServerConfig)) string {
+	t.Helper()
+	cfg := mecache.DefaultServerConfig(3)
+	cfg.Size = 50
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := mecache.NewMarketServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Stop(ctx); err != nil {
+			t.Errorf("stop: %v", err)
+		}
+	})
+	return ts.URL
+}
+
+func loadRun(t *testing.T, args []string) output {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(&buf, args); err != nil {
+		t.Fatalf("mecload: %v", err)
+	}
+	var out output
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+func TestLoadBasic(t *testing.T) {
+	url := startMarket(t, nil)
+	out := loadRun(t, []string{"-url", url, "-n", "50", "-c", "4", "-seed", "2"})
+	if out.Accepted != 50 || out.Rejected != 0 || out.Errors != 0 {
+		t.Fatalf("expected 50 clean admissions, got %+v", out)
+	}
+	if out.Latency.Count != 50 {
+		t.Fatalf("latency histogram saw %d samples, want 50", out.Latency.Count)
+	}
+	if out.Latency.P50 <= 0 || out.Latency.P99 < out.Latency.P50 {
+		t.Fatalf("implausible quantiles %+v", out.Latency)
+	}
+	if out.Throughput <= 0 {
+		t.Fatalf("throughput %v", out.Throughput)
+	}
+}
+
+func TestLoadChurnKeepsMarketSmall(t *testing.T) {
+	url := startMarket(t, nil)
+	out := loadRun(t, []string{"-url", url, "-n", "60", "-c", "3", "-churn"})
+	if out.Accepted != 60 || out.Errors != 0 {
+		t.Fatalf("churn run: %+v", out)
+	}
+	// Every admitted provider was departed again.
+	facts := loadRun(t, []string{"-url", url, "-n", "1", "-c", "1", "-seed", "99"})
+	if facts.Accepted != 1 {
+		t.Fatalf("post-churn admission failed: %+v", facts)
+	}
+}
+
+func TestLoadReportsRejections(t *testing.T) {
+	url := startMarket(t, func(cfg *mecache.ServerConfig) { cfg.MaxActive = 10 })
+	out := loadRun(t, []string{"-url", url, "-n", "30", "-c", "2"})
+	if out.Accepted != 10 || out.Rejected != 20 {
+		t.Fatalf("cap 10 over 30 admissions: %+v", out)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-n", "0"}); err == nil {
+		t.Fatal("zero admissions accepted")
+	}
+	if err := run(&buf, []string{"-c", "0"}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+	if err := run(&buf, []string{"-url", "http://127.0.0.1:1", "-timeout", "100ms"}); err == nil {
+		t.Fatal("unreachable daemon accepted")
+	}
+}
+
+// TestLoadSustainsTenThousandAdmissions is the throughput acceptance
+// criterion: the daemon absorbs >=10k admissions from concurrent closed-loop
+// workers. Churn mode keeps the active set bounded by the worker count so
+// per-admission cost stays flat.
+func TestLoadSustainsTenThousandAdmissions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k admissions: skipped in -short mode")
+	}
+	url := startMarket(t, nil)
+	out := loadRun(t, []string{"-url", url, "-n", "10000", "-c", "8", "-churn"})
+	if out.Accepted != 10000 || out.Errors != 0 {
+		t.Fatalf("10k run: accepted %d rejected %d errors %d", out.Accepted, out.Rejected, out.Errors)
+	}
+	if out.Latency.Count != 10000 {
+		t.Fatalf("latency histogram saw %d samples", out.Latency.Count)
+	}
+	t.Logf("10k admissions in %.2fs (%.0f/s, p50 %.1fms p99 %.1fms)",
+		out.Elapsed, out.Throughput, out.Latency.P50*1e3, out.Latency.P99*1e3)
+}
+
+// TestLoadDeterministicSerial pins the reproducibility acceptance
+// criterion at the binary level: two fixed-seed serial runs against two
+// fixed-seed daemons leave byte-identical placements.
+func TestLoadDeterministicSerial(t *testing.T) {
+	run1 := serialPlacements(t)
+	run2 := serialPlacements(t)
+	if !bytes.Equal(run1, run2) {
+		t.Fatalf("fixed-seed serial runs diverged:\n%s\nvs\n%s", run1, run2)
+	}
+}
+
+func serialPlacements(t *testing.T) []byte {
+	t.Helper()
+	cfg := mecache.DefaultServerConfig(17)
+	cfg.Size = 50
+	s, err := mecache.NewMarketServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Stop(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	loadRun(t, []string{"-url", ts.URL, "-n", "30", "-c", "1", "-seed", "11"})
+	view, err := json.Marshal(s.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return view
+}

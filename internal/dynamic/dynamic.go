@@ -357,7 +357,7 @@ func (s *Simulator) arrive() error {
 		return err
 	}
 	if s.cfg.Fault.Enabled() {
-		lp.choice = s.bestResponseAvoidingFailed(m, pl, len(pl)-1)
+		lp.choice = BestResponseAvoidingFailed(m, pl, len(pl)-1, s.failedCl)
 	} else {
 		g := game.New(m)
 		choice, _ := g.BestResponse(pl, len(pl)-1)
@@ -416,71 +416,134 @@ func (s *Simulator) epoch() error {
 	if err != nil || m == nil {
 		return err
 	}
-	res, err := core.LCF(m, core.LCFOptions{
-		Xi:    s.cfg.Xi,
-		Seed:  s.cfg.Seed + uint64(s.metrics.Epochs),
-		Appro: core.ApproOptions{Solver: core.SolverTransport},
-	})
-	if err != nil {
-		return err
+	opts := EpochOptions{
+		Xi:             s.cfg.Xi,
+		Seed:           s.cfg.Seed + uint64(s.metrics.Epochs),
+		MigrationAware: s.cfg.MigrationAware,
 	}
 	if s.cfg.Fault.Enabled() {
 		// LCF plans over the full network; hold providers that are mid-
 		// failover (their choice is managed by the failure machinery) and
 		// cancel any assignment onto a cloudlet that is currently down.
+		opts.Failed = s.failedCl
+		opts.Frozen = make([]bool, len(s.live))
 		for i, lp := range s.live {
-			if lp.state != stateOK ||
-				(res.Placement[i] != mec.Remote && s.failedCl[res.Placement[i]]) {
-				res.Placement[i] = pl[i]
-			}
+			opts.Frozen[i] = lp.state != stateOK
 		}
 	}
-	if !s.cfg.MigrationAware {
-		for i, lp := range s.live {
-			if res.Placement[i] != pl[i] {
-				s.metrics.Reconfigurations++
+	next, st, err := Reequilibrate(m, pl, opts)
+	if err != nil {
+		return err
+	}
+	for i, lp := range s.live {
+		lp.choice = next[i]
+	}
+	s.metrics.Reconfigurations += st.Reconfigurations
+	s.metrics.MigrationCost += st.MigrationCost
+	s.metrics.MigrationsSuppressed += st.MigrationsSuppressed
+	return nil
+}
+
+// EpochOptions parameterizes one re-equilibration step (Reequilibrate).
+type EpochOptions struct {
+	// Xi is the coordinated fraction handed to LCF.
+	Xi float64
+	// Seed drives LCF's randomized best-response order; vary it per epoch
+	// (the simulator uses base seed + epoch number).
+	Seed uint64
+	// MigrationAware applies the hysteresis: a provider moves only when its
+	// own saving exceeds its re-instantiation cost.
+	MigrationAware bool
+	// Frozen marks providers whose strategy must not change this epoch
+	// (e.g. mid-failover). Nil means nobody is frozen.
+	Frozen []bool
+	// Failed marks cloudlets that are currently down; assignments onto them
+	// are cancelled (the provider keeps its previous strategy). Nil means
+	// every cloudlet is up.
+	Failed []bool
+}
+
+// EpochStats reports what one re-equilibration changed.
+type EpochStats struct {
+	// Reconfigurations counts providers whose strategy changed.
+	Reconfigurations int
+	// MigrationCost totals the re-instantiation costs paid by movers that
+	// abandoned a cached instance.
+	MigrationCost float64
+	// MigrationsSuppressed counts moves skipped by the hysteresis.
+	MigrationsSuppressed int
+	// SocialCost is Eq. (6) on the returned placement.
+	SocialCost float64
+}
+
+// Reequilibrate is one epoch of the infrastructure provider's slow control
+// loop, extracted as a pure function so both the virtual-time simulator and
+// the wall-clock serving daemon (internal/server) run the identical step:
+// re-run the LCF mechanism over the current providers, hold frozen
+// providers and any assignment onto a failed cloudlet, and (optionally)
+// apply migration-aware hysteresis. It returns the new placement — pl
+// itself is never mutated — plus the change statistics.
+func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Placement, EpochStats, error) {
+	var st EpochStats
+	res, err := core.LCF(m, core.LCFOptions{
+		Xi:    opts.Xi,
+		Seed:  opts.Seed,
+		Appro: core.ApproOptions{Solver: core.SolverTransport},
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	next := res.Placement
+	for i := range next {
+		if (opts.Frozen != nil && opts.Frozen[i]) ||
+			(next[i] != mec.Remote && opts.Failed != nil && opts.Failed[next[i]]) {
+			next[i] = pl[i]
+		}
+	}
+	if !opts.MigrationAware {
+		for i := range next {
+			if next[i] != pl[i] {
+				st.Reconfigurations++
 				if pl[i] != mec.Remote {
 					// Tearing down and re-instantiating elsewhere (or going
 					// remote) forfeits the instantiation investment.
-					s.metrics.MigrationCost += lp.p.InstCost
+					st.MigrationCost += m.Providers[i].InstCost
 				}
 			}
-			lp.choice = res.Placement[i]
 		}
-		return nil
+		st.SocialCost = m.SocialCost(next)
+		return next, st, nil
 	}
 	// Hysteresis: apply each provider's move only if its own cost under the
 	// new placement improves on its cost of staying put (holding everyone
 	// else at the new placement) by more than the re-instantiation cost.
-	for i, lp := range s.live {
-		if res.Placement[i] == pl[i] {
+	for i := range next {
+		if next[i] == pl[i] {
 			continue
 		}
-		moved := res.Placement[i]
+		moved := next[i]
 		stay := pl[i]
-		newPl := make(mec.Placement, len(s.live))
-		for j := range s.live {
-			newPl[j] = res.Placement[j]
-		}
-		costMoved := m.ProviderCost(newPl, i)
-		newPl[i] = stay
-		costStay := m.ProviderCost(newPl, i)
+		probe := next.Clone()
+		costMoved := m.ProviderCost(probe, i)
+		probe[i] = stay
+		costStay := m.ProviderCost(probe, i)
 		threshold := 0.0
 		if stay != mec.Remote {
-			threshold = lp.p.InstCost
+			threshold = m.Providers[i].InstCost
 		}
 		if costStay-costMoved > threshold {
-			lp.choice = moved
-			s.metrics.Reconfigurations++
+			next[i] = moved
+			st.Reconfigurations++
 			if stay != mec.Remote {
-				s.metrics.MigrationCost += lp.p.InstCost
+				st.MigrationCost += m.Providers[i].InstCost
 			}
 		} else {
-			s.metrics.MigrationsSuppressed++
-			res.Placement[i] = stay // keep downstream decisions consistent
+			st.MigrationsSuppressed++
+			next[i] = stay // keep downstream decisions consistent
 		}
 	}
-	return nil
+	st.SocialCost = m.SocialCost(next)
+	return next, st, nil
 }
 
 // findLive locates an active provider by id; idx is -1 after departure.
@@ -495,7 +558,7 @@ func (s *Simulator) findLive(id int) (int, *liveProvider) {
 
 // resourceLoads tallies per-cloudlet tenant count and compute/bandwidth
 // usage of pl, excluding provider skip (use -1 to exclude nobody).
-func (s *Simulator) resourceLoads(m *mec.Market, pl mec.Placement, skip int) (count []int, compute, bandwidth []float64) {
+func resourceLoads(m *mec.Market, pl mec.Placement, skip int) (count []int, compute, bandwidth []float64) {
 	nc := m.Net.NumCloudlets()
 	count = make([]int, nc)
 	compute = make([]float64, nc)
@@ -521,15 +584,17 @@ func fitsAt(m *mec.Market, l, i int, compute, bandwidth []float64) bool {
 		bandwidth[i]+p.BandwidthDemand() <= cl.BandwidthCap+1e-9
 }
 
-// bestResponseAvoidingFailed is the capacity-aware best response of
+// BestResponseAvoidingFailed is the capacity-aware best response of
 // provider l restricted to live cloudlets: the same candidate scan as
-// game.BestResponse, with currently failed cloudlets excluded.
-func (s *Simulator) bestResponseAvoidingFailed(m *mec.Market, pl mec.Placement, l int) int {
-	count, compute, bandwidth := s.resourceLoads(m, pl, l)
+// game.BestResponse, with the cloudlets marked in failed excluded (nil
+// means every cloudlet is up). Shared by the simulator's arrivals/failovers
+// and the serving daemon's online admissions.
+func BestResponseAvoidingFailed(m *mec.Market, pl mec.Placement, l int, failed []bool) int {
+	count, compute, bandwidth := resourceLoads(m, pl, l)
 	best := mec.Remote
 	bestC := m.RemoteCost(l)
 	for i := 0; i < m.Net.NumCloudlets(); i++ {
-		if s.failedCl[i] || !fitsAt(m, l, i, compute, bandwidth) {
+		if (failed != nil && failed[i]) || !fitsAt(m, l, i, compute, bandwidth) {
 			continue
 		}
 		if c := m.CostAt(l, i, count[i]+1); c < bestC-1e-15 {
@@ -625,7 +690,7 @@ func (s *Simulator) replace(idx int, lp *liveProvider) error {
 	if err != nil {
 		return err
 	}
-	lp.choice = s.bestResponseAvoidingFailed(m, pl, idx)
+	lp.choice = BestResponseAvoidingFailed(m, pl, idx, s.failedCl)
 	lp.state = stateOK
 	if lp.choice != mec.Remote {
 		s.metrics.MigrationCost += lp.p.InstCost
@@ -642,7 +707,7 @@ func (s *Simulator) tryFailback(idx int, lp *liveProvider, cl int) error {
 	if err != nil {
 		return err
 	}
-	count, compute, bandwidth := s.resourceLoads(m, pl, idx)
+	count, compute, bandwidth := resourceLoads(m, pl, idx)
 	saving := m.RemoteCost(idx) - m.CostAt(idx, cl, count[cl]+1)
 	if fitsAt(m, idx, cl, compute, bandwidth) && saving > lp.p.InstCost {
 		lp.choice = cl

@@ -1,0 +1,189 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/fault"
+	"mecache/internal/mec"
+	"mecache/internal/workload"
+)
+
+// TestConfigValidateRejectionEdges covers the rejection paths the original
+// table misses: infinities, negative xi, workload propagation, and the
+// fault-model edges.
+func TestConfigValidateRejectionEdges(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"Inf horizon", func(c *Config) { c.Horizon = math.Inf(1) }},
+		{"negative Inf horizon", func(c *Config) { c.Horizon = math.Inf(-1) }},
+		{"Inf rate", func(c *Config) { c.ArrivalRate = math.Inf(1) }},
+		{"Inf lifetime", func(c *Config) { c.MeanLifetime = math.Inf(1) }},
+		{"Inf epoch", func(c *Config) { c.Epoch = math.Inf(1) }},
+		{"negative xi", func(c *Config) { c.Xi = -0.1 }},
+		{"Inf diurnal", func(c *Config) { c.DiurnalPeriod = math.Inf(1) }},
+		{"NaN diurnal", func(c *Config) { c.DiurnalPeriod = math.NaN() }},
+		{"workload: zero providers", func(c *Config) { c.Workload.NumProviders = 0 }},
+		{"workload: inverted range", func(c *Config) { c.Workload.InstCost = workload.Range{Lo: 2, Hi: 1} }},
+		{"workload: zero requests", func(c *Config) { c.Workload.Requests.Lo = 0 }},
+		{"workload: NaN range", func(c *Config) { c.Workload.DataGB.Lo = math.NaN() }},
+		{"fault: unknown policy", func(c *Config) { c.Fault = fault.DefaultConfig(); c.Fault.Policy = fault.Policy(99) }},
+		{"fault: outages without repair", func(c *Config) { c.Fault.CloudletMTBF = 10; c.Fault.CloudletMTTR = 0 }},
+		{"fault: NaN detection delay", func(c *Config) { c.Fault.DetectionDelay = math.NaN() }},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(1)
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s accepted by Validate", tc.name)
+		}
+		if _, err := New(nil, cfg); err == nil {
+			t.Errorf("%s accepted by New", tc.name)
+		}
+	}
+}
+
+// epochMarket builds a small market for the Reequilibrate unit tests.
+func epochMarket(t *testing.T) (*mec.Market, mec.Placement) {
+	t.Helper()
+	cfg := workload.Default(42)
+	cfg.NumProviders = 30
+	m, err := workload.GenerateGTITM(60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := make(mec.Placement, len(m.Providers))
+	for l := range pl {
+		pl[l] = mec.Remote
+	}
+	return m, pl
+}
+
+func TestReequilibrateDoesNotMutateInput(t *testing.T) {
+	m, pl := epochMarket(t)
+	before := pl.Clone()
+	next, st, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pl {
+		if pl[i] != before[i] {
+			t.Fatalf("input placement mutated at %d", i)
+		}
+	}
+	if len(next) != len(pl) {
+		t.Fatalf("placement length changed: %d -> %d", len(pl), len(next))
+	}
+	if st.SocialCost != m.SocialCost(next) {
+		t.Fatalf("reported social cost %v != recomputed %v", st.SocialCost, m.SocialCost(next))
+	}
+	if st.Reconfigurations == 0 {
+		t.Fatal("re-equilibrating an all-remote market moved nobody")
+	}
+}
+
+func TestReequilibrateDeterministic(t *testing.T) {
+	m, pl := epochMarket(t)
+	a, _, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at provider %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestReequilibrateHonorsFrozenAndFailed(t *testing.T) {
+	m, pl := epochMarket(t)
+	// First pass, unconstrained, to get a placement with cached providers.
+	next, _, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := make([]bool, len(next))
+	for i := range frozen {
+		frozen[i] = i%3 == 0
+	}
+	failed := make([]bool, m.Net.NumCloudlets())
+	failed[0] = true
+	out, _, err := Reequilibrate(m, next, EpochOptions{Xi: 0.7, Seed: 2, Frozen: frozen, Failed: failed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if frozen[i] && out[i] != next[i] {
+			t.Fatalf("frozen provider %d moved %d -> %d", i, next[i], out[i])
+		}
+		if out[i] != mec.Remote && failed[out[i]] && next[i] != out[i] {
+			t.Fatalf("provider %d newly assigned to failed cloudlet %d", i, out[i])
+		}
+	}
+}
+
+func TestReequilibrateHysteresisSuppresses(t *testing.T) {
+	m, pl := epochMarket(t)
+	next, _, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-equilibrate from the settled placement with a different seed: the
+	// aware run must move no provider whose saving is below its
+	// re-instantiation cost, and every suppressed move is counted.
+	aware, stA, err := Reequilibrate(m, next, EpochOptions{Xi: 0.7, Seed: 5, MigrationAware: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind, stB, err := Reequilibrate(m, next, EpochOptions{Xi: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stA.Reconfigurations > stB.Reconfigurations {
+		t.Fatalf("hysteresis increased churn: %d > %d", stA.Reconfigurations, stB.Reconfigurations)
+	}
+	if stA.Reconfigurations+stA.MigrationsSuppressed < stB.Reconfigurations {
+		t.Fatalf("suppressed moves unaccounted: %d applied + %d suppressed < %d blind moves",
+			stA.Reconfigurations, stA.MigrationsSuppressed, stB.Reconfigurations)
+	}
+	changed := 0
+	for i := range aware {
+		if aware[i] != next[i] {
+			changed++
+		}
+	}
+	if changed != stA.Reconfigurations {
+		t.Fatalf("stats report %d reconfigurations, placement shows %d", stA.Reconfigurations, changed)
+	}
+	_ = blind
+}
+
+func TestBestResponseAvoidingFailedSkipsDownCloudlets(t *testing.T) {
+	m, pl := epochMarket(t)
+	next, _, err := Reequilibrate(m, pl, EpochOptions{Xi: 0.7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a provider that would cache somewhere, then fail that cloudlet:
+	// its constrained best response must avoid it.
+	for l := range next {
+		choice := BestResponseAvoidingFailed(m, next, l, nil)
+		if choice == mec.Remote {
+			continue
+		}
+		failed := make([]bool, m.Net.NumCloudlets())
+		failed[choice] = true
+		masked := BestResponseAvoidingFailed(m, next, l, failed)
+		if masked == choice {
+			t.Fatalf("provider %d still placed at failed cloudlet %d", l, choice)
+		}
+		return
+	}
+	t.Fatal("no provider preferred caching; market too small for the test")
+}

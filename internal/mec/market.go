@@ -9,25 +9,25 @@ import (
 // it wants to cache (Section II-B).
 type Provider struct {
 	// Requests is r_l, the number of user requests the service must serve.
-	Requests int
+	Requests int `json:"requests"`
 	// ComputePerReq is a_l; the service's total compute demand is a_l·r_l.
-	ComputePerReq float64
+	ComputePerReq float64 `json:"computePerReq"`
 	// BandwidthPerReq is b_l; the total bandwidth demand is b_l·r_l.
-	BandwidthPerReq float64
+	BandwidthPerReq float64 `json:"bandwidthPerReq"`
 	// InstCost is c_l^ins, the VM-instantiation + software-setup cost.
-	InstCost float64
+	InstCost float64 `json:"instCost"`
 	// TrafficGBPerReq is the per-request traffic volume in GB
 	// (Section IV-A: [10, 200] MB per request).
-	TrafficGBPerReq float64
+	TrafficGBPerReq float64 `json:"trafficGBPerReq"`
 	// DataGB is the service's data volume in GB (Section IV-A: [1, 5] GB).
-	DataGB float64
+	DataGB float64 `json:"dataGB"`
 	// UpdateRatio is the consistency-update fraction of DataGB shipped back
 	// to the home DC while cached (Section IV-A: 10%).
-	UpdateRatio float64
+	UpdateRatio float64 `json:"updateRatio"`
 	// HomeDC indexes the data center hosting the original instance.
-	HomeDC int
+	HomeDC int `json:"homeDC"`
 	// AttachNode is the topology node where the provider's users attach.
-	AttachNode int
+	AttachNode int `json:"attachNode"`
 }
 
 // ComputeDemand returns a_l·r_l.
@@ -101,25 +101,34 @@ func NewMarket(net *Network, providers []Provider) (*Market, error) {
 		return nil, fmt.Errorf("mec: market needs at least one provider")
 	}
 	for l, p := range providers {
-		if p.Requests <= 0 {
-			return nil, fmt.Errorf("mec: provider %d has %d requests", l, p.Requests)
-		}
-		if p.ComputePerReq <= 0 || p.BandwidthPerReq <= 0 {
-			return nil, fmt.Errorf("mec: provider %d has non-positive per-request demand", l)
-		}
-		if p.HomeDC < 0 || p.HomeDC >= len(net.DCs) {
-			return nil, fmt.Errorf("mec: provider %d references invalid data center %d", l, p.HomeDC)
-		}
-		if p.AttachNode < 0 || p.AttachNode >= net.Topo.N() {
-			return nil, fmt.Errorf("mec: provider %d attaches at invalid node %d", l, p.AttachNode)
-		}
-		if p.UpdateRatio < 0 || p.UpdateRatio > 1 {
-			return nil, fmt.Errorf("mec: provider %d has update ratio %v outside [0,1]", l, p.UpdateRatio)
+		if err := validateProvider(net, l, p); err != nil {
+			return nil, err
 		}
 	}
 	m := &Market{Net: net, Providers: providers}
 	m.precompute()
 	return m, nil
+}
+
+// validateProvider checks one provider against the network; l only labels
+// the error message.
+func validateProvider(net *Network, l int, p Provider) error {
+	if p.Requests <= 0 {
+		return fmt.Errorf("mec: provider %d has %d requests", l, p.Requests)
+	}
+	if p.ComputePerReq <= 0 || p.BandwidthPerReq <= 0 {
+		return fmt.Errorf("mec: provider %d has non-positive per-request demand", l)
+	}
+	if p.HomeDC < 0 || p.HomeDC >= len(net.DCs) {
+		return fmt.Errorf("mec: provider %d references invalid data center %d", l, p.HomeDC)
+	}
+	if p.AttachNode < 0 || p.AttachNode >= net.Topo.N() {
+		return fmt.Errorf("mec: provider %d attaches at invalid node %d", l, p.AttachNode)
+	}
+	if p.UpdateRatio < 0 || p.UpdateRatio > 1 {
+		return fmt.Errorf("mec: provider %d has update ratio %v outside [0,1]", l, p.UpdateRatio)
+	}
+	return nil
 }
 
 // precompute fills the congestion-free cost tables.

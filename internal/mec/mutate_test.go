@@ -1,0 +1,108 @@
+package mec
+
+import (
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+// drawProvider samples a valid random provider for the test network.
+func drawProvider(r *rng.Source, net *Network) Provider {
+	return Provider{
+		Requests:        r.IntRange(1, 40),
+		ComputePerReq:   r.FloatRange(0.01, 0.3),
+		BandwidthPerReq: r.FloatRange(0.5, 4),
+		InstCost:        r.FloatRange(0.2, 2),
+		TrafficGBPerReq: r.FloatRange(0.01, 0.2),
+		DataGB:          r.FloatRange(1, 5),
+		UpdateRatio:     0.1,
+		HomeDC:          r.Intn(len(net.DCs)),
+		AttachNode:      r.Intn(net.Topo.N()),
+	}
+}
+
+// TestAppendProviderMatchesBatchConstruction grows a market one provider at
+// a time and checks every cost table matches a market built in one shot
+// over the same providers — the equivalence the serving layer's O(1)-ish
+// admissions rest on.
+func TestAppendProviderMatchesBatchConstruction(t *testing.T) {
+	base := testMarket(t)
+	r := rng.New(11)
+	providers := append([]Provider(nil), base.Providers...)
+	grown := base
+	for k := 0; k < 25; k++ {
+		p := drawProvider(r, base.Net)
+		providers = append(providers, p)
+		idx, err := grown.AppendProvider(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != len(providers)-1 {
+			t.Fatalf("append returned index %d, want %d", idx, len(providers)-1)
+		}
+	}
+	batch, err := NewMarket(base.Net, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marketsEqual(t, grown, batch)
+}
+
+func TestAppendProviderValidates(t *testing.T) {
+	m := testMarket(t)
+	bad := m.Providers[0]
+	bad.Requests = 0
+	if _, err := m.AppendProvider(bad); err == nil {
+		t.Fatal("zero-request provider appended")
+	}
+	bad = m.Providers[0]
+	bad.HomeDC = 99
+	if _, err := m.AppendProvider(bad); err == nil {
+		t.Fatal("invalid home DC appended")
+	}
+	if len(m.Providers) != 2 {
+		t.Fatalf("failed appends mutated the market: %d providers", len(m.Providers))
+	}
+}
+
+func TestRemoveProviderShiftsTables(t *testing.T) {
+	m := testMarket(t)
+	r := rng.New(5)
+	var providers []Provider
+	providers = append(providers, m.Providers...)
+	for k := 0; k < 6; k++ {
+		p := drawProvider(r, m.Net)
+		providers = append(providers, p)
+		if _, err := m.AppendProvider(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Remove from the middle, the front, and the back.
+	for _, l := range []int{3, 0, len(providers) - 3} {
+		providers = append(providers[:l], providers[l+1:]...)
+		if err := m.RemoveProvider(l); err != nil {
+			t.Fatal(err)
+		}
+		batch, err := NewMarket(m.Net, providers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		marketsEqual(t, m, batch)
+	}
+}
+
+func TestRemoveProviderBounds(t *testing.T) {
+	m := testMarket(t)
+	if err := m.RemoveProvider(-1); err == nil {
+		t.Fatal("negative index removed")
+	}
+	if err := m.RemoveProvider(2); err == nil {
+		t.Fatal("out-of-range index removed")
+	}
+	if err := m.RemoveProvider(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RemoveProvider(0); err == nil {
+		t.Fatal("last provider removed (markets need at least one)")
+	}
+}

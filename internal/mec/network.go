@@ -29,24 +29,24 @@ const Remote = -1
 // Cloudlet is an edge server cluster placed at a topology node.
 type Cloudlet struct {
 	// Node is the topology node hosting this cloudlet.
-	Node int
+	Node int `json:"node"`
 	// NumVMs is the number of VMs the infrastructure provider instantiated
 	// here (Section IV-A: drawn from [15, 30]).
-	NumVMs int
+	NumVMs int `json:"numVMs"`
 	// ComputeCap is C(CL_i), total compute units.
-	ComputeCap float64
+	ComputeCap float64 `json:"computeCap"`
 	// BandwidthCap is B(CL_i) in Mbps.
-	BandwidthCap float64
+	BandwidthCap float64 `json:"bandwidthCap"`
 	// Alpha is α_i, the compute-congestion price coefficient (Eq. 1).
-	Alpha float64
+	Alpha float64 `json:"alpha"`
 	// Beta is β_i, the bandwidth-congestion price coefficient (Eq. 2).
-	Beta float64
+	Beta float64 `json:"beta"`
 	// FixedBandwidthCost is c_i^bdw, the flat per-provider bandwidth charge.
-	FixedBandwidthCost float64
+	FixedBandwidthCost float64 `json:"fixedBandwidthCost"`
 	// ProcPricePerGB is the processing price at this cloudlet ($/GB).
-	ProcPricePerGB float64
+	ProcPricePerGB float64 `json:"procPricePerGB"`
 	// TransPricePerGBHop is the transmission price ($/GB per hop).
-	TransPricePerGBHop float64
+	TransPricePerGBHop float64 `json:"transPricePerGBHop"`
 }
 
 // DataCenter is a remote cloud site; capacity is considered unlimited
@@ -54,17 +54,17 @@ type Cloudlet struct {
 type DataCenter struct {
 	// Node is the topology node where this data center's gateway attaches
 	// to the MEC network.
-	Node int
+	Node int `json:"node"`
 	// BackhaulHops is the extra WAN distance between the gateway node and
 	// the actual remote cloud: the data centers of the two-tier
 	// architecture live far from the edge, and every byte to or from them
 	// crosses this backhaul on top of the in-network path.
-	BackhaulHops int
+	BackhaulHops int `json:"backhaulHops"`
 	// ProcPricePerGB is the processing price at the data center ($/GB).
-	ProcPricePerGB float64
+	ProcPricePerGB float64 `json:"procPricePerGB"`
 	// TransPricePerGBHop is the transmission price ($/GB per hop) on the
 	// backhaul toward this data center.
-	TransPricePerGBHop float64
+	TransPricePerGBHop float64 `json:"transPricePerGBHop"`
 }
 
 // Network is the two-tiered MEC network: the switch topology plus the

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"mecache/internal/dynamic"
+	"mecache/internal/fault"
+	"mecache/internal/mec"
+)
+
+// state is the daemon's market state. It is owned exclusively by the event
+// loop goroutine: every mutation arrives as a command over the channel, so
+// no lock ever guards it. Reads go through the published View instead.
+type state struct {
+	// m is the live market over the active providers; nil while the market
+	// is empty (mec.Market requires at least one provider).
+	m  *mec.Market
+	pl mec.Placement
+	// ids maps market index -> public provider id; byID is the inverse.
+	ids  []int64
+	byID map[int64]int
+	// waiting/waitingFor track providers parked by PolicyWaitForRepair.
+	waiting    []bool
+	waitingFor []int
+	// failed mirrors which cloudlets are administratively down.
+	failed []bool
+
+	nextID   int64
+	epochs   uint64
+	accepted uint64
+	rejected uint64
+	departed uint64
+
+	failovers  uint64
+	failbacks  uint64
+	outages    uint64
+	repairs    uint64
+	reconfigs  uint64
+	suppressed uint64
+	migCost    float64
+
+	// lastEpochErr records the most recent background-epoch failure for the
+	// health endpoint; cleared by the next successful epoch.
+	lastEpochErr string
+}
+
+// cmdResult is what a command hands back to its waiting HTTP handler.
+type cmdResult struct {
+	status int
+	body   any
+	err    error
+}
+
+// command pairs a state mutation with the channel its result travels back
+// on. reply is buffered (size 1) so the loop never blocks on a handler.
+type command struct {
+	run   func(st *state) cmdResult
+	reply chan cmdResult
+}
+
+// errorf builds an error result.
+func errorf(status int, format string, args ...any) cmdResult {
+	return cmdResult{status: status, err: fmt.Errorf(format, args...)}
+}
+
+// loop is the single writer. It applies commands in arrival order, runs the
+// re-equilibration epoch on the ticker, publishes a fresh read View after
+// every mutation, and writes the final snapshot on shutdown.
+func (s *Server) loop() {
+	defer close(s.done)
+	var tick <-chan time.Time
+	if s.cfg.EpochInterval > 0 {
+		t := time.NewTicker(s.cfg.EpochInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-s.stopping:
+			// Drain commands that raced with shutdown so no handler hangs.
+			for {
+				select {
+				case c := <-s.cmds:
+					c.reply <- errorf(http.StatusServiceUnavailable, "server: shutting down")
+				default:
+					if s.cfg.SnapshotPath != "" {
+						s.stopErr = s.writeSnapshot(&s.st)
+					}
+					return
+				}
+			}
+		case c := <-s.cmds:
+			res := c.run(&s.st)
+			s.publish(&s.st)
+			c.reply <- res
+		case <-tick:
+			if res := s.epochCmd(&s.st); res.err != nil {
+				// Background epochs have no caller to report to; surface the
+				// failure on the health endpoint via the view.
+				s.st.lastEpochErr = res.err.Error()
+			}
+			s.publish(&s.st)
+		}
+	}
+}
+
+// do submits a command and waits for its result (or shutdown).
+func (s *Server) do(run func(st *state) cmdResult) cmdResult {
+	c := command{run: run, reply: make(chan cmdResult, 1)}
+	select {
+	case s.cmds <- c:
+	case <-s.done:
+		return errorf(http.StatusServiceUnavailable, "server: not running")
+	}
+	select {
+	case r := <-c.reply:
+		return r
+	case <-s.done:
+		// The loop may have answered just before exiting.
+		select {
+		case r := <-c.reply:
+			return r
+		default:
+			return errorf(http.StatusServiceUnavailable, "server: shut down while request was queued")
+		}
+	}
+}
+
+// admitResponse is the body returned by POST /v1/providers.
+type admitResponse struct {
+	ID         int64   `json:"id"`
+	Placement  int     `json:"placement"`
+	Cost       float64 `json:"cost"`
+	SocialCost float64 `json:"socialCost"`
+	Active     int     `json:"active"`
+}
+
+// admitCmd performs one online admission: append the provider to the
+// market, then place it with a capacity-aware best response against the
+// current congestion, never onto a failed cloudlet.
+func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
+	if s.cfg.MaxActive > 0 && len(st.ids) >= s.cfg.MaxActive {
+		st.rejected++
+		s.mRejected.Inc()
+		return errorf(http.StatusTooManyRequests, "server: %d active providers (cap %d)", len(st.ids), s.cfg.MaxActive)
+	}
+	var idx int
+	if st.m == nil {
+		m, err := mec.NewMarket(s.net, []mec.Provider{p})
+		if err != nil {
+			st.rejected++
+			s.mRejected.Inc()
+			return errorf(http.StatusBadRequest, "server: %v", err)
+		}
+		st.m, idx = m, 0
+		st.pl = mec.Placement{mec.Remote}
+	} else {
+		i, err := st.m.AppendProvider(p)
+		if err != nil {
+			st.rejected++
+			s.mRejected.Inc()
+			return errorf(http.StatusBadRequest, "server: %v", err)
+		}
+		idx = i
+		st.pl = append(st.pl, mec.Remote)
+	}
+	st.pl[idx] = dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed)
+	id := st.nextID
+	st.nextID++
+	st.ids = append(st.ids, id)
+	st.byID[id] = idx
+	st.waiting = append(st.waiting, false)
+	st.waitingFor = append(st.waitingFor, -1)
+	st.accepted++
+	s.mAccepted.Inc()
+	return cmdResult{status: http.StatusCreated, body: admitResponse{
+		ID:         id,
+		Placement:  st.pl[idx],
+		Cost:       st.m.ProviderCost(st.pl, idx),
+		SocialCost: st.m.SocialCost(st.pl),
+		Active:     len(st.ids),
+	}}
+}
+
+// departCmd retires a provider: its cached instance is destroyed and the
+// remaining providers shift down one market index.
+func (s *Server) departCmd(st *state, id int64) cmdResult {
+	idx, ok := st.byID[id]
+	if !ok {
+		return errorf(http.StatusNotFound, "server: no active provider %d", id)
+	}
+	if len(st.ids) == 1 {
+		st.m = nil
+		st.pl = nil
+		st.ids = st.ids[:0]
+		st.waiting = st.waiting[:0]
+		st.waitingFor = st.waitingFor[:0]
+		clear(st.byID)
+	} else {
+		if err := st.m.RemoveProvider(idx); err != nil {
+			return errorf(http.StatusInternalServerError, "server: %v", err)
+		}
+		st.pl = append(st.pl[:idx], st.pl[idx+1:]...)
+		st.ids = append(st.ids[:idx], st.ids[idx+1:]...)
+		st.waiting = append(st.waiting[:idx], st.waiting[idx+1:]...)
+		st.waitingFor = append(st.waitingFor[:idx], st.waitingFor[idx+1:]...)
+		delete(st.byID, id)
+		for j := idx; j < len(st.ids); j++ {
+			st.byID[st.ids[j]] = j
+		}
+	}
+	st.departed++
+	s.mDeparted.Inc()
+	return cmdResult{status: http.StatusNoContent}
+}
+
+// failCmd marks a cloudlet down and applies the failover policy to every
+// provider cached there. Unlike the virtual-time simulator there is no
+// detection-delay window: the admin call is the detection.
+func (s *Server) failCmd(st *state, cloudlet int) cmdResult {
+	if cloudlet < 0 || cloudlet >= len(st.failed) {
+		return errorf(http.StatusBadRequest, "server: cloudlet %d outside [0,%d)", cloudlet, len(st.failed))
+	}
+	if st.failed[cloudlet] {
+		return errorf(http.StatusConflict, "server: cloudlet %d already failed", cloudlet)
+	}
+	st.failed[cloudlet] = true
+	st.outages++
+	s.mOutages.Inc()
+	hit := 0
+	for idx := range st.pl {
+		if st.pl[idx] != cloudlet {
+			continue
+		}
+		hit++
+		st.failovers++
+		s.mFailovers.Inc()
+		st.pl[idx] = mec.Remote // the remote original absorbs the traffic
+		switch s.cfg.Policy {
+		case fault.PolicyRemoteFallback:
+			// Stay remote.
+		case fault.PolicyReplace:
+			st.pl[idx] = dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed)
+		case fault.PolicyWaitForRepair:
+			st.waiting[idx] = true
+			st.waitingFor[idx] = cloudlet
+		}
+	}
+	return cmdResult{status: http.StatusOK, body: map[string]any{
+		"cloudlet": cloudlet, "failed": true, "providersAffected": hit,
+	}}
+}
+
+// repairCmd brings a cloudlet back. Providers waiting for it fail back only
+// when the saving over staying remote beats their re-instantiation cost —
+// the same hysteresis the dynamic simulator applies.
+func (s *Server) repairCmd(st *state, cloudlet int) cmdResult {
+	if cloudlet < 0 || cloudlet >= len(st.failed) {
+		return errorf(http.StatusBadRequest, "server: cloudlet %d outside [0,%d)", cloudlet, len(st.failed))
+	}
+	if !st.failed[cloudlet] {
+		return errorf(http.StatusConflict, "server: cloudlet %d is not failed", cloudlet)
+	}
+	st.failed[cloudlet] = false
+	st.repairs++
+	s.mRepairs.Inc()
+	back := 0
+	for idx := range st.pl {
+		if !st.waiting[idx] || st.waitingFor[idx] != cloudlet {
+			continue
+		}
+		st.waiting[idx] = false
+		st.waitingFor[idx] = -1
+		if choice := dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed); choice == cloudlet {
+			saving := st.m.RemoteCost(idx) - st.m.ProviderCost(placeAt(st.pl, idx, cloudlet), idx)
+			if saving > st.m.Providers[idx].InstCost {
+				st.pl[idx] = cloudlet
+				st.failbacks++
+				s.mFailbacks.Inc()
+				back++
+			}
+		}
+	}
+	return cmdResult{status: http.StatusOK, body: map[string]any{
+		"cloudlet": cloudlet, "failed": false, "providersReturned": back,
+	}}
+}
+
+// placeAt returns a copy of pl with provider idx moved to choice.
+func placeAt(pl mec.Placement, idx, choice int) mec.Placement {
+	c := pl.Clone()
+	c[idx] = choice
+	return c
+}
+
+// epochCmd is the slow-timescale control loop: one LCF/Appro
+// re-equilibration over the active providers, reusing the exact epoch step
+// of the dynamic-market simulator. Waiting providers are frozen and failed
+// cloudlets masked, as in the simulator.
+func (s *Server) epochCmd(st *state) cmdResult {
+	st.epochs++
+	s.mEpochs.Inc()
+	if st.m == nil {
+		return cmdResult{status: http.StatusOK, body: map[string]any{"epoch": st.epochs, "active": 0}}
+	}
+	next, est, err := dynamic.Reequilibrate(st.m, st.pl, dynamic.EpochOptions{
+		Xi:             s.cfg.Xi,
+		Seed:           s.cfg.Seed + st.epochs,
+		MigrationAware: s.cfg.MigrationAware,
+		Frozen:         st.waiting,
+		Failed:         st.failed,
+	})
+	if err != nil {
+		return errorf(http.StatusInternalServerError, "server: epoch %d: %v", st.epochs, err)
+	}
+	st.pl = next
+	st.reconfigs += uint64(est.Reconfigurations)
+	st.suppressed += uint64(est.MigrationsSuppressed)
+	st.migCost += est.MigrationCost
+	s.mReconfigs.Add(float64(est.Reconfigurations))
+	st.lastEpochErr = ""
+	if s.cfg.SnapshotPath != "" {
+		if err := s.writeSnapshot(st); err != nil {
+			return errorf(http.StatusInternalServerError, "server: epoch snapshot: %v", err)
+		}
+	}
+	return cmdResult{status: http.StatusOK, body: map[string]any{
+		"epoch":            st.epochs,
+		"active":           len(st.ids),
+		"reconfigurations": est.Reconfigurations,
+		"suppressed":       est.MigrationsSuppressed,
+		"socialCost":       est.SocialCost,
+	}}
+}

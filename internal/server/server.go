@@ -1,0 +1,450 @@
+// Package server is the online serving subsystem: a long-running market
+// daemon that admits and retires service providers over a JSON HTTP API,
+// keeps their placements in a capacity-aware best-response state, and
+// periodically re-equilibrates the whole market with the same LCF/Appro
+// epoch step the dynamic-market simulator uses.
+//
+// Concurrency model: all market state lives behind a single-writer event
+// loop. HTTP handlers never touch the state; they submit commands over a
+// channel and wait for the reply. Reads (placements, market facts, health)
+// are served lock-free from an immutable View republished by the loop after
+// every mutation. This makes the daemon race-free by construction and keeps
+// admissions strictly serialized, which is what makes fixed-seed runs
+// reproduce byte-identical placements.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mecache/internal/fault"
+	"mecache/internal/mec"
+	"mecache/internal/metrics"
+	"mecache/internal/stats"
+	"mecache/internal/topology"
+	"mecache/internal/workload"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Seed drives topology generation and the per-epoch LCF tie-breaking
+	// stream (epoch e uses Seed+e).
+	Seed uint64
+	// Topology overrides the generated network; nil generates a GT-ITM
+	// topology of Size nodes, exactly as dynamic.New does.
+	Topology *topology.Topology
+	// Size is the GT-ITM node count when Topology is nil.
+	Size int
+	// Workload lays out cloudlets and data centers (its provider fields are
+	// unused by the daemon: providers arrive over the API).
+	Workload workload.Config
+	// MaxActive caps concurrently active providers; 0 means unlimited.
+	// Admissions beyond the cap are rejected with 429.
+	MaxActive int
+	// Xi is the capacity slack factor passed to the epoch re-equilibration.
+	Xi float64
+	// EpochInterval is the wall-clock period of the re-equilibration ticker;
+	// 0 disables the ticker (epochs then run only via POST /v1/admin/epoch,
+	// which is the deterministic mode).
+	EpochInterval time.Duration
+	// MigrationAware applies the dynamic simulator's hysteresis: an epoch
+	// moves a cached provider only when the saving beats its re-instantiation
+	// cost.
+	MigrationAware bool
+	// Policy is the failover reaction applied by POST /v1/admin/fail.
+	Policy fault.Policy
+	// SnapshotPath, when non-empty, persists the market as JSON after every
+	// epoch and on shutdown, and restores it on startup if the file exists.
+	SnapshotPath string
+}
+
+// DefaultConfig mirrors the paper's Section IV setup.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:     seed,
+		Size:     150,
+		Workload: workload.Default(seed),
+		Xi:       0.7,
+		Policy:   fault.PolicyRemoteFallback,
+	}
+}
+
+// Validate rejects non-finite or out-of-range parameters.
+func (cfg Config) Validate() error {
+	if math.IsNaN(cfg.Xi) || cfg.Xi < 0 || cfg.Xi > 1 {
+		return fmt.Errorf("server: xi %v outside [0,1]", cfg.Xi)
+	}
+	if cfg.Topology == nil && cfg.Size <= 0 {
+		return fmt.Errorf("server: topology size %d must be positive", cfg.Size)
+	}
+	if cfg.MaxActive < 0 {
+		return fmt.Errorf("server: negative MaxActive %d", cfg.MaxActive)
+	}
+	if cfg.EpochInterval < 0 {
+		return fmt.Errorf("server: negative epoch interval %v", cfg.EpochInterval)
+	}
+	switch cfg.Policy {
+	case fault.PolicyRemoteFallback, fault.PolicyReplace, fault.PolicyWaitForRepair:
+	default:
+		return fmt.Errorf("server: unknown failover policy %d", int(cfg.Policy))
+	}
+	wl := cfg.Workload
+	wl.NumProviders = 1 // the daemon ignores provider counts
+	if err := wl.Validate(); err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	return nil
+}
+
+// ProviderView is one provider's entry in the published View.
+type ProviderView struct {
+	ID        int64   `json:"id"`
+	Placement int     `json:"placement"`
+	Cost      float64 `json:"cost"`
+	Waiting   bool    `json:"waiting,omitempty"`
+}
+
+// View is the immutable read-side of the daemon, republished by the event
+// loop after every mutation. Handlers serve it without locks.
+type View struct {
+	Active          int            `json:"active"`
+	SocialCost      float64        `json:"socialCost"`
+	Providers       []ProviderView `json:"providers"`
+	Loads           []int          `json:"loads"`
+	FailedCloudlets []int          `json:"failedCloudlets"`
+	NumCloudlets    int            `json:"numCloudlets"`
+	NumDCs          int            `json:"numDCs"`
+	NumNodes        int            `json:"numNodes"`
+	Epochs          uint64         `json:"epochs"`
+	Accepted        uint64         `json:"accepted"`
+	Rejected        uint64         `json:"rejected"`
+	Departed        uint64         `json:"departed"`
+	Failovers       uint64         `json:"failovers"`
+	Failbacks       uint64         `json:"failbacks"`
+	Reconfigs       uint64         `json:"reconfigurations"`
+	Suppressed      uint64         `json:"migrationsSuppressed"`
+	MigrationCost   float64        `json:"migrationCost"`
+	LastEpochError  string         `json:"lastEpochError,omitempty"`
+}
+
+// Server is the market daemon. Create with New, then Start, then serve
+// Handler over any http.Server; Stop shuts the loop down and writes the
+// final snapshot.
+type Server struct {
+	cfg Config
+	net *mec.Network
+
+	st       state
+	cmds     chan command
+	stopping chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	stopErr  error
+	started  atomic.Bool
+
+	view atomic.Pointer[View]
+	mux  *http.ServeMux
+
+	reg        *metrics.Registry
+	mAccepted  *metrics.Counter
+	mRejected  *metrics.Counter
+	mDeparted  *metrics.Counter
+	mOutages   *metrics.Counter
+	mRepairs   *metrics.Counter
+	mFailovers *metrics.Counter
+	mFailbacks *metrics.Counter
+	mEpochs    *metrics.Counter
+	mReconfigs *metrics.Counter
+	mLatency   *metrics.Histogram
+	gActive    *metrics.Gauge
+	gSocial    *metrics.Gauge
+	gLoads     []*metrics.Gauge
+}
+
+// New builds the daemon: generates (or adopts) the physical network,
+// restores the snapshot when one exists, and registers its metrics. The
+// event loop is not running until Start.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		var err error
+		topo, err = topology.GTITM(cfg.Seed^0xdddd, cfg.Size)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Lay out the physical side with a one-provider probe, exactly as the
+	// dynamic simulator does; the probe provider itself is discarded.
+	probe := cfg.Workload
+	probe.NumProviders = 1
+	pm, err := workload.Generate(topo, probe)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		net:      pm.Net,
+		cmds:     make(chan command),
+		stopping: make(chan struct{}),
+		done:     make(chan struct{}),
+		reg:      metrics.NewRegistry(),
+	}
+	s.st = state{
+		byID:   make(map[int64]int),
+		failed: make([]bool, s.net.NumCloudlets()),
+	}
+	if cfg.SnapshotPath != "" {
+		if err := s.restore(); err != nil {
+			return nil, err
+		}
+	}
+	s.registerMetrics()
+	s.buildMux()
+	s.publish(&s.st)
+	return s, nil
+}
+
+func (s *Server) registerMetrics() {
+	s.mAccepted = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", "result", "accepted")
+	s.mRejected = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", "result", "rejected")
+	s.mDeparted = s.reg.Counter("mecd_departures_total", "Providers retired via DELETE.")
+	s.mOutages = s.reg.Counter("mecd_outages_total", "Cloudlet failures injected.")
+	s.mRepairs = s.reg.Counter("mecd_repairs_total", "Cloudlet repairs applied.")
+	s.mFailovers = s.reg.Counter("mecd_failovers_total", "Providers displaced by cloudlet failures.")
+	s.mFailbacks = s.reg.Counter("mecd_failbacks_total", "Providers returned to a repaired cloudlet.")
+	s.mEpochs = s.reg.Counter("mecd_epochs_total", "Re-equilibration epochs run.")
+	s.mReconfigs = s.reg.Counter("mecd_reconfigurations_total", "Placement changes applied by epochs.")
+	s.mLatency = s.reg.Histogram("mecd_admission_seconds", "End-to-end admission latency.", stats.LatencyBuckets())
+	s.gActive = s.reg.Gauge("mecd_active_providers", "Currently active providers.")
+	s.gSocial = s.reg.Gauge("mecd_social_cost", "Social cost of the current placement.")
+	s.gLoads = make([]*metrics.Gauge, s.net.NumCloudlets())
+	for i := range s.gLoads {
+		s.gLoads[i] = s.reg.Gauge("mecd_cloudlet_load", "Services cached per cloudlet.", "cloudlet", strconv.Itoa(i))
+	}
+	// Prime the counters from restored state so a restart does not zero the
+	// exported series.
+	s.mAccepted.Add(float64(s.st.accepted))
+	s.mRejected.Add(float64(s.st.rejected))
+	s.mDeparted.Add(float64(s.st.departed))
+	s.mOutages.Add(float64(s.st.outages))
+	s.mRepairs.Add(float64(s.st.repairs))
+	s.mFailovers.Add(float64(s.st.failovers))
+	s.mFailbacks.Add(float64(s.st.failbacks))
+	s.mEpochs.Add(float64(s.st.epochs))
+	s.mReconfigs.Add(float64(s.st.reconfigs))
+}
+
+// publish rebuilds the read View from loop-owned state and stores it
+// atomically. Only the event loop (and New, before Start) calls this.
+func (s *Server) publish(st *state) {
+	v := &View{
+		Active:        len(st.ids),
+		NumCloudlets:  s.net.NumCloudlets(),
+		NumDCs:        len(s.net.DCs),
+		NumNodes:      s.net.Topo.N(),
+		Epochs:        st.epochs,
+		Accepted:      st.accepted,
+		Rejected:      st.rejected,
+		Departed:      st.departed,
+		Failovers:     st.failovers,
+		Failbacks:     st.failbacks,
+		Reconfigs:     st.reconfigs,
+		Suppressed:    st.suppressed,
+		MigrationCost: st.migCost,
+
+		LastEpochError: st.lastEpochErr,
+	}
+	if st.m != nil {
+		costs := st.m.ProviderCosts(st.pl)
+		v.SocialCost = st.m.SocialCost(st.pl)
+		v.Loads = st.m.Loads(st.pl)
+		v.Providers = make([]ProviderView, len(st.ids))
+		for i, id := range st.ids {
+			v.Providers[i] = ProviderView{ID: id, Placement: st.pl[i], Cost: costs[i], Waiting: st.waiting[i]}
+		}
+	} else {
+		v.Loads = make([]int, s.net.NumCloudlets())
+		v.Providers = []ProviderView{}
+	}
+	v.FailedCloudlets = []int{}
+	for i, f := range st.failed {
+		if f {
+			v.FailedCloudlets = append(v.FailedCloudlets, i)
+		}
+	}
+	s.view.Store(v)
+	s.gActive.Set(float64(v.Active))
+	s.gSocial.Set(v.SocialCost)
+	for i, g := range s.gLoads {
+		g.Set(float64(v.Loads[i]))
+	}
+}
+
+// Start launches the event loop. Safe to call once; later calls are no-ops.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		return
+	}
+	go s.loop()
+}
+
+// Stop shuts the event loop down, draining queued commands with 503s, and
+// waits for the final snapshot write (bounded by ctx).
+func (s *Server) Stop(ctx context.Context) error {
+	if !s.started.Load() {
+		return nil
+	}
+	s.stopOnce.Do(func() { close(s.stopping) })
+	select {
+	case <-s.done:
+		return s.stopErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// View returns the current read snapshot.
+func (s *Server) View() *View { return s.view.Load() }
+
+// Registry exposes the daemon's metrics registry (for embedding extra
+// instruments, e.g. by cmd/mecd).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/providers", s.handleAdmit)
+	mux.HandleFunc("DELETE /v1/providers/{id}", s.handleDepart)
+	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
+	mux.HandleFunc("GET /v1/market", s.handleMarket)
+	mux.HandleFunc("POST /v1/admin/fail", s.handleFail)
+	mux.HandleFunc("POST /v1/admin/epoch", s.handleEpoch)
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if v != nil {
+		_ = json.NewEncoder(w).Encode(v)
+	}
+}
+
+func writeResult(w http.ResponseWriter, res cmdResult) {
+	if res.err != nil {
+		writeJSON(w, res.status, map[string]string{"error": res.err.Error()})
+		return
+	}
+	if res.status == http.StatusNoContent {
+		w.WriteHeader(res.status)
+		return
+	}
+	writeJSON(w, res.status, res.body)
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var p mec.Provider
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&p); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode provider: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	res := s.do(func(st *state) cmdResult { return s.admitCmd(st, p) })
+	s.mLatency.Observe(time.Since(start).Seconds())
+	writeResult(w, res)
+}
+
+func (s *Server) handleDepart(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad provider id: " + err.Error()})
+		return
+	}
+	writeResult(w, s.do(func(st *state) cmdResult { return s.departCmd(st, id) }))
+}
+
+func (s *Server) handlePlacements(w http.ResponseWriter, _ *http.Request) {
+	v := s.view.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"providers":  v.Providers,
+		"socialCost": v.SocialCost,
+		"epochs":     v.Epochs,
+	})
+}
+
+func (s *Server) handleMarket(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.view.Load())
+}
+
+// failRequest is the body of POST /v1/admin/fail.
+type failRequest struct {
+	Cloudlet int  `json:"cloudlet"`
+	Repair   bool `json:"repair"`
+}
+
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode fail request: " + err.Error()})
+		return
+	}
+	writeResult(w, s.do(func(st *state) cmdResult {
+		if req.Repair {
+			return s.repairCmd(st, req.Cloudlet)
+		}
+		return s.failCmd(st, req.Cloudlet)
+	}))
+}
+
+func (s *Server) handleEpoch(w http.ResponseWriter, _ *http.Request) {
+	writeResult(w, s.do(func(st *state) cmdResult { return s.epochCmd(st) }))
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.SnapshotPath == "" {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "server: no snapshot path configured"})
+		return
+	}
+	writeResult(w, s.do(func(st *state) cmdResult {
+		if err := s.writeSnapshot(st); err != nil {
+			return errorf(http.StatusInternalServerError, "server: snapshot: %v", err)
+		}
+		return cmdResult{status: http.StatusOK, body: map[string]string{"path": s.cfg.SnapshotPath}}
+	}))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	select {
+	case <-s.done:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "stopped"})
+		return
+	default:
+	}
+	v := s.view.Load()
+	body := map[string]any{"status": "ok", "active": v.Active, "epochs": v.Epochs}
+	if v.LastEpochError != "" {
+		body["lastEpochError"] = v.LastEpochError
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}

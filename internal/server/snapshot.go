@@ -1,0 +1,185 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"mecache/internal/mec"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapCounters carries the monotone counters across restarts.
+type snapCounters struct {
+	Accepted   uint64  `json:"accepted"`
+	Rejected   uint64  `json:"rejected"`
+	Departed   uint64  `json:"departed"`
+	Failovers  uint64  `json:"failovers"`
+	Failbacks  uint64  `json:"failbacks"`
+	Outages    uint64  `json:"outages"`
+	Repairs    uint64  `json:"repairs"`
+	Reconfigs  uint64  `json:"reconfigurations"`
+	Suppressed uint64  `json:"migrationsSuppressed"`
+	MigCost    float64 `json:"migrationCost"`
+}
+
+// snapshotFile is the JSON document written to SnapshotPath. The market
+// (when present) embeds the full network via mec.Market's canonical
+// marshaler, so a snapshot is self-contained: restore never regenerates the
+// topology, which keeps hop distances and cost tables bit-identical.
+type snapshotFile struct {
+	Version    int           `json:"version"`
+	Seed       uint64        `json:"seed"`
+	NextID     int64         `json:"nextID"`
+	Epochs     uint64        `json:"epochs"`
+	Counters   snapCounters  `json:"counters"`
+	Network    *mec.Network  `json:"network,omitempty"` // only when the market is empty
+	Market     *mec.Market   `json:"market,omitempty"`
+	IDs        []int64       `json:"ids"`
+	Placement  mec.Placement `json:"placement"`
+	Waiting    []bool        `json:"waiting"`
+	WaitingFor []int         `json:"waitingFor"`
+	Failed     []bool        `json:"failed"`
+}
+
+// writeSnapshot persists the loop-owned state atomically (temp file +
+// rename). Only the event loop calls this.
+func (s *Server) writeSnapshot(st *state) error {
+	f := snapshotFile{
+		Version: snapshotVersion,
+		Seed:    s.cfg.Seed,
+		NextID:  st.nextID,
+		Epochs:  st.epochs,
+		Counters: snapCounters{
+			Accepted:   st.accepted,
+			Rejected:   st.rejected,
+			Departed:   st.departed,
+			Failovers:  st.failovers,
+			Failbacks:  st.failbacks,
+			Outages:    st.outages,
+			Repairs:    st.repairs,
+			Reconfigs:  st.reconfigs,
+			Suppressed: st.suppressed,
+			MigCost:    st.migCost,
+		},
+		Market:     st.m,
+		IDs:        st.ids,
+		Placement:  st.pl,
+		Waiting:    st.waiting,
+		WaitingFor: st.waitingFor,
+		Failed:     st.failed,
+	}
+	if st.m == nil {
+		f.Network = s.net
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("server: marshal snapshot: %w", err)
+	}
+	dir := filepath.Dir(s.cfg.SnapshotPath)
+	tmp, err := os.CreateTemp(dir, ".mecd-snapshot-*")
+	if err != nil {
+		return fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("server: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
+		return fmt.Errorf("server: install snapshot: %w", err)
+	}
+	return nil
+}
+
+// restore loads SnapshotPath into the pre-Start state. A missing file means
+// a fresh start; a corrupt or inconsistent one is a hard error (silently
+// dropping persisted market state would be worse than refusing to boot).
+func (s *Server) restore() error {
+	data, err := os.ReadFile(s.cfg.SnapshotPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("server: read snapshot: %w", err)
+	}
+	var f snapshotFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("server: decode snapshot %s: %w", s.cfg.SnapshotPath, err)
+	}
+	if f.Version != snapshotVersion {
+		return fmt.Errorf("server: snapshot version %d, want %d", f.Version, snapshotVersion)
+	}
+	n := len(f.IDs)
+	if len(f.Placement) != n || len(f.Waiting) != n || len(f.WaitingFor) != n {
+		return fmt.Errorf("server: snapshot arrays disagree: %d ids, %d placements, %d waiting, %d waitingFor",
+			n, len(f.Placement), len(f.Waiting), len(f.WaitingFor))
+	}
+	if f.Market != nil {
+		if len(f.Market.Providers) != n {
+			return fmt.Errorf("server: snapshot has %d providers but %d ids", len(f.Market.Providers), n)
+		}
+		if err := f.Market.Validate(f.Placement); err != nil {
+			return fmt.Errorf("server: snapshot placement invalid: %w", err)
+		}
+		s.net = f.Market.Net
+	} else {
+		if n != 0 {
+			return fmt.Errorf("server: snapshot has %d ids but no market", n)
+		}
+		if f.Network == nil {
+			return fmt.Errorf("server: snapshot has neither market nor network")
+		}
+		s.net = f.Network
+	}
+	if len(f.Failed) != s.net.NumCloudlets() {
+		return fmt.Errorf("server: snapshot failure mask covers %d cloudlets, network has %d",
+			len(f.Failed), s.net.NumCloudlets())
+	}
+	byID := make(map[int64]int, n)
+	for i, id := range f.IDs {
+		if _, dup := byID[id]; dup {
+			return fmt.Errorf("server: snapshot repeats provider id %d", id)
+		}
+		if id >= f.NextID {
+			return fmt.Errorf("server: snapshot id %d not below nextID %d", id, f.NextID)
+		}
+		byID[id] = i
+	}
+	s.st = state{
+		m:          f.Market,
+		pl:         f.Placement,
+		ids:        f.IDs,
+		byID:       byID,
+		waiting:    f.Waiting,
+		waitingFor: f.WaitingFor,
+		failed:     f.Failed,
+		nextID:     f.NextID,
+		epochs:     f.Epochs,
+		accepted:   f.Counters.Accepted,
+		rejected:   f.Counters.Rejected,
+		departed:   f.Counters.Departed,
+		failovers:  f.Counters.Failovers,
+		failbacks:  f.Counters.Failbacks,
+		outages:    f.Counters.Outages,
+		repairs:    f.Counters.Repairs,
+		reconfigs:  f.Counters.Reconfigs,
+		suppressed: f.Counters.Suppressed,
+		migCost:    f.Counters.MigCost,
+	}
+	if n == 0 {
+		s.st.ids = []int64{}
+		s.st.pl = nil
+		s.st.waiting = []bool{}
+		s.st.waitingFor = []int{}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bucket histogram with quantile estimation. Bounds are
+// upper bucket edges (sorted, strictly increasing); an implicit +Inf bucket
+// catches everything above the last bound, so Observe never drops a sample.
+//
+// Two histograms with identical bounds can be merged, which is the property
+// the concurrent consumers rely on: the load generator observes latencies
+// into per-shard histograms with no locking and merges them for the final
+// report, and the metrics registry renders the same structure as a
+// cumulative Prometheus histogram.
+//
+// Histogram is not safe for concurrent use; wrap it in a mutex (as
+// internal/metrics does) or shard per goroutine and Merge.
+type Histogram struct {
+	bounds []float64 // upper edges; the implicit +Inf bucket is counts[len(bounds)]
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram over the given upper bucket bounds. The
+// bounds must be finite, strictly increasing, and non-empty.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return nil, fmt.Errorf("stats: histogram bound %d is %v, want finite", i, b)
+		}
+		if i > 0 && b <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds must be strictly increasing, got %v after %v", b, bounds[i-1])
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}, nil
+}
+
+// LatencyBuckets returns the default latency bounds in seconds: a
+// 1-2-5 progression from 100µs to 10s, suited to local HTTP admission
+// latencies while keeping tails visible.
+func LatencyBuckets() []float64 {
+	return []float64{
+		0.0001, 0.0002, 0.0005,
+		0.001, 0.002, 0.005,
+		0.01, 0.02, 0.05,
+		0.1, 0.2, 0.5,
+		1, 2, 5, 10,
+	}
+}
+
+// Observe records one sample. NaN samples are ignored (they would poison
+// the sum without being attributable to any bucket).
+func (h *Histogram) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, x) // first bound >= x: Prometheus "le" semantics
+	h.counts[i]++
+	h.count++
+	h.sum += x
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
+}
+
+// Merge adds other's samples into h. The bucket bounds must be identical.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("stats: cannot merge histograms with %d and %d buckets", len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("stats: cannot merge histograms: bound %d differs (%v vs %v)", i, h.bounds[i], other.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the sample mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest sample observed (+Inf when empty).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample observed (-Inf when empty).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Bounds returns a copy of the upper bucket bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Cumulative returns the cumulative bucket counts in Prometheus "le" order:
+// Cumulative()[i] counts samples <= bounds[i], and the final entry (the
+// implicit +Inf bucket) equals Count().
+func (h *Histogram) Cumulative() []uint64 {
+	out := make([]uint64, len(h.counts))
+	run := uint64(0)
+	for i, c := range h.counts {
+		run += c
+		out[i] = run
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket that contains the target rank. Estimates are clamped to
+// the observed [Min, Max] so that coarse buckets cannot report values
+// outside the data. Returns NaN for an empty histogram or q outside [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(h.count)
+	run := uint64(0)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := float64(run)
+		run += c
+		if float64(run) < rank {
+			continue
+		}
+		// The target rank lands in bucket i, spanning (lo, hi].
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if lo > hi {
+			lo = hi
+		}
+		frac := 0.0
+		if c > 0 {
+			frac = (rank - prev) / float64(c)
+		}
+		v := lo + frac*(hi-lo)
+		return math.Max(h.min, math.Min(h.max, v))
+	}
+	return h.max
+}
+
+// P50, P95 and P99 are the quantiles the latency reports print.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+
+// P95 estimates the 95th percentile.
+func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
+
+// P99 estimates the 99th percentile.
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }

@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+func mustHistogram(t *testing.T, bounds []float64) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("decreasing bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("infinite bound accepted (the +Inf bucket is implicit)")
+	}
+	if _, err := NewHistogram([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN bound accepted")
+	}
+}
+
+func TestHistogramBasicCounts(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 2, 5})
+	for _, x := range []float64{0.5, 1.0, 1.5, 3, 10} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 16.0; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// le-semantics: 1.0 lands in the le=1 bucket.
+	if got := h.Cumulative(); got[0] != 2 || got[1] != 3 || got[2] != 4 || got[3] != 5 {
+		t.Fatalf("cumulative = %v", got)
+	}
+	if h.Min() != 0.5 || h.Max() != 10 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 3.2 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+}
+
+func TestHistogramIgnoresNaN(t *testing.T) {
+	h := mustHistogram(t, []float64{1})
+	h.Observe(math.NaN())
+	if h.Count() != 0 {
+		t.Fatalf("NaN was counted")
+	}
+}
+
+func TestHistogramEmptyQuantiles(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 2})
+	if !math.IsNaN(h.P50()) {
+		t.Fatalf("empty P50 = %v, want NaN", h.P50())
+	}
+	h.Observe(1.5)
+	if !math.IsNaN(h.Quantile(-0.1)) || !math.IsNaN(h.Quantile(1.1)) {
+		t.Fatal("out-of-range q accepted")
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Uniform samples over [0, 100) against a fine bucket grid: the
+	// interpolated quantiles must land within one bucket width of truth.
+	bounds := make([]float64, 100)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	h := mustHistogram(t, bounds)
+	r := rng.New(7)
+	n := 20000
+	for i := 0; i < n; i++ {
+		h.Observe(r.Float64() * 100)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 50}, {0.95, 95}, {0.99, 99},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 2 {
+			t.Fatalf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 2, 5})
+	h.Observe(3.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.5 {
+			t.Fatalf("Quantile(%v) = %v, want 3.5 (clamped to observed range)", q, got)
+		}
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := mustHistogram(t, []float64{1})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.5); got < 100 || got > 200 {
+		t.Fatalf("overflow-bucket quantile %v outside observed range", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 2, 5}
+	a := mustHistogram(t, bounds)
+	b := mustHistogram(t, bounds)
+	whole := mustHistogram(t, bounds)
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		x := r.Float64() * 8
+		whole.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != whole.Count() || math.Abs(a.Sum()-whole.Sum()) > 1e-9*whole.Sum() {
+		t.Fatalf("merged count/sum %d/%v, want %d/%v", a.Count(), a.Sum(), whole.Count(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	ca, cw := a.Cumulative(), whole.Cumulative()
+	for i := range ca {
+		if ca[i] != cw[i] {
+			t.Fatalf("merged cumulative bucket %d = %d, want %d", i, ca[i], cw[i])
+		}
+	}
+	if a.P95() != whole.P95() {
+		t.Fatalf("merged P95 %v != whole P95 %v", a.P95(), whole.P95())
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := mustHistogram(t, []float64{1, 2})
+	b := mustHistogram(t, []float64{1, 3})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched bounds merged")
+	}
+	c := mustHistogram(t, []float64{1})
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched bucket counts merged")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge should be a no-op, got %v", err)
+	}
+}
+
+func TestLatencyBucketsValid(t *testing.T) {
+	if _, err := NewHistogram(LatencyBuckets()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,29 @@
+package mecache
+
+import (
+	"mecache/internal/server"
+)
+
+// Serving-layer types: the online dimension of the market, where providers
+// arrive and depart over an HTTP API against a long-running daemon instead
+// of inside a virtual-time simulation.
+type (
+	// ServerConfig parameterizes the market daemon (seed, topology size,
+	// epoch interval, failover policy, snapshot path).
+	ServerConfig = server.Config
+	// MarketServer is the daemon: a single-writer event loop over the
+	// market with a JSON HTTP API and Prometheus metrics.
+	MarketServer = server.Server
+	// MarketView is the daemon's immutable read snapshot.
+	MarketView = server.View
+	// PlacedProvider is one provider's entry in a MarketView.
+	PlacedProvider = server.ProviderView
+)
+
+// DefaultServerConfig returns a daemon over the paper's Section IV setup
+// with manual epochs and no persistence.
+func DefaultServerConfig(seed uint64) ServerConfig { return server.DefaultConfig(seed) }
+
+// NewMarketServer builds a market daemon; call Start, serve Handler, and
+// Stop it when done.
+func NewMarketServer(cfg ServerConfig) (*MarketServer, error) { return server.New(cfg) }
