@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"net/http"
 	"os"
@@ -53,10 +52,17 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	snapshot := fs.String("snapshot", "", "JSON snapshot path for persistence across restarts (empty = none)")
 	portFile := fs.String("port-file", "", "write the bound listen address to this file once serving")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
+	traceDepth := fs.Int("trace", 64, "decision traces retained for GET /v1/debug/trace (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	logger, err := mecache.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
 	pol, err := mecache.ParseFailoverPolicy(*policy)
 	if err != nil {
 		return err
@@ -69,9 +75,14 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.MigrationAware = *migrationAware
 	cfg.Policy = pol
 	cfg.SnapshotPath = *snapshot
+	cfg.Logger = logger
+	cfg.TraceDepth = *traceDepth
 
 	srv, err := mecache.NewMarketServer(cfg)
 	if err != nil {
+		// The constructor also restores -snapshot state; surface the cause
+		// structurally before the process exits non-zero.
+		logger.Error("daemon startup failed", "snapshot", *snapshot, "err", err)
 		return err
 	}
 
@@ -96,6 +107,10 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	srv.Start()
 	fmt.Fprintf(w, "mecd: serving on http://%s (seed %d, %d nodes, policy %s)\n",
 		ln.Addr(), *seed, *size, pol)
+	build := mecache.Build()
+	logger.Info("serving", "addr", ln.Addr().String(), "seed", *seed, "size", *size,
+		"policy", pol.String(), "epoch", epoch.String(), "traceDepth", *traceDepth,
+		"version", build.Version, "revision", build.Revision, "go", build.GoVersion)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
@@ -108,7 +123,7 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 		case err := <-serveErr:
 			return err
 		case s := <-sig:
-			log.Printf("mecd: %v, shutting down", s)
+			logger.Info("shutting down", "signal", s.String())
 		}
 	} else {
 		select {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"mecache"
 	"mecache/internal/parallel"
 	"mecache/internal/rng"
 	"mecache/internal/stats"
@@ -87,7 +88,13 @@ func run(w io.Writer, args []string) error {
 	churn := fs.Bool("churn", false, "depart each provider right after admission (keeps the active set small)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := fs.String("log-format", "text", "log encoding: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := mecache.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 	if *n <= 0 {
@@ -111,6 +118,8 @@ func run(w io.Writer, args []string) error {
 	if facts.NumDCs <= 0 || facts.NumNodes <= 0 {
 		return fmt.Errorf("implausible market: %d DCs, %d nodes", facts.NumDCs, facts.NumNodes)
 	}
+	logger.Info("starting load", "target", *url, "admissions", *n, "seed", *seed,
+		"churn", *churn, "numDCs", facts.NumDCs, "numNodes", facts.NumNodes)
 
 	wl := workload.Default(*seed)
 	workers := *c
@@ -214,6 +223,9 @@ func run(w io.Writer, args []string) error {
 		Min:   merged.Min(),
 		Max:   merged.Max(),
 	}
+	logger.Info("load complete", "accepted", out.Accepted, "rejected", out.Rejected,
+		"errors", out.Errors, "elapsedSeconds", elapsed, "admissionsPerSecond", out.Throughput,
+		"p50Seconds", out.Latency.P50, "p99Seconds", out.Latency.P99)
 	enc := json.NewEncoder(w)
 	if *pretty {
 		enc.SetIndent("", "  ")

@@ -12,6 +12,7 @@ import (
 
 	"mecache/internal/gap"
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 )
 
 // Solver selects how Appro solves its GAP reduction.
@@ -69,6 +70,10 @@ type ApproOptions struct {
 	// true social cost of the merged solution. The ablation benchmarks
 	// compare the two.
 	CongestionBlind bool
+	// Trace receives decision events: a phase marker for the solve plus one
+	// choice event per provider with its assigned strategy's Eq. 3 cost
+	// broken out at the final loads. Nil disables tracing at zero cost.
+	Trace obs.Tracer
 }
 
 // ApproResult is the outcome of Algorithm 1.
@@ -136,13 +141,32 @@ func Appro(m *mec.Market, opts ApproOptions) (*ApproResult, error) {
 	for l, s := range placement {
 		reduced += reducedCost(m, l, s)
 	}
-	return &ApproResult{
+	res := &ApproResult{
 		Placement:    placement,
 		SocialCost:   m.SocialCost(placement),
 		ReducedCost:  reduced,
 		VirtualSlots: slots,
 		SolverUsed:   solver,
-	}, nil
+	}
+	if opts.Trace != nil {
+		opts.Trace.Emit(obs.Event{
+			Kind: obs.KindPhase, SocialCost: res.SocialCost,
+			Note: "appro solver=" + solver.String(),
+		})
+		loads := m.Loads(placement)
+		for l, s := range placement {
+			load := 0
+			if s != mec.Remote {
+				load = loads[s]
+			}
+			opts.Trace.Emit(obs.Event{
+				Kind: obs.KindChoice, Provider: l, Strategy: s, From: mec.Remote,
+				Load: load, Cost: m.Breakdown(l, s, load),
+				Total: m.Breakdown(l, s, load).Total(),
+			})
+		}
+	}
+	return res, nil
 }
 
 // reducedCost is the Eq. 9 congestion-free cost of strategy s for provider

@@ -6,6 +6,7 @@ import (
 
 	"mecache/internal/game"
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 	"mecache/internal/rng"
 )
 
@@ -61,6 +62,11 @@ type LCFOptions struct {
 	// Strategy selects the coordinated subset; the zero value is the
 	// paper's Largest Cost First.
 	Strategy Coordination
+	// Trace receives decision events from the whole pipeline: the inner
+	// Appro solve (unless Appro.Trace is set separately), the coordination
+	// pick, every best-response move and round of the selfish providers,
+	// and the final convergence. Nil disables tracing at zero cost.
+	Trace obs.Tracer
 }
 
 // selectCoordinated applies the coordination strategy to pick which
@@ -133,7 +139,11 @@ func LCF(m *mec.Market, opts LCFOptions) (*LCFResult, error) {
 		return nil, fmt.Errorf("core: xi = %v outside [0,1]", opts.Xi)
 	}
 
-	appro, err := Appro(m, opts.Appro)
+	ao := opts.Appro
+	if ao.Trace == nil {
+		ao.Trace = opts.Trace
+	}
+	appro, err := Appro(m, ao)
 	if err != nil {
 		return nil, err
 	}
@@ -148,8 +158,15 @@ func LCF(m *mec.Market, opts LCFOptions) (*LCFResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.Trace != nil {
+		opts.Trace.Emit(obs.Event{
+			Kind: obs.KindPhase,
+			Note: fmt.Sprintf("lcf coordinate %d/%d strategy=%s", numCoordinated, n, strategy),
+		})
+	}
 
 	g := game.New(m)
+	g.Trace = opts.Trace
 	init := make(mec.Placement, n)
 	for l := range init {
 		init[l] = mec.Remote
@@ -169,6 +186,13 @@ func LCF(m *mec.Market, opts LCFOptions) (*LCFResult, error) {
 		if !g.Pinned[l] {
 			selfish = append(selfish, l)
 		}
+	}
+	if opts.Trace != nil {
+		opts.Trace.Emit(obs.Event{
+			Kind: obs.KindPhase, Round: dyn.Rounds,
+			SocialCost: m.SocialCost(dyn.Placement),
+			Note:       fmt.Sprintf("lcf converged rounds=%d moves=%d", dyn.Rounds, dyn.Moves),
+		})
 	}
 	return &LCFResult{
 		Placement:       dyn.Placement,

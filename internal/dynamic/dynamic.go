@@ -21,6 +21,7 @@ import (
 	"mecache/internal/fault"
 	"mecache/internal/game"
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 	"mecache/internal/rng"
 	"mecache/internal/sim"
 	"mecache/internal/topology"
@@ -461,6 +462,11 @@ type EpochOptions struct {
 	// are cancelled (the provider keeps its previous strategy). Nil means
 	// every cloudlet is up.
 	Failed []bool
+	// Trace receives the epoch's decision events: the inner LCF pipeline
+	// (Appro phase, coordination pick, best-response moves and rounds) plus
+	// one move/suppress event per provider whose LCF target differs from its
+	// current strategy. Nil disables tracing at zero cost.
+	Trace obs.Tracer
 }
 
 // EpochStats reports what one re-equilibration changed.
@@ -474,6 +480,12 @@ type EpochStats struct {
 	MigrationsSuppressed int
 	// SocialCost is Eq. (6) on the returned placement.
 	SocialCost float64
+	// Rounds and Moves report the inner best-response dynamics of the LCF
+	// call (the convergence iteration count the paper's stability argument
+	// is about); Converged is false only if the defensive round bound hit.
+	Rounds    int
+	Moves     int
+	Converged bool
 }
 
 // Reequilibrate is one epoch of the infrastructure provider's slow control
@@ -489,10 +501,14 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 		Xi:    opts.Xi,
 		Seed:  opts.Seed,
 		Appro: core.ApproOptions{Solver: core.SolverTransport},
+		Trace: opts.Trace,
 	})
 	if err != nil {
 		return nil, st, err
 	}
+	st.Rounds = res.Dynamics.Rounds
+	st.Moves = res.Dynamics.Moves
+	st.Converged = res.Dynamics.Converged
 	next := res.Placement
 	for i := range next {
 		if (opts.Frozen != nil && opts.Frozen[i]) ||
@@ -509,9 +525,21 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 					// remote) forfeits the instantiation investment.
 					st.MigrationCost += m.Providers[i].InstCost
 				}
+				if opts.Trace != nil {
+					opts.Trace.Emit(obs.Event{
+						Kind: obs.KindMove, Provider: i, Strategy: next[i],
+						From: pl[i], Note: "epoch migration",
+					})
+				}
 			}
 		}
 		st.SocialCost = m.SocialCost(next)
+		if opts.Trace != nil {
+			opts.Trace.Emit(obs.Event{
+				Kind: obs.KindPhase, Round: st.Rounds, SocialCost: st.SocialCost,
+				Note: fmt.Sprintf("epoch reconfigured=%d", st.Reconfigurations),
+			})
+		}
 		return next, st, nil
 	}
 	// Hysteresis: apply each provider's move only if its own cost under the
@@ -537,12 +565,31 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 			if stay != mec.Remote {
 				st.MigrationCost += m.Providers[i].InstCost
 			}
+			if opts.Trace != nil {
+				opts.Trace.Emit(obs.Event{
+					Kind: obs.KindMove, Provider: i, Strategy: moved, From: stay,
+					Total: costMoved, Note: "epoch migration",
+				})
+			}
 		} else {
 			st.MigrationsSuppressed++
 			next[i] = stay // keep downstream decisions consistent
+			if opts.Trace != nil {
+				opts.Trace.Emit(obs.Event{
+					Kind: obs.KindSuppress, Provider: i, Strategy: moved, From: stay,
+					Total: costMoved,
+					Note:  fmt.Sprintf("hysteresis: saving %.6g <= threshold %.6g", costStay-costMoved, threshold),
+				})
+			}
 		}
 	}
 	st.SocialCost = m.SocialCost(next)
+	if opts.Trace != nil {
+		opts.Trace.Emit(obs.Event{
+			Kind: obs.KindPhase, Round: st.Rounds, SocialCost: st.SocialCost,
+			Note: fmt.Sprintf("epoch reconfigured=%d suppressed=%d", st.Reconfigurations, st.MigrationsSuppressed),
+		})
+	}
 	return next, st, nil
 }
 
@@ -590,16 +637,50 @@ func fitsAt(m *mec.Market, l, i int, compute, bandwidth []float64) bool {
 // means every cloudlet is up). Shared by the simulator's arrivals/failovers
 // and the serving daemon's online admissions.
 func BestResponseAvoidingFailed(m *mec.Market, pl mec.Placement, l int, failed []bool) int {
+	return BestResponseAvoidingFailedTraced(m, pl, l, failed, nil)
+}
+
+// BestResponseAvoidingFailedTraced is BestResponseAvoidingFailed with
+// decision tracing: every candidate strategy (remote first, then each live
+// and capacity-feasible cloudlet) is emitted with its Eq. 3 cost broken
+// out, followed by the chosen strategy. A nil tracer makes it identical to
+// the untraced scan — same candidates, same tie-breaking, same result.
+func BestResponseAvoidingFailedTraced(m *mec.Market, pl mec.Placement, l int, failed []bool, tr obs.Tracer) int {
 	count, compute, bandwidth := resourceLoads(m, pl, l)
 	best := mec.Remote
 	bestC := m.RemoteCost(l)
+	cur := pl[l]
+	if tr != nil {
+		b := m.Breakdown(l, mec.Remote, 0)
+		tr.Emit(obs.Event{
+			Kind: obs.KindCandidate, Provider: l, Strategy: mec.Remote, From: cur,
+			Cost: b, Total: b.Total(),
+		})
+	}
 	for i := 0; i < m.Net.NumCloudlets(); i++ {
 		if (failed != nil && failed[i]) || !fitsAt(m, l, i, compute, bandwidth) {
 			continue
 		}
-		if c := m.CostAt(l, i, count[i]+1); c < bestC-1e-15 {
+		c := m.CostAt(l, i, count[i]+1)
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Kind: obs.KindCandidate, Provider: l, Strategy: i, From: cur,
+				Load: count[i] + 1, Cost: m.Breakdown(l, i, count[i]+1), Total: c,
+			})
+		}
+		if c < bestC-1e-15 {
 			best, bestC = i, c
 		}
+	}
+	if tr != nil {
+		load := 0
+		if best != mec.Remote {
+			load = count[best] + 1
+		}
+		tr.Emit(obs.Event{
+			Kind: obs.KindChoice, Provider: l, Strategy: best, From: cur,
+			Load: load, Cost: m.Breakdown(l, best, load), Total: bestC,
+		})
 	}
 	return best
 }

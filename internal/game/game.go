@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 	"mecache/internal/parallel"
 	"mecache/internal/rng"
 )
@@ -40,6 +41,14 @@ type Game struct {
 	// identical for every setting: restart t always draws from
 	// rng.Substream(seed, t), never from a stream shared across restarts.
 	Parallelism int
+	// Trace receives decision events: the strategy every best response
+	// settles on, every move the dynamics apply, and per-round social-cost
+	// checkpoints. Nil (the default) disables tracing — the hot path then
+	// pays one branch and zero allocations. Tracing never affects results:
+	// it draws no randomness and mutates nothing, so traced and untraced
+	// runs of the same seed reach identical placements. Do not share a
+	// tracer across the parallel restart searches.
+	Trace obs.Tracer
 }
 
 // New returns a game over the market with no pinned players, capacity
@@ -127,6 +136,16 @@ func (g *Game) bestResponseLoads(rl *resourceLoads, pl mec.Placement, l int) (in
 		if c < bestC-1e-15 {
 			bestS, bestC = i, c
 		}
+	}
+	if g.Trace != nil {
+		load := 0
+		if bestS != mec.Remote {
+			load = rl.count[bestS] + 1
+		}
+		g.Trace.Emit(obs.Event{
+			Kind: obs.KindChoice, Provider: l, Strategy: bestS, From: cur,
+			Load: load, Cost: g.Market.Breakdown(l, bestS, load), Total: bestC,
+		})
 	}
 	return bestS, bestC
 }
@@ -231,6 +250,12 @@ func (g *Game) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds
 			cur := g.playerCost(rl, pl, l)
 			s, c := g.bestResponseLoads(rl, pl, l)
 			if c < cur-g.Epsilon && s != pl[l] {
+				if g.Trace != nil {
+					g.Trace.Emit(obs.Event{
+						Kind: obs.KindMove, Provider: l, Strategy: s, From: pl[l],
+						Round: res.Rounds, Total: c,
+					})
+				}
 				if pl[l] != mec.Remote {
 					rl.remove(g.Market, l, pl[l])
 				}
@@ -242,8 +267,21 @@ func (g *Game) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds
 				moved = true
 			}
 		}
+		if g.Trace != nil {
+			// Social-cost trajectory: one checkpoint per completed round.
+			g.Trace.Emit(obs.Event{
+				Kind: obs.KindRound, Round: res.Rounds,
+				SocialCost: g.Market.SocialCost(pl), Note: "best-response round",
+			})
+		}
 		if !moved {
 			res.Converged = true
+			if g.Trace != nil {
+				g.Trace.Emit(obs.Event{
+					Kind: obs.KindPhase, Round: res.Rounds,
+					SocialCost: g.Market.SocialCost(pl), Note: "dynamics converged",
+				})
+			}
 			return res, nil
 		}
 	}

@@ -14,7 +14,7 @@ import (
 
 // smallMarket builds a deterministic market for game tests: a path topology
 // with two cloudlets and one DC, and n providers.
-func smallMarket(t *testing.T, n int) *mec.Market {
+func smallMarket(t testing.TB, n int) *mec.Market {
 	t.Helper()
 	g := graph.New(6, false)
 	for i := 0; i+1 < 6; i++ {

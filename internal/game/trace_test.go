@@ -1,0 +1,116 @@
+package game
+
+import (
+	"testing"
+
+	"mecache/internal/obs"
+	"mecache/internal/rng"
+)
+
+// TestBestResponseNoTraceZeroAllocs pins the acceptance criterion of the
+// observability layer: with tracing disabled (nil Tracer) the best-response
+// hot path allocates nothing — the disabled path costs exactly one branch.
+func TestBestResponseNoTraceZeroAllocs(t *testing.T) {
+	m := smallMarket(t, 8)
+	g := New(m)
+	pl := allRemote(m)
+	rl := g.newLoads(pl)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.bestResponseLoads(rl, pl, 3)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer best response allocates %v times per run, want 0", allocs)
+	}
+}
+
+// TestTracingDoesNotChangeDynamics pins determinism: the same seed reaches
+// the same placement with tracing on and off, and the traced run records
+// choice, move, round, and convergence events consistent with the result.
+func TestTracingDoesNotChangeDynamics(t *testing.T) {
+	m := smallMarket(t, 8)
+	run := func(tr obs.Tracer) DynamicsResult {
+		g := New(m)
+		g.Trace = tr
+		res, err := g.BestResponseDynamics(allRemote(m), rng.New(42), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(nil)
+	rec := obs.NewRecorder(0)
+	traced := run(rec)
+	for l := range plain.Placement {
+		if plain.Placement[l] != traced.Placement[l] {
+			t.Fatalf("provider %d: untraced %d != traced %d", l, plain.Placement[l], traced.Placement[l])
+		}
+	}
+	if plain.Rounds != traced.Rounds || plain.Moves != traced.Moves {
+		t.Fatalf("traced run diverged: %+v vs %+v", plain, traced)
+	}
+
+	moves, rounds, converged := 0, 0, false
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case obs.KindMove:
+			moves++
+		case obs.KindRound:
+			rounds++
+		case obs.KindPhase:
+			converged = true
+		case obs.KindChoice:
+			// Every choice's breakdown must reproduce its compared total
+			// bit-for-bit (the Eq. 3 decomposition invariant).
+			if e.Cost.Total() != e.Total {
+				t.Fatalf("choice breakdown sums to %v, total is %v", e.Cost.Total(), e.Total)
+			}
+		}
+	}
+	if moves != traced.Moves {
+		t.Fatalf("recorded %d move events, dynamics applied %d moves", moves, traced.Moves)
+	}
+	if rounds != traced.Rounds {
+		t.Fatalf("recorded %d round events, dynamics ran %d rounds", rounds, traced.Rounds)
+	}
+	if !converged {
+		t.Fatal("no convergence phase event recorded")
+	}
+	if rec.Dropped() != 0 {
+		t.Fatalf("recorder dropped %d events on a small market", rec.Dropped())
+	}
+}
+
+// BenchmarkBestResponseNoTrace measures the nil-tracer hot path; run with
+// -benchmem to confirm 0 allocs/op.
+func BenchmarkBestResponseNoTrace(b *testing.B) {
+	m := smallMarket(b, 32)
+	g := New(m)
+	pl := allRemote(m)
+	rl := g.newLoads(pl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		g.bestResponseLoads(rl, pl, n%len(pl))
+	}
+}
+
+// BenchmarkBestResponseRecorded is the traced counterpart: the same scan
+// feeding a pre-sized Recorder, to show the enabled-path overhead.
+func BenchmarkBestResponseRecorded(b *testing.B) {
+	m := smallMarket(b, 32)
+	g := New(m)
+	rec := obs.NewRecorder(obs.DefaultEventLimit)
+	g.Trace = rec
+	pl := allRemote(m)
+	rl := g.newLoads(pl)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if len(rec.Events()) >= obs.DefaultEventLimit {
+			b.StopTimer()
+			*rec = *obs.NewRecorder(obs.DefaultEventLimit)
+			b.StartTimer()
+		}
+		g.bestResponseLoads(rl, pl, n%len(pl))
+	}
+}

@@ -1,0 +1,86 @@
+package mec
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/graph"
+	"mecache/internal/topology"
+)
+
+// TestBreakdownSumsToCostAt pins the decision-trace invariant: the Eq. 3
+// components of every (provider, cloudlet, load) must reproduce the scalar
+// cost the algorithms actually compare, bit-for-bit.
+func TestBreakdownSumsToCostAt(t *testing.T) {
+	m := testMarket(t)
+	for l := range m.Providers {
+		for i := 0; i < m.Net.NumCloudlets(); i++ {
+			for load := 1; load <= 3; load++ {
+				b := m.Breakdown(l, i, load)
+				if got, want := b.Total(), m.CostAt(l, i, load); got != want {
+					t.Fatalf("provider %d cloudlet %d load %d: breakdown total %v != CostAt %v", l, i, load, got, want)
+				}
+				if b.Congestion != m.CongestionCoeff(i)*m.CongestionLevel(load) {
+					t.Fatalf("congestion component %v mismatches coeff*level", b.Congestion)
+				}
+				if b.Instantiation != m.Providers[l].InstCost {
+					t.Fatalf("instantiation component %v != InstCost", b.Instantiation)
+				}
+				if b.Bandwidth != m.Net.Cloudlets[i].FixedBandwidthCost {
+					t.Fatalf("bandwidth component %v != c_i^bdw", b.Bandwidth)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakdownRemote(t *testing.T) {
+	m := testMarket(t)
+	for l := range m.Providers {
+		b := m.Breakdown(l, Remote, 0)
+		if b.Congestion != 0 || b.Instantiation != 0 || b.Bandwidth != 0 || b.Update != 0 {
+			t.Fatalf("remote breakdown has cached-only components: %+v", b)
+		}
+		if got, want := b.Total(), m.RemoteCost(l); got != want {
+			t.Fatalf("provider %d: remote breakdown total %v != RemoteCost %v", l, got, want)
+		}
+	}
+}
+
+func TestBreakdownDisconnectedIsInfinite(t *testing.T) {
+	// Two components: 0-1 and 2-3. Cloudlet and DC live in the second, the
+	// provider attaches in the first, so every strategy is unreachable.
+	g := graph.New(4, false)
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	top := &topology.Topology{Name: "split", Graph: g, Pos: make([]topology.Point, 4)}
+	net, err := NewNetwork(top,
+		[]Cloudlet{{Node: 2, NumVMs: 20, ComputeCap: 20, BandwidthCap: 200, Alpha: 0.5, Beta: 0.5,
+			FixedBandwidthCost: 0.2, ProcPricePerGB: 0.2, TransPricePerGBHop: 0.1}},
+		[]DataCenter{{Node: 3, ProcPricePerGB: 0.22, TransPricePerGBHop: 0.1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMarket(net, []Provider{
+		{Requests: 10, ComputePerReq: 0.1, BandwidthPerReq: 2, InstCost: 1,
+			TrafficGBPerReq: 0.1, DataGB: 2, UpdateRatio: 0.1, HomeDC: 0, AttachNode: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(m.Breakdown(0, 0, 1).Total(), 1) {
+		t.Fatal("disconnected cached breakdown should be +Inf")
+	}
+	if !math.IsInf(m.Breakdown(0, Remote, 0).Total(), 1) {
+		t.Fatal("disconnected remote breakdown should be +Inf")
+	}
+	// Sanity on the connected market too.
+	if math.IsInf(testMarket(t).Breakdown(0, 0, 1).Total(), 1) {
+		t.Fatal("connected breakdown is infinite")
+	}
+}

@@ -294,6 +294,66 @@ func (m *Market) CostAt(l, i, load int) float64 {
 	return m.CongestionCoeff(i)*m.CongestionLevel(load) + m.base[l][i]
 }
 
+// CostBreakdown splits a strategy's cost (Eq. 3, or the remote cost) into
+// its terms, for decision traces and debugging: which component priced a
+// candidate out is invisible in the scalar cost.
+type CostBreakdown struct {
+	// Congestion is (α_i+β_i)·Level(|σ_i|); zero for the remote strategy.
+	Congestion float64 `json:"congestion"`
+	// Instantiation is c_l^ins; zero for remote (the original already runs).
+	Instantiation float64 `json:"instantiation"`
+	// Bandwidth is the flat per-provider bandwidth charge c_i^bdw.
+	Bandwidth float64 `json:"bandwidth"`
+	// Processing is the per-GB processing charge (cloudlet or DC).
+	Processing float64 `json:"processing"`
+	// Transmission is the user-side request-transmission charge.
+	Transmission float64 `json:"transmission"`
+	// Update is the consistency-update shipping charge; zero for remote.
+	Update float64 `json:"update"`
+}
+
+// Total sums the components in the same association order as the cost
+// tables (congestion plus the precomputed base sum), so for a connected
+// strategy it reproduces CostAt / RemoteCost bit-for-bit.
+func (b CostBreakdown) Total() float64 {
+	return b.Congestion + (b.Instantiation + b.Bandwidth + b.Processing + b.Transmission + b.Update)
+}
+
+// Breakdown decomposes provider l's cost of strategy s under total load
+// `load` (which includes l itself and is ignored for Remote). The component
+// sum equals CostAt(l, s, load), or RemoteCost(l) when s is Remote.
+func (m *Market) Breakdown(l, s, load int) CostBreakdown {
+	p := &m.Providers[l]
+	dc := &m.Net.DCs[p.HomeDC]
+	traffic := p.TrafficGB()
+	if s == Remote {
+		hops := float64(m.Net.Hops(p.AttachNode, dc.Node))
+		if hops < 0 {
+			return CostBreakdown{Processing: math.Inf(1), Transmission: math.Inf(1)}
+		}
+		hops += float64(dc.BackhaulHops)
+		return CostBreakdown{
+			Processing:   dc.ProcPricePerGB * traffic,
+			Transmission: dc.TransPricePerGBHop * traffic * hops,
+		}
+	}
+	cl := &m.Net.Cloudlets[s]
+	hopsUser := float64(m.Net.Hops(p.AttachNode, cl.Node))
+	hopsDC := float64(m.Net.Hops(cl.Node, dc.Node))
+	if hopsUser < 0 || hopsDC < 0 {
+		return CostBreakdown{Transmission: math.Inf(1), Update: math.Inf(1)}
+	}
+	hopsDC += float64(dc.BackhaulHops)
+	return CostBreakdown{
+		Congestion:    m.CongestionCoeff(s) * m.CongestionLevel(load),
+		Instantiation: p.InstCost,
+		Bandwidth:     cl.FixedBandwidthCost,
+		Processing:    cl.ProcPricePerGB * traffic,
+		Transmission:  cl.TransPricePerGBHop * traffic * hopsUser,
+		Update:        cl.TransPricePerGBHop * p.UpdateGB() * hopsDC,
+	}
+}
+
 // SocialCost is Eq. (6): the total cost over all providers. Congestion is
 // quadratic in each cloudlet's load because each of the |σ_i| tenants pays
 // (α_i+β_i)·|σ_i|.

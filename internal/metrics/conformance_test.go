@@ -1,0 +1,378 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promSample is one parsed sample line of the 0.0.4 text format.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promFamily is one parsed metric family: HELP/TYPE metadata plus samples.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples []promSample
+}
+
+// parseExposition is a strict line-oriented parser of the Prometheus text
+// exposition format — strict in that it rejects everything the spec does
+// not allow, so the renderer cannot drift into "works with our parser"
+// laxness: HELP (optional) must immediately precede TYPE, TYPE must precede
+// the family's samples, sample names must be the family name (plus
+// _bucket/_sum/_count for histograms), label blocks must parse with
+// escaping, values must be valid floats, and no family may repeat.
+func parseExposition(t *testing.T, text string) []promFamily {
+	t.Helper()
+	var fams []promFamily
+	seen := map[string]bool{}
+	var cur *promFamily
+	pendingHelp := "" // HELP seen, TYPE not yet
+	pendingName := ""
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if pendingHelp != "" {
+				t.Fatalf("line %d: HELP not followed by TYPE", lineNo)
+			}
+			rest := strings.TrimPrefix(line, "# HELP ")
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				t.Fatalf("line %d: HELP without docstring: %q", lineNo, line)
+			}
+			pendingName, pendingHelp = rest[:sp], rest[sp+1:]
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: invalid type %q", lineNo, typ)
+			}
+			if pendingHelp != "" && pendingName != name {
+				t.Fatalf("line %d: HELP for %q followed by TYPE for %q", lineNo, pendingName, name)
+			}
+			if seen[name] {
+				t.Fatalf("line %d: family %q appears twice", lineNo, name)
+			}
+			seen[name] = true
+			fams = append(fams, promFamily{name: name, help: pendingHelp, typ: typ})
+			cur = &fams[len(fams)-1]
+			pendingHelp, pendingName = "", ""
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		default:
+			if cur == nil {
+				t.Fatalf("line %d: sample before any TYPE: %q", lineNo, line)
+			}
+			s := parseSampleLine(t, lineNo, line)
+			base := cur.name
+			ok := s.name == base
+			if cur.typ == "histogram" {
+				ok = ok || s.name == base+"_bucket" || s.name == base+"_sum" || s.name == base+"_count"
+			}
+			if !ok {
+				t.Fatalf("line %d: sample %q under family %q", lineNo, s.name, base)
+			}
+			cur.samples = append(cur.samples, s)
+		}
+	}
+	if pendingHelp != "" {
+		t.Fatalf("trailing HELP for %q without TYPE", pendingName)
+	}
+	return fams
+}
+
+// parseSampleLine parses `name{k="v",...} value` with full escape handling.
+func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !alpha {
+			break
+		}
+		i++
+	}
+	if i == 0 {
+		t.Fatalf("line %d: no metric name in %q", lineNo, line)
+	}
+	s.name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				t.Fatalf("line %d: unterminated label block", lineNo)
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			eq := strings.IndexByte(line[i:], '=')
+			if eq < 0 {
+				t.Fatalf("line %d: label without =", lineNo)
+			}
+			key := line[i : i+eq]
+			i += eq + 1
+			if i >= len(line) || line[i] != '"' {
+				t.Fatalf("line %d: unquoted label value", lineNo)
+			}
+			i++
+			var val strings.Builder
+			for {
+				if i >= len(line) {
+					t.Fatalf("line %d: unterminated label value", lineNo)
+				}
+				if line[i] == '\\' {
+					if i+1 >= len(line) {
+						t.Fatalf("line %d: dangling escape", lineNo)
+					}
+					switch line[i+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: invalid escape \\%c", lineNo, line[i+1])
+					}
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				val.WriteByte(line[i])
+				i++
+			}
+			if _, dup := s.labels[key]; dup {
+				t.Fatalf("line %d: duplicate label %q", lineNo, key)
+			}
+			s.labels[key] = val.String()
+			if i < len(line) && line[i] == ',' {
+				i++
+			}
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		t.Fatalf("line %d: no space before value in %q", lineNo, line)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(line[i:]), 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value in %q: %v", lineNo, line, err)
+	}
+	s.value = v
+	return s
+}
+
+// TestConformanceFullRegistry renders a registry exercising every
+// instrument kind and label shape through the strict parser, then checks
+// the histogram invariants the scrape consumers rely on.
+func TestConformanceFullRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conf_requests_total", "Requests served.", "route", "/v1/admit", "code", "200").Add(7)
+	r.Counter("conf_requests_total", "Requests served.", "route", "/v1/admit", "code", "500").Add(1)
+	r.Gauge("conf_temperature", "Needs\nescaping \"badly\" \\here", "site", "a\\b \"quoted\"\nnl").Set(-3.25)
+	h := r.Histogram("conf_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	r.GaugeFunc("conf_func_gauge", "Scrape-time gauge.", func() float64 { return 12.5 })
+	r.CounterFunc("conf_func_counter", "Scrape-time counter.", func() float64 { return 99 })
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, buf.String())
+	byName := map[string]promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+
+	req, ok := byName["conf_requests_total"]
+	if !ok || req.typ != "counter" || len(req.samples) != 2 {
+		t.Fatalf("bad counter family: %+v", req)
+	}
+	if req.samples[0].labels["code"] != "200" || req.samples[0].value != 7 {
+		t.Fatalf("bad first counter sample: %+v", req.samples[0])
+	}
+
+	temp := byName["conf_temperature"]
+	if temp.typ != "gauge" || len(temp.samples) != 1 {
+		t.Fatalf("bad gauge family: %+v", temp)
+	}
+	if got := temp.samples[0].labels["site"]; got != "a\\b \"quoted\"\nnl" {
+		t.Fatalf("label escaping round-trip failed: %q", got)
+	}
+	if temp.samples[0].value != -3.25 {
+		t.Fatalf("gauge value %v", temp.samples[0].value)
+	}
+
+	if byName["conf_func_gauge"].samples[0].value != 12.5 {
+		t.Fatal("GaugeFunc value not rendered")
+	}
+	if f := byName["conf_func_counter"]; f.typ != "counter" || f.samples[0].value != 99 {
+		t.Fatalf("CounterFunc family wrong: %+v", f)
+	}
+
+	checkHistogramInvariants(t, byName["conf_latency_seconds"], 5, 0.05+0.5+0.5+5+50)
+}
+
+// checkHistogramInvariants asserts the scrape contract of one histogram
+// family: cumulative non-decreasing buckets, a final +Inf bucket equal to
+// _count, and a matching _sum.
+func checkHistogramInvariants(t *testing.T, f promFamily, wantCount uint64, wantSum float64) {
+	t.Helper()
+	if f.typ != "histogram" {
+		t.Fatalf("%s: type %q, want histogram", f.name, f.typ)
+	}
+	var count, infBucket float64
+	var sum float64
+	haveInf, haveSum, haveCount := false, false, false
+	prev := -1.0
+	prevBound := math.Inf(-1)
+	for _, s := range f.samples {
+		switch s.name {
+		case f.name + "_bucket":
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("%s: bucket without le label", f.name)
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+				infBucket = s.value
+				haveInf = true
+			} else {
+				b, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s: bad le %q", f.name, le)
+				}
+				bound = b
+			}
+			if bound <= prevBound {
+				t.Fatalf("%s: bucket bounds not increasing (%v after %v)", f.name, bound, prevBound)
+			}
+			if s.value < prev {
+				t.Fatalf("%s: cumulative counts decreased (%v after %v)", f.name, s.value, prev)
+			}
+			prev, prevBound = s.value, bound
+		case f.name + "_sum":
+			sum, haveSum = s.value, true
+		case f.name + "_count":
+			count, haveCount = s.value, true
+		default:
+			t.Fatalf("%s: unexpected sample %q", f.name, s.name)
+		}
+	}
+	if !haveInf || !haveSum || !haveCount {
+		t.Fatalf("%s: missing +Inf/_sum/_count (%v %v %v)", f.name, haveInf, haveSum, haveCount)
+	}
+	if infBucket != count {
+		t.Fatalf("%s: +Inf bucket %v != count %v", f.name, infBucket, count)
+	}
+	if count != float64(wantCount) {
+		t.Fatalf("%s: count %v, want %d", f.name, count, wantCount)
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Fatalf("%s: sum %v, want %v", f.name, sum, wantSum)
+	}
+}
+
+// TestConformanceRuntimeCollectors runs the runtime gauges through the
+// strict parser and sanity-checks their values.
+func TestConformanceRuntimeCollectors(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntime(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, buf.String())
+	got := map[string]float64{}
+	for _, f := range fams {
+		if len(f.samples) != 1 {
+			t.Fatalf("%s: %d samples, want 1", f.name, len(f.samples))
+		}
+		got[f.name] = f.samples[0].value
+	}
+	if got["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v", got["go_goroutines"])
+	}
+	if got["go_memstats_heap_alloc_bytes"] <= 0 || got["go_memstats_sys_bytes"] <= 0 {
+		t.Fatalf("implausible memory gauges: %v", got)
+	}
+	if got["go_gc_pause_seconds_total"] < 0 {
+		t.Fatalf("negative GC pause total: %v", got["go_gc_pause_seconds_total"])
+	}
+}
+
+// TestFuncInstrumentMisuse pins the registration contracts.
+func TestFuncInstrumentMisuse(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "nil func", func() { r.GaugeFunc("x_total", "h", nil) })
+	r.GaugeFunc("x_g", "h", func() float64 { return 1 })
+	mustPanic(t, "type conflict", func() { r.CounterFunc("x_g", "h", func() float64 { return 1 }) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// TestConformanceEveryExistingSeries feeds the shapes the daemon actually
+// registers (multi-label counters, per-cloudlet gauges, latency histograms
+// at the production buckets) through the parser, guarding against renderer
+// regressions breaking the live /metrics endpoint.
+func TestConformanceEveryExistingSeries(t *testing.T) {
+	r := NewRegistry()
+	for _, res := range []string{"accepted", "rejected", "error"} {
+		r.Counter("mecd_admissions_total", "Admission outcomes.", "result", res).Inc()
+	}
+	for i := 0; i < 4; i++ {
+		r.Gauge("mecd_cloudlet_load", "Tenants per cloudlet.", "cloudlet", fmt.Sprint(i)).Set(float64(i))
+	}
+	h := r.Histogram("mecd_admission_seconds", "Admission latency.",
+		[]float64{1e-4, 2e-4, 5e-4, 1e-3, 1e-2, 1e-1, 1, 10})
+	h.Observe(3e-4)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams := parseExposition(t, buf.String())
+	if len(fams) != 3 {
+		t.Fatalf("parsed %d families, want 3", len(fams))
+	}
+	for _, f := range fams {
+		if f.name == "mecd_admission_seconds" {
+			checkHistogramInvariants(t, f, 1, 3e-4)
+		}
+	}
+}

@@ -109,6 +109,7 @@ type instrument struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	fn     func() float64 // scrape-time callback (GaugeFunc/CounterFunc)
 }
 
 // family is all series sharing a metric name.
@@ -231,6 +232,30 @@ func (r *Registry) Gauge(name, help string, labelKV ...string) *Gauge {
 	return in.g
 }
 
+// GaugeFunc registers a gauge whose value is read from fn at scrape time —
+// for quantities the runtime already tracks (goroutine counts, heap sizes)
+// where a stored instrument would only go stale. fn must be safe to call
+// concurrently and must not block.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labelKV ...string) {
+	r.registerFunc(name, help, "gauge", fn, labelKV)
+}
+
+// CounterFunc is GaugeFunc for monotone sources (e.g. cumulative GC pause
+// time). fn must be non-decreasing over the process lifetime.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labelKV ...string) {
+	r.registerFunc(name, help, "counter", fn, labelKV)
+}
+
+func (r *Registry) registerFunc(name, help, typ string, fn func() float64, labelKV []string) {
+	if fn == nil {
+		panic("metrics: nil func for " + name)
+	}
+	in := r.lookup(name, help, typ, labelKV)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	in.fn = fn
+}
+
 // Histogram registers (or returns the existing) histogram over the given
 // upper bucket bounds. Panics on invalid bounds (a programming error).
 func (r *Registry) Histogram(name, help string, bounds []float64, labelKV ...string) *Histogram {
@@ -276,7 +301,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	defer r.mu.Unlock()
 	for _, f := range r.families {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			// The format is line-oriented: HELP docstrings must escape
+			// backslashes and line feeds or they corrupt the exposition.
+			help := strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(f.help)
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, help); err != nil {
 				return err
 			}
 		}
@@ -286,6 +314,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, in := range f.inst {
 			var err error
 			switch {
+			case in.fn != nil:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, in.labels, fmtFloat(in.fn()))
 			case in.c != nil:
 				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, in.labels, fmtFloat(in.c.Value()))
 			case in.g != nil:

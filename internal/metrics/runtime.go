@@ -1,0 +1,31 @@
+package metrics
+
+import "runtime"
+
+// RegisterRuntime adds the Go runtime's health gauges to the registry,
+// sampled at scrape time: goroutine count, heap footprint, and cumulative
+// GC work. Names follow the conventions of the official client's process
+// collectors so standard dashboards pick them up unchanged.
+//
+// Each scrape calls runtime.ReadMemStats once per memory series; at human
+// scrape intervals (seconds) the stop-the-world cost is negligible.
+func RegisterRuntime(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Number of heap bytes allocated and still in use.",
+		func() float64 { return float64(readMemStats().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated objects.",
+		func() float64 { return float64(readMemStats().HeapObjects) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Number of bytes obtained from system.",
+		func() float64 { return float64(readMemStats().Sys) })
+	r.CounterFunc("go_gc_cycles_total", "Number of completed GC cycles.",
+		func() float64 { return float64(readMemStats().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(readMemStats().PauseTotalNs) / 1e9 })
+}
+
+func readMemStats() *runtime.MemStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &ms
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime/debug"
+	"strings"
+)
+
+// NewLogger builds a slog.Logger from the conventional -log-level and
+// -log-format flag values. Levels: debug, info, warn, error. Formats:
+// text, json. The empty string selects info/text.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLevel maps a -log-level flag value to a slog level.
+func ParseLevel(level string) (slog.Level, error) {
+	switch strings.ToLower(level) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", level)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library consumers that configure no logger, keeping tests and embedded
+// use silent without nil checks at every call site.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+}
+
+// BuildInfo identifies the running binary.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit, "unknown" when not stamped (e.g. `go
+	// test` builds), with a "+dirty" suffix for modified working trees.
+	Revision string `json:"revision"`
+}
+
+// Build reads the binary's identity from the embedded module build info.
+func Build() BuildInfo {
+	b := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		b.GoVersion = info.GoVersion
+	}
+	revision, modified := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		if modified {
+			revision += "+dirty"
+		}
+		b.Revision = revision
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+// Package obs is the observability layer: decision tracing for the
+// equilibrium algorithms, structured-logging helpers, and build identity.
+//
+// The central abstraction is Tracer, a sink for the per-iteration decision
+// events the algorithms emit — every candidate a best response priced
+// (with the Eq. 3 cost terms broken out), every strategy change, every
+// round of dynamics, every hysteresis suppression. A nil Tracer disables
+// tracing entirely: call sites guard every emission behind a nil check, so
+// the disabled path costs one branch and zero allocations, and fixed-seed
+// runs are byte-identical with tracing on or off (tracing only observes,
+// it never draws randomness or mutates state).
+//
+// Completed decisions are packaged as Trace values and retained in a
+// bounded Ring, which the serving daemon exposes as GET /v1/debug/trace.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mecache/internal/mec"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindCandidate records one candidate strategy a best response priced.
+	KindCandidate Kind = iota + 1
+	// KindChoice records the strategy a best response settled on.
+	KindChoice
+	// KindMove records a strategy change applied during dynamics or an
+	// epoch (From holds the previous strategy).
+	KindMove
+	// KindRound closes one full best-response pass over the players.
+	KindRound
+	// KindPhase marks an algorithm phase boundary (Appro solve, LCF
+	// coordination pick, dynamics convergence, epoch summary).
+	KindPhase
+	// KindSuppress records an epoch move skipped by the migration-aware
+	// hysteresis.
+	KindSuppress
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCandidate:
+		return "candidate"
+	case KindChoice:
+		return "choice"
+	case KindMove:
+		return "move"
+	case KindRound:
+		return "round"
+	case KindPhase:
+		return "phase"
+	case KindSuppress:
+		return "suppress"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalText renders the kind as its name, so traces serialize readably.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a kind name back, so serialized traces round-trip.
+func (k *Kind) UnmarshalText(text []byte) error {
+	for c := KindCandidate; c <= KindSuppress; c++ {
+		if c.String() == string(text) {
+			*k = c
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event kind %q", text)
+}
+
+// Event is one decision-trace record. It is a flat value type so hot paths
+// can emit events without allocating; unused fields are simply zero.
+// Strategy and From follow the market convention: a cloudlet index, or
+// mec.Remote (-1) for the not-to-cache option.
+type Event struct {
+	Kind     Kind `json:"kind"`
+	Provider int  `json:"provider"`
+	Strategy int  `json:"strategy"`
+	// From is the previous strategy of a move (mec.Remote when none).
+	From int `json:"from"`
+	// Round is the dynamics round the event belongs to (0 outside rounds).
+	Round int `json:"round"`
+	// Load is the tenant count of the candidate cloudlet, including the
+	// deciding provider (0 for remote).
+	Load int `json:"load"`
+	// Cost decomposes the strategy's Eq. 3 cost; Total is its sum (equal
+	// to the scalar cost the algorithm compared).
+	Cost  mec.CostBreakdown `json:"cost"`
+	Total float64           `json:"total"`
+	// SocialCost carries the Eq. 6 trajectory on phase/round events.
+	SocialCost float64 `json:"socialCost,omitempty"`
+	// Note labels phase events ("appro solver=transport", "lcf", ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Tracer receives decision events. Implementations must be cheap: hot loops
+// call Emit once per candidate. A nil Tracer means tracing is off — every
+// emission site guards with a nil check, so the disabled path is free.
+type Tracer interface {
+	Emit(Event)
+}
+
+// DefaultEventLimit bounds a Recorder when the caller passes no limit; it
+// comfortably holds one admission (one event per candidate cloudlet) and
+// keeps epoch traces over large markets from growing without bound.
+const DefaultEventLimit = 4096
+
+// Recorder is a Tracer that collects events in memory, capped at a limit;
+// events beyond the cap are counted, not stored. Not safe for concurrent
+// use: a recorder belongs to one decision on one goroutine.
+type Recorder struct {
+	limit   int
+	events  []Event
+	dropped int
+}
+
+// NewRecorder returns a recorder holding at most limit events
+// (DefaultEventLimit when limit <= 0).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = DefaultEventLimit
+	}
+	return &Recorder{limit: limit}
+}
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(e Event) {
+	if len(r.events) >= r.limit {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded events (the recorder's own slice; callers
+// hand it off to a Trace and stop using the recorder).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Dropped counts events discarded beyond the limit.
+func (r *Recorder) Dropped() int { return r.dropped }
+
+// Trace is one completed decision: an online admission's best response or
+// an epoch re-equilibration, with its recorded event stream.
+type Trace struct {
+	// ID is assigned by the Ring: a monotone sequence over all traces.
+	ID   uint64 `json:"id"`
+	Kind string `json:"kind"` // "admission" or "epoch"
+	// Start and Duration time the decision (wall clock; informational
+	// only, never fed back into any algorithm).
+	Start    time.Time `json:"start"`
+	Duration float64   `json:"durationSeconds"`
+	// Provider is the public id of the admitted provider (-1 for epochs).
+	Provider int64 `json:"provider"`
+	// Chosen is the admitted provider's strategy (mec.Remote for remote;
+	// meaningless for epochs).
+	Chosen int `json:"chosen"`
+	// Cost is the chosen strategy's cost at decision time.
+	Cost float64 `json:"cost"`
+	// SocialCost is Eq. 6 after the decision.
+	SocialCost float64 `json:"socialCost"`
+	// Epoch numbers the re-equilibration (0 for admissions).
+	Epoch uint64 `json:"epoch"`
+	// Rounds is the best-response convergence iteration count (epochs).
+	Rounds int `json:"rounds"`
+	// Reconfigurations and Suppressed summarize an epoch's churn.
+	Reconfigurations int `json:"reconfigurations"`
+	Suppressed       int `json:"suppressed"`
+	// Events is the recorded decision stream; EventsDropped counts events
+	// beyond the recorder's cap.
+	Events        []Event `json:"events"`
+	EventsDropped int     `json:"eventsDropped"`
+}
+
+// Ring retains the last-N completed traces. It is safe for concurrent use
+// (one writer, many readers). A nil Ring, or one with no capacity, is
+// disabled: Add is a no-op and Snapshot returns nothing.
+type Ring struct {
+	mu  sync.Mutex
+	cap int
+	buf []Trace // chronological; oldest first once full
+	seq uint64  // total traces ever added
+}
+
+// NewRing returns a ring holding the last `capacity` traces; capacity <= 0
+// returns a disabled ring.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{}
+	}
+	return &Ring{cap: capacity}
+}
+
+// Enabled reports whether the ring retains traces.
+func (r *Ring) Enabled() bool { return r != nil && r.cap > 0 }
+
+// Total returns how many traces have ever been added (retained or not).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Add assigns the trace its sequence ID and retains it, evicting the
+// oldest beyond capacity. Returns the assigned ID (0 when disabled).
+func (r *Ring) Add(t Trace) uint64 {
+	if !r.Enabled() {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	t.ID = r.seq
+	if len(r.buf) == r.cap {
+		copy(r.buf, r.buf[1:])
+		r.buf[len(r.buf)-1] = t
+	} else {
+		r.buf = append(r.buf, t)
+	}
+	return t.ID
+}
+
+// Snapshot returns up to n retained traces, newest first, optionally
+// filtered by kind ("" keeps all). n <= 0 means every retained trace.
+func (r *Ring) Snapshot(n int, kind string) []Trace {
+	if !r.Enabled() {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Trace, 0, len(r.buf))
+	for i := len(r.buf) - 1; i >= 0; i-- {
+		if kind != "" && r.buf[i].Kind != kind {
+			continue
+		}
+		out = append(out, r.buf[i])
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"mecache/internal/mec"
+)
+
+func TestRecorderCapsAndCounts(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Kind: KindCandidate, Provider: i})
+	}
+	if len(r.Events()) != 3 {
+		t.Fatalf("recorder kept %d events, want 3", len(r.Events()))
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", r.Dropped())
+	}
+	if r.Events()[2].Provider != 2 {
+		t.Fatalf("kept wrong events: %+v", r.Events())
+	}
+}
+
+func TestRecorderDefaultLimit(t *testing.T) {
+	r := NewRecorder(0)
+	if r.limit != DefaultEventLimit {
+		t.Fatalf("limit = %d, want %d", r.limit, DefaultEventLimit)
+	}
+}
+
+func TestRingEvictsOldestAndFilters(t *testing.T) {
+	r := NewRing(2)
+	if !r.Enabled() {
+		t.Fatal("ring with capacity should be enabled")
+	}
+	r.Add(Trace{Kind: "admission", Provider: 1})
+	r.Add(Trace{Kind: "epoch", Epoch: 1})
+	id := r.Add(Trace{Kind: "admission", Provider: 3})
+	if id != 3 {
+		t.Fatalf("third trace got id %d, want 3", id)
+	}
+	if r.Total() != 3 {
+		t.Fatalf("total = %d, want 3", r.Total())
+	}
+	all := r.Snapshot(0, "")
+	if len(all) != 2 {
+		t.Fatalf("retained %d traces, want 2", len(all))
+	}
+	// Newest first.
+	if all[0].ID != 3 || all[1].ID != 2 {
+		t.Fatalf("snapshot order wrong: ids %d, %d", all[0].ID, all[1].ID)
+	}
+	adm := r.Snapshot(5, "admission")
+	if len(adm) != 1 || adm[0].Provider != 3 {
+		t.Fatalf("kind filter wrong: %+v", adm)
+	}
+	if got := r.Snapshot(1, ""); len(got) != 1 || got[0].ID != 3 {
+		t.Fatalf("n limit wrong: %+v", got)
+	}
+}
+
+func TestDisabledRingIsInert(t *testing.T) {
+	for _, r := range []*Ring{nil, NewRing(0), NewRing(-1)} {
+		if r.Enabled() {
+			t.Fatal("disabled ring reports enabled")
+		}
+		if id := r.Add(Trace{Kind: "admission"}); id != 0 {
+			t.Fatalf("disabled Add returned id %d", id)
+		}
+		if got := r.Snapshot(10, ""); got != nil {
+			t.Fatalf("disabled Snapshot returned %+v", got)
+		}
+		if r.Total() != 0 {
+			t.Fatal("disabled ring counted traces")
+		}
+	}
+}
+
+func TestEventJSONRoundTripsKindNames(t *testing.T) {
+	e := Event{Kind: KindCandidate, Provider: 4, Strategy: 2, From: mec.Remote, Total: 1.5}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"kind":"candidate"`) {
+		t.Fatalf("kind not rendered by name: %s", data)
+	}
+	for k, want := range map[Kind]string{
+		KindCandidate: "candidate", KindChoice: "choice", KindMove: "move",
+		KindRound: "round", KindPhase: "phase", KindSuppress: "suppress", Kind(99): "unknown",
+	} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestNewLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hidden")
+	lg.Warn("visible", "k", "v")
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("info leaked through warn level: %s", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(out), &rec); err != nil {
+		t.Fatalf("not json: %s: %v", out, err)
+	}
+	if rec["msg"] != "visible" || rec["k"] != "v" {
+		t.Fatalf("unexpected record: %v", rec)
+	}
+
+	if _, err := NewLogger(&buf, "nope", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "yaml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+	if _, err := NewLogger(&buf, "", ""); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestParseLevelAliases(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "": slog.LevelInfo, "INFO": slog.LevelInfo,
+		"warning": slog.LevelWarn, "Error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestNopLoggerDiscardsEverything(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Fatal("nop logger enabled at error level")
+	}
+	lg.Error("should not panic")
+}
+
+func TestBuildReportsIdentity(t *testing.T) {
+	b := Build()
+	if b.GoVersion == "" || b.Version == "" || b.Revision == "" {
+		t.Fatalf("empty build info fields: %+v", b)
+	}
+	// Test binaries embed the toolchain version even without VCS stamps.
+	if !strings.HasPrefix(b.GoVersion, "go") {
+		t.Fatalf("implausible go version %q", b.GoVersion)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"mecache/internal/dynamic"
 	"mecache/internal/fault"
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 )
 
 // state is the daemon's market state. It is owned exclusively by the event
@@ -86,7 +87,10 @@ func (s *Server) loop() {
 					c.reply <- errorf(http.StatusServiceUnavailable, "server: shutting down")
 				default:
 					if s.cfg.SnapshotPath != "" {
-						s.stopErr = s.writeSnapshot(&s.st)
+						if s.stopErr = s.writeSnapshot(&s.st); s.stopErr != nil {
+							s.mSnapErrs.Inc()
+							s.log.Error("final snapshot failed", "path", s.cfg.SnapshotPath, "err", s.stopErr)
+						}
 					}
 					return
 				}
@@ -98,8 +102,11 @@ func (s *Server) loop() {
 		case <-tick:
 			if res := s.epochCmd(&s.st); res.err != nil {
 				// Background epochs have no caller to report to; surface the
-				// failure on the health endpoint via the view.
+				// failure on the health endpoint via the view, the log, and
+				// the error counter.
 				s.st.lastEpochErr = res.err.Error()
+				s.mEpochErrs.Inc()
+				s.log.Error("background epoch failed", "epoch", s.st.epochs, "err", res.err)
 			}
 			s.publish(&s.st)
 		}
@@ -166,7 +173,15 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 		idx = i
 		st.pl = append(st.pl, mec.Remote)
 	}
-	st.pl[idx] = dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed)
+	// The traced and untraced scans are the same algorithm — tracing only
+	// records what the scan already computes — so enabling the ring never
+	// changes a placement.
+	var rec *obs.Recorder
+	started := time.Now()
+	if s.ring.Enabled() {
+		rec = obs.NewRecorder(0)
+	}
+	st.pl[idx] = dynamic.BestResponseAvoidingFailedTraced(st.m, st.pl, idx, st.failed, tracer(rec))
 	id := st.nextID
 	st.nextID++
 	st.ids = append(st.ids, id)
@@ -175,13 +190,37 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 	st.waitingFor = append(st.waitingFor, -1)
 	st.accepted++
 	s.mAccepted.Inc()
-	return cmdResult{status: http.StatusCreated, body: admitResponse{
+	resp := admitResponse{
 		ID:         id,
 		Placement:  st.pl[idx],
 		Cost:       st.m.ProviderCost(st.pl, idx),
 		SocialCost: st.m.SocialCost(st.pl),
 		Active:     len(st.ids),
-	}}
+	}
+	if rec != nil {
+		s.ring.Add(obs.Trace{
+			Kind:          "admission",
+			Start:         started,
+			Duration:      time.Since(started).Seconds(),
+			Provider:      id,
+			Chosen:        resp.Placement,
+			Cost:          resp.Cost,
+			SocialCost:    resp.SocialCost,
+			Events:        rec.Events(),
+			EventsDropped: rec.Dropped(),
+		})
+	}
+	return cmdResult{status: http.StatusCreated, body: resp}
+}
+
+// tracer converts a possibly-nil *Recorder into the Tracer the algorithms
+// accept, avoiding the classic typed-nil-in-interface trap: a nil *Recorder
+// stored in an obs.Tracer would compare non-nil at the emission guards.
+func tracer(rec *obs.Recorder) obs.Tracer {
+	if rec == nil {
+		return nil
+	}
+	return rec
 }
 
 // departCmd retires a provider: its cached instance is destroyed and the
@@ -305,12 +344,18 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	if st.m == nil {
 		return cmdResult{status: http.StatusOK, body: map[string]any{"epoch": st.epochs, "active": 0}}
 	}
+	var rec *obs.Recorder
+	started := time.Now()
+	if s.ring.Enabled() {
+		rec = obs.NewRecorder(0)
+	}
 	next, est, err := dynamic.Reequilibrate(st.m, st.pl, dynamic.EpochOptions{
 		Xi:             s.cfg.Xi,
 		Seed:           s.cfg.Seed + st.epochs,
 		MigrationAware: s.cfg.MigrationAware,
 		Frozen:         st.waiting,
 		Failed:         st.failed,
+		Trace:          tracer(rec),
 	})
 	if err != nil {
 		return errorf(http.StatusInternalServerError, "server: epoch %d: %v", st.epochs, err)
@@ -320,9 +365,33 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	st.suppressed += uint64(est.MigrationsSuppressed)
 	st.migCost += est.MigrationCost
 	s.mReconfigs.Add(float64(est.Reconfigurations))
+	s.hLCFRounds.Observe(float64(est.Rounds))
+	s.hEpochMigr.Observe(float64(est.Reconfigurations))
+	if rec != nil {
+		s.ring.Add(obs.Trace{
+			Kind:             "epoch",
+			Start:            started,
+			Duration:         time.Since(started).Seconds(),
+			Provider:         -1,
+			Chosen:           mec.Remote,
+			SocialCost:       est.SocialCost,
+			Epoch:            st.epochs,
+			Rounds:           est.Rounds,
+			Reconfigurations: est.Reconfigurations,
+			Suppressed:       est.MigrationsSuppressed,
+			Events:           rec.Events(),
+			EventsDropped:    rec.Dropped(),
+		})
+	}
+	s.log.Info("epoch complete",
+		"epoch", st.epochs, "active", len(st.ids), "rounds", est.Rounds,
+		"reconfigurations", est.Reconfigurations, "suppressed", est.MigrationsSuppressed,
+		"socialCost", est.SocialCost)
 	st.lastEpochErr = ""
 	if s.cfg.SnapshotPath != "" {
 		if err := s.writeSnapshot(st); err != nil {
+			s.mSnapErrs.Inc()
+			s.log.Error("epoch snapshot failed", "epoch", st.epochs, "path", s.cfg.SnapshotPath, "err", err)
 			return errorf(http.StatusInternalServerError, "server: epoch snapshot: %v", err)
 		}
 	}

@@ -18,8 +18,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -28,6 +30,7 @@ import (
 	"mecache/internal/fault"
 	"mecache/internal/mec"
 	"mecache/internal/metrics"
+	"mecache/internal/obs"
 	"mecache/internal/stats"
 	"mecache/internal/topology"
 	"mecache/internal/workload"
@@ -64,16 +67,26 @@ type Config struct {
 	// SnapshotPath, when non-empty, persists the market as JSON after every
 	// epoch and on shutdown, and restores it on startup if the file exists.
 	SnapshotPath string
+	// Logger receives the daemon's structured log stream (request access
+	// lines, epoch and snapshot failures). Nil discards everything, keeping
+	// embedded and test use silent.
+	Logger *slog.Logger
+	// TraceDepth is how many completed decision traces (admissions and
+	// epochs) the daemon retains for GET /v1/debug/trace. 0 disables
+	// decision tracing entirely — admissions then run the untraced
+	// best-response scan. Negative is invalid.
+	TraceDepth int
 }
 
 // DefaultConfig mirrors the paper's Section IV setup.
 func DefaultConfig(seed uint64) Config {
 	return Config{
-		Seed:     seed,
-		Size:     150,
-		Workload: workload.Default(seed),
-		Xi:       0.7,
-		Policy:   fault.PolicyRemoteFallback,
+		Seed:       seed,
+		Size:       150,
+		Workload:   workload.Default(seed),
+		Xi:         0.7,
+		Policy:     fault.PolicyRemoteFallback,
+		TraceDepth: 64,
 	}
 }
 
@@ -90,6 +103,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.EpochInterval < 0 {
 		return fmt.Errorf("server: negative epoch interval %v", cfg.EpochInterval)
+	}
+	if cfg.TraceDepth < 0 {
+		return fmt.Errorf("server: negative TraceDepth %d", cfg.TraceDepth)
 	}
 	switch cfg.Policy {
 	case fault.PolicyRemoteFallback, fault.PolicyReplace, fault.PolicyWaitForRepair:
@@ -153,6 +169,10 @@ type Server struct {
 	view atomic.Pointer[View]
 	mux  *http.ServeMux
 
+	log   *slog.Logger
+	ring  *obs.Ring
+	reqID atomic.Uint64
+
 	reg        *metrics.Registry
 	mAccepted  *metrics.Counter
 	mRejected  *metrics.Counter
@@ -163,7 +183,11 @@ type Server struct {
 	mFailbacks *metrics.Counter
 	mEpochs    *metrics.Counter
 	mReconfigs *metrics.Counter
+	mEpochErrs *metrics.Counter
+	mSnapErrs  *metrics.Counter
 	mLatency   *metrics.Histogram
+	hLCFRounds *metrics.Histogram
+	hEpochMigr *metrics.Histogram
 	gActive    *metrics.Gauge
 	gSocial    *metrics.Gauge
 	gLoads     []*metrics.Gauge
@@ -199,6 +223,11 @@ func New(cfg Config) (*Server, error) {
 		stopping: make(chan struct{}),
 		done:     make(chan struct{}),
 		reg:      metrics.NewRegistry(),
+		log:      cfg.Logger,
+		ring:     obs.NewRing(cfg.TraceDepth),
+	}
+	if s.log == nil {
+		s.log = obs.NopLogger()
 	}
 	s.st = state{
 		byID:   make(map[int64]int),
@@ -225,7 +254,13 @@ func (s *Server) registerMetrics() {
 	s.mFailbacks = s.reg.Counter("mecd_failbacks_total", "Providers returned to a repaired cloudlet.")
 	s.mEpochs = s.reg.Counter("mecd_epochs_total", "Re-equilibration epochs run.")
 	s.mReconfigs = s.reg.Counter("mecd_reconfigurations_total", "Placement changes applied by epochs.")
+	s.mEpochErrs = s.reg.Counter("mecd_epoch_errors_total", "Background and snapshot-time epoch failures.")
+	s.mSnapErrs = s.reg.Counter("mecd_snapshot_errors_total", "Snapshot write failures.")
 	s.mLatency = s.reg.Histogram("mecd_admission_seconds", "End-to-end admission latency.", stats.LatencyBuckets())
+	s.hLCFRounds = s.reg.Histogram("mecd_epoch_lcf_rounds", "Best-response convergence rounds per epoch.",
+		[]float64{1, 2, 3, 5, 8, 13, 21, 34, 55})
+	s.hEpochMigr = s.reg.Histogram("mecd_epoch_reconfigurations", "Placement changes per epoch.",
+		[]float64{0, 1, 2, 5, 10, 20, 50, 100, 200})
 	s.gActive = s.reg.Gauge("mecd_active_providers", "Currently active providers.")
 	s.gSocial = s.reg.Gauge("mecd_social_cost", "Social cost of the current placement.")
 	s.gLoads = make([]*metrics.Gauge, s.net.NumCloudlets())
@@ -243,6 +278,10 @@ func (s *Server) registerMetrics() {
 	s.mFailbacks.Add(float64(s.st.failbacks))
 	s.mEpochs.Add(float64(s.st.epochs))
 	s.mReconfigs.Add(float64(s.st.reconfigs))
+	metrics.RegisterRuntime(s.reg)
+	b := obs.Build()
+	s.reg.Gauge("mecache_build_info", "Build identity of the running binary; value is always 1.",
+		"version", b.Version, "goversion", b.GoVersion, "revision", b.Revision).Set(1)
 }
 
 // publish rebuilds the read View from loop-owned state and stores it
@@ -326,16 +365,113 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/providers", s.handleAdmit)
-	mux.HandleFunc("DELETE /v1/providers/{id}", s.handleDepart)
-	mux.HandleFunc("GET /v1/placements", s.handlePlacements)
-	mux.HandleFunc("GET /v1/market", s.handleMarket)
-	mux.HandleFunc("POST /v1/admin/fail", s.handleFail)
-	mux.HandleFunc("POST /v1/admin/epoch", s.handleEpoch)
-	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	route("POST /v1/providers", s.handleAdmit)
+	route("DELETE /v1/providers/{id}", s.handleDepart)
+	route("GET /v1/placements", s.handlePlacements)
+	route("GET /v1/market", s.handleMarket)
+	route("GET /v1/debug/trace", s.handleTrace)
+	route("POST /v1/admin/fail", s.handleFail)
+	route("POST /v1/admin/epoch", s.handleEpoch)
+	route("POST /v1/admin/snapshot", s.handleSnapshot)
+	route("GET /healthz", s.handleHealthz)
+	route("GET /metrics", s.handleMetrics)
+	// Runtime profiling. pprof.Index dispatches /debug/pprof/{profile} to
+	// the named profiles (heap, goroutine, block, ...), so the subtree
+	// pattern covers them all; the handlers below need their own routes
+	// because Index does not serve them.
+	route("GET /debug/pprof/", pprof.Index)
+	route("GET /debug/pprof/cmdline", pprof.Cmdline)
+	route("GET /debug/pprof/profile", pprof.Profile)
+	route("GET /debug/pprof/symbol", pprof.Symbol)
+	route("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+}
+
+// statusWriter captures the response code for the access log and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the daemon's HTTP observability: a
+// request id, per-route request counters and latency histograms, and one
+// structured access-log line per request (warn on 4xx, error on 5xx).
+// The route label is the registration pattern, so label cardinality is
+// fixed at the route table, never influenced by request paths.
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	lat := s.reg.Histogram("mecd_http_request_seconds", "HTTP request latency by route.",
+		stats.LatencyBuckets(), "route", pattern)
+	// Register the common-case series eagerly so every route is visible on
+	// the first scrape, before it has served anything.
+	ok := s.reg.Counter("mecd_http_requests_total", "HTTP requests by route and status code.",
+		"route", pattern, "code", "200")
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := s.reqID.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		elapsed := time.Since(start)
+		lat.Observe(elapsed.Seconds())
+		if sw.status == http.StatusOK {
+			ok.Inc()
+		} else {
+			s.reg.Counter("mecd_http_requests_total", "HTTP requests by route and status code.",
+				"route", pattern, "code", strconv.Itoa(sw.status)).Inc()
+		}
+		lvl := slog.LevelDebug
+		switch {
+		case sw.status >= 500:
+			lvl = slog.LevelError
+		case sw.status >= 400:
+			lvl = slog.LevelWarn
+		}
+		s.log.Log(r.Context(), lvl, "http request",
+			"reqID", id, "route", pattern, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "durationMs", float64(elapsed.Microseconds())/1000)
+	}
+}
+
+// handleTrace serves the last-N decision traces, newest first. Query
+// parameters: n caps the count (default 16), kind filters by trace kind
+// ("admission" or "epoch").
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if !s.ring.Enabled() {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "traces": []obs.Trace{}})
+		return
+	}
+	n := 16
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad n: " + q})
+			return
+		}
+		n = v
+	}
+	kind := r.URL.Query().Get("kind")
+	switch kind {
+	case "", "admission", "epoch":
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad kind: " + kind})
+		return
+	}
+	traces := s.ring.Snapshot(n, kind)
+	if traces == nil {
+		traces = []obs.Trace{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": true,
+		"total":   s.ring.Total(),
+		"traces":  traces,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -437,7 +573,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	default:
 	}
 	v := s.view.Load()
-	body := map[string]any{"status": "ok", "active": v.Active, "epochs": v.Epochs}
+	body := map[string]any{"status": "ok", "active": v.Active, "epochs": v.Epochs, "build": obs.Build()}
 	if v.LastEpochError != "" {
 		body["lastEpochError"] = v.LastEpochError
 	}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mecache/internal/obs"
+)
+
+// traceResponse mirrors the GET /v1/debug/trace body.
+type traceResponse struct {
+	Enabled bool        `json:"enabled"`
+	Total   uint64      `json:"total"`
+	Traces  []obs.Trace `json:"traces"`
+}
+
+// TestAdmissionTraceReconstructsDecision pins the headline acceptance
+// criterion of the observability layer: the trace of a fixed-seed admission
+// must let an operator reconstruct the decision — the chosen strategy is
+// the cost-argmin over the recorded candidates, every candidate's Eq. 3
+// components sum to its recorded total bit-for-bit, and the choice matches
+// what the admission API reported.
+func TestAdmissionTraceReconstructsDecision(t *testing.T) {
+	cfg := testConfig(11)
+	_, ts := startServer(t, cfg)
+	var v View
+	getJSON(t, ts.URL+"/v1/market", &v)
+
+	const n = 8
+	responses := make([]admitResponse, n)
+	for i := 0; i < n; i++ {
+		responses[i] = admit(t, ts, drawProvider(cfg, &v, 11, i))
+	}
+
+	var tr traceResponse
+	getJSON(t, ts.URL+"/v1/debug/trace?kind=admission&n="+fmt.Sprint(n), &tr)
+	if !tr.Enabled {
+		t.Fatal("tracing disabled under DefaultConfig")
+	}
+	if len(tr.Traces) != n || tr.Total != n {
+		t.Fatalf("got %d traces (total %d), want %d", len(tr.Traces), tr.Total, n)
+	}
+
+	// Newest first: trace j corresponds to admission n-1-j.
+	for j, trace := range tr.Traces {
+		resp := responses[n-1-j]
+		if trace.Provider != resp.ID {
+			t.Fatalf("trace %d: provider %d, response id %d", j, trace.Provider, resp.ID)
+		}
+		if trace.Chosen != resp.Placement {
+			t.Fatalf("trace %d: chosen %d, admitted placement %d", j, trace.Chosen, resp.Placement)
+		}
+		if trace.Cost != resp.Cost {
+			t.Fatalf("trace %d: cost %v, admission response cost %v", j, trace.Cost, resp.Cost)
+		}
+
+		var choice *obs.Event
+		argmin, minTotal := 0, 0.0
+		candidates := 0
+		for i := range trace.Events {
+			e := &trace.Events[i]
+			switch e.Kind {
+			case obs.KindCandidate:
+				// Eq. 3 decomposition: components must reproduce the scalar
+				// total the scan compared, bitwise.
+				if e.Cost.Total() != e.Total {
+					t.Fatalf("trace %d candidate %d: components sum to %v, total %v",
+						j, e.Strategy, e.Cost.Total(), e.Total)
+				}
+				if candidates == 0 || e.Total < minTotal {
+					argmin, minTotal = e.Strategy, e.Total
+				}
+				candidates++
+			case obs.KindChoice:
+				if choice != nil {
+					t.Fatalf("trace %d: multiple choice events", j)
+				}
+				choice = e
+			}
+		}
+		if candidates < 2 {
+			t.Fatalf("trace %d: only %d candidates recorded (want remote + cloudlets)", j, candidates)
+		}
+		if choice == nil {
+			t.Fatalf("trace %d: no choice event", j)
+		}
+		// The scan's tie-breaking keeps the first strict minimum, and
+		// candidates are emitted remote-first then by cloudlet index — the
+		// same order the scan visits — so the argmin over the recorded
+		// events is exactly the recorded choice.
+		if choice.Strategy != argmin {
+			t.Fatalf("trace %d: choice %d is not the candidate argmin %d", j, choice.Strategy, argmin)
+		}
+		if choice.Strategy != trace.Chosen {
+			t.Fatalf("trace %d: choice event %d != trace chosen %d", j, choice.Strategy, trace.Chosen)
+		}
+		if choice.Cost.Total() != choice.Total {
+			t.Fatalf("trace %d: choice components sum to %v, total %v", j, choice.Cost.Total(), choice.Total)
+		}
+		if trace.EventsDropped != 0 {
+			t.Fatalf("trace %d: dropped %d events on a tiny market", j, trace.EventsDropped)
+		}
+	}
+}
+
+// TestEpochTraceRecordsPipeline drives one admin epoch and checks its trace
+// carries the LCF pipeline.
+func TestEpochTraceRecordsPipeline(t *testing.T) {
+	cfg := testConfig(12)
+	_, ts := startServer(t, cfg)
+	var v View
+	getJSON(t, ts.URL+"/v1/market", &v)
+	for i := 0; i < 5; i++ {
+		admit(t, ts, drawProvider(cfg, &v, 12, i))
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/admin/epoch", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch: %d %s", resp.StatusCode, data)
+	}
+
+	var tr traceResponse
+	getJSON(t, ts.URL+"/v1/debug/trace?kind=epoch", &tr)
+	if len(tr.Traces) != 1 {
+		t.Fatalf("got %d epoch traces, want 1", len(tr.Traces))
+	}
+	trace := tr.Traces[0]
+	if trace.Epoch != 1 || trace.Provider != -1 {
+		t.Fatalf("bad epoch trace header: %+v", trace)
+	}
+	if trace.Rounds < 1 {
+		t.Fatalf("epoch trace reports %d rounds", trace.Rounds)
+	}
+	var sawAppro, sawCoordination, sawConverged bool
+	for _, e := range trace.Events {
+		if e.Kind != obs.KindPhase {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(e.Note, "appro"):
+			sawAppro = true
+		case strings.HasPrefix(e.Note, "lcf coordinate"):
+			sawCoordination = true
+		case strings.HasPrefix(e.Note, "lcf converged"):
+			sawConverged = true
+		}
+	}
+	if !sawAppro || !sawCoordination || !sawConverged {
+		t.Fatalf("epoch trace misses pipeline phases: appro=%v coordination=%v converged=%v",
+			sawAppro, sawCoordination, sawConverged)
+	}
+}
+
+// TestTraceDisabledAndQueryValidation covers the off switch and parameter
+// validation of the endpoint.
+func TestTraceDisabledAndQueryValidation(t *testing.T) {
+	cfg := testConfig(13)
+	cfg.TraceDepth = 0
+	_, ts := startServer(t, cfg)
+	var tr traceResponse
+	getJSON(t, ts.URL+"/v1/debug/trace", &tr)
+	if tr.Enabled || len(tr.Traces) != 0 {
+		t.Fatalf("disabled tracing still serves traces: %+v", tr)
+	}
+
+	cfg2 := testConfig(14)
+	_, ts2 := startServer(t, cfg2)
+	for _, q := range []string{"?n=-1", "?n=x", "?kind=bogus"} {
+		if resp := getJSON(t, ts2.URL+"/v1/debug/trace"+q, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestTraceDepthEvictsOldest fills the ring past capacity and checks only
+// the newest traces survive.
+func TestTraceDepthEvictsOldest(t *testing.T) {
+	cfg := testConfig(15)
+	cfg.TraceDepth = 3
+	_, ts := startServer(t, cfg)
+	var v View
+	getJSON(t, ts.URL+"/v1/market", &v)
+	var last admitResponse
+	for i := 0; i < 5; i++ {
+		last = admit(t, ts, drawProvider(cfg, &v, 15, i))
+	}
+	var tr traceResponse
+	getJSON(t, ts.URL+"/v1/debug/trace?n=0", &tr)
+	if tr.Total != 5 || len(tr.Traces) != 3 {
+		t.Fatalf("total %d retained %d, want 5/3", tr.Total, len(tr.Traces))
+	}
+	if tr.Traces[0].Provider != last.ID {
+		t.Fatalf("newest trace is provider %d, want %d", tr.Traces[0].Provider, last.ID)
+	}
+}
+
+// TestBuildInfoExposed checks the build-identity satellite: the gauge on
+// /metrics and the same fields on /healthz.
+func TestBuildInfoExposed(t *testing.T) {
+	cfg := testConfig(16)
+	_, ts := startServer(t, cfg)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "mecache_build_info{") {
+		t.Fatal("mecache_build_info gauge missing from /metrics")
+	}
+	for _, label := range []string{"version=", "goversion=", "revision="} {
+		if !strings.Contains(text, label) {
+			t.Fatalf("build info label %q missing", label)
+		}
+	}
+	for _, series := range []string{"go_goroutines", "mecd_http_requests_total", "mecd_http_request_seconds",
+		"mecd_epoch_errors_total", "mecd_snapshot_errors_total", "mecd_epoch_lcf_rounds"} {
+		if !strings.Contains(text, "# TYPE "+series+" ") {
+			t.Fatalf("series %s missing from /metrics", series)
+		}
+	}
+
+	var health map[string]json.RawMessage
+	getJSON(t, ts.URL+"/healthz", &health)
+	var build obs.BuildInfo
+	if err := json.Unmarshal(health["build"], &build); err != nil {
+		t.Fatalf("healthz build field: %v", err)
+	}
+	if build.GoVersion == "" || build.Version == "" || build.Revision == "" {
+		t.Fatalf("healthz build info incomplete: %+v", build)
+	}
+}
+
+// TestTracingPreservesPlacements pins determinism end to end at the daemon
+// level: the same seed and admission sequence reaches identical placements
+// with tracing enabled and disabled.
+func TestTracingPreservesPlacements(t *testing.T) {
+	run := func(depth int) []int {
+		cfg := testConfig(17)
+		cfg.TraceDepth = depth
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Start()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := s.Stop(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		v := s.View()
+		placements := make([]int, 10)
+		for i := range placements {
+			p := drawProvider(cfg, v, 17, i)
+			res := s.do(func(st *state) cmdResult { return s.admitCmd(st, p) })
+			if res.err != nil {
+				t.Fatal(res.err)
+			}
+			placements[i] = res.body.(admitResponse).Placement
+		}
+		res := s.do(func(st *state) cmdResult { return s.epochCmd(st) })
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		final := s.View()
+		for _, pv := range final.Providers {
+			placements = append(placements, pv.Placement)
+		}
+		return placements
+	}
+	traced := run(64)
+	untraced := run(0)
+	if len(traced) != len(untraced) {
+		t.Fatalf("placement streams differ in length: %d vs %d", len(traced), len(untraced))
+	}
+	for i := range traced {
+		if traced[i] != untraced[i] {
+			t.Fatalf("placement %d: traced %d != untraced %d", i, traced[i], untraced[i])
+		}
+	}
+}

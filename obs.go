@@ -1,0 +1,41 @@
+package mecache
+
+import (
+	"io"
+	"log/slog"
+
+	"mecache/internal/obs"
+)
+
+// Observability types: decision tracing for the equilibrium algorithms and
+// the daemon, structured-logging helpers, and build identity.
+type (
+	// Tracer receives decision events from the algorithms (best-response
+	// candidates and choices, moves, rounds, epoch phases). Nil disables
+	// tracing at zero cost on the hot paths.
+	Tracer = obs.Tracer
+	// TraceEvent is one decision record with the Eq. 3 cost terms broken
+	// out.
+	TraceEvent = obs.Event
+	// TraceRecorder collects events in memory, capped at a limit.
+	TraceRecorder = obs.Recorder
+	// DecisionTrace is one completed admission or epoch decision as served
+	// by the daemon's GET /v1/debug/trace.
+	DecisionTrace = obs.Trace
+	// BuildInfo identifies the running binary (module version, toolchain,
+	// VCS revision).
+	BuildInfo = obs.BuildInfo
+)
+
+// NewTraceRecorder returns a recorder holding at most limit events (<= 0
+// selects the default cap).
+func NewTraceRecorder(limit int) *TraceRecorder { return obs.NewRecorder(limit) }
+
+// NewLogger builds a slog.Logger from conventional -log-level (debug, info,
+// warn, error) and -log-format (text, json) flag values.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return obs.NewLogger(w, level, format)
+}
+
+// Build reads the binary's identity from the embedded module build info.
+func Build() BuildInfo { return obs.Build() }
