@@ -10,14 +10,28 @@
 //	mecbench -fig poa -parallel 1        # force the serial sweep path
 //	mecbench -fig 3 -format csv          # plot-ready CSV
 //	mecbench -fig 3 -format svg -out dir # one SVG chart per panel
+//
+// Benchmark mode (mutually exclusive with figures) runs the tracked
+// benchmark cases from internal/bench:
+//
+//	mecbench -bench-json BENCH_5.json    # measure and write the baseline
+//	mecbench -bench-check BENCH_5.json   # compare against the baseline
+//	mecbench -bench-check BENCH_5.json -bench-time 0s -bench-iters 1
+//	                                     # CI smoke: one timed op per case
+//
+// -bench-check judges engine-vs-naive nanosecond ratios (machine- and
+// race-detector-independent) and per-case allocation counts, never raw
+// nanoseconds, so a committed baseline stays meaningful on any hardware.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"mecache"
 )
@@ -37,11 +51,24 @@ func run(w io.Writer, args []string) error {
 	format := fs.String("format", "table", "output format: table, csv, or svg")
 	outDir := fs.String("out", ".", "directory for svg output files")
 	par := fs.Int("parallel", 0, "sweep worker pool size: 0 = one worker per CPU, 1 = serial; any value produces identical tables")
+	benchJSON := fs.String("bench-json", "", "measure the tracked benchmarks and write the baseline JSON to this path")
+	benchCheck := fs.String("bench-check", "", "measure the tracked benchmarks and compare against the baseline JSON at this path")
+	benchTime := fs.Duration("bench-time", time.Second, "minimum measured time per tracked benchmark")
+	benchIters := fs.Int("bench-iters", 0, "iteration cap per tracked benchmark (0 = until -bench-time)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "table" && *format != "csv" && *format != "svg" {
 		return fmt.Errorf("unknown format %q (want table, csv, or svg)", *format)
+	}
+	if *benchJSON != "" && *benchCheck != "" {
+		return fmt.Errorf("-bench-json and -bench-check are mutually exclusive")
+	}
+	if *benchJSON != "" {
+		return benchBaseline(w, *benchJSON, *benchTime, *benchIters)
+	}
+	if *benchCheck != "" {
+		return benchCompare(w, *benchCheck, *benchTime, *benchIters)
 	}
 
 	want := strings.ToLower(*figFlag)
@@ -141,6 +168,131 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("unknown figure %q (want 2, 3, 5, 6, 7, poa, ablation, or all)", *figFlag)
 	}
 	return nil
+}
+
+// benchBaseline measures every tracked case and writes the baseline file.
+func benchBaseline(w io.Writer, path string, minDur time.Duration, maxIters int) error {
+	results, err := measureTracked(w, minDur, maxIters)
+	if err != nil {
+		return err
+	}
+	file := mecache.BenchFile{
+		Note:    "Tracked benchmark baseline. Regenerate with: go run ./cmd/mecbench -bench-json " + path,
+		Results: results,
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote", path)
+	return nil
+}
+
+// ratioTolerance is how much an engine-vs-naive time ratio may drift above
+// the committed baseline before the check fails. Smoke runs measure only a
+// handful of iterations, where ratios jitter by up to ~35%; a genuinely
+// lost engine optimization moves the dynamics ratio by 5x or more, so 50%
+// still separates noise from regression cleanly.
+const ratioTolerance = 1.5
+
+// dynamicsRatioCeiling enforces the tracked speedup absolutely: the engine
+// best-response dynamics must stay at least 2x faster than the naive scan
+// in the same run, independent of any baseline drift.
+const dynamicsRatioCeiling = 0.5
+
+// allocTolerance is the allowed relative growth in allocations per
+// operation. Allocation counts are near-deterministic (no scheduler in the
+// loop), so the bound is tighter than the time-ratio one.
+const allocTolerance = 1.25
+
+// allocSlack absorbs run-to-run allocation jitter from the Go runtime
+// (background GC bookkeeping counted by MemStats.Mallocs) on cases with
+// small absolute counts.
+const allocSlack = 16
+
+// benchCompare re-measures the tracked cases and fails if any engine/naive
+// time ratio or any allocation count regressed past tolerance.
+func benchCompare(w io.Writer, path string, minDur time.Duration, maxIters int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var baseline mecache.BenchFile
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	base := map[string]mecache.BenchResult{}
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	results, err := measureTracked(w, minDur, maxIters)
+	if err != nil {
+		return err
+	}
+	cur := map[string]mecache.BenchResult{}
+	for _, r := range results {
+		cur[r.Name] = r
+	}
+
+	var failures []string
+	ratio := func(m map[string]mecache.BenchResult, engine, naive string) (float64, bool) {
+		e, okE := m[engine]
+		n, okN := m[naive]
+		if !okE || !okN || n.NsPerOp == 0 {
+			return 0, false
+		}
+		return e.NsPerOp / n.NsPerOp, true
+	}
+	for _, r := range results {
+		fam, sc, ok := strings.Cut(r.Name, "/")
+		if !ok || strings.HasSuffix(fam, "Naive") {
+			continue
+		}
+		if b, ok := base[r.Name]; ok && r.AllocsPerOp > b.AllocsPerOp*allocTolerance+allocSlack {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+		naive := fam + "Naive/" + sc
+		curR, okC := ratio(cur, r.Name, naive)
+		baseR, okB := ratio(base, r.Name, naive)
+		if !okC || !okB {
+			continue
+		}
+		status := "ok"
+		if curR > baseR*ratioTolerance {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: engine/naive time ratio %.3f vs baseline %.3f",
+				r.Name, curR, baseR))
+		}
+		if fam == "BestResponseDynamics" && curR > dynamicsRatioCeiling {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: engine/naive time ratio %.3f above the %.1fx-speedup ceiling %.2f",
+				r.Name, curR, 1/dynamicsRatioCeiling, dynamicsRatioCeiling))
+		}
+		fmt.Fprintf(w, "%-32s ratio %.3f (baseline %.3f) %s\n", r.Name, curR, baseR, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(w, "all tracked benchmarks within tolerance of", path)
+	return nil
+}
+
+func measureTracked(w io.Writer, minDur time.Duration, maxIters int) ([]mecache.BenchResult, error) {
+	var out []mecache.BenchResult
+	for _, c := range mecache.BenchCases() {
+		r, err := mecache.MeasureBench(c, minDur, maxIters)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "%-32s %12.0f ns/op %10.1f allocs/op %8d iters\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.Iterations)
+		out = append(out, r)
+	}
+	return out, nil
 }
 
 func render(w io.Writer, format, outDir string, f func() (*mecache.Figure, error)) error {

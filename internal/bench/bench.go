@@ -1,0 +1,286 @@
+// Package bench defines the repo's tracked benchmark cases — the perf
+// trajectory committed as BENCH_<pr>.json — and a small measurement harness
+// both `go test -bench` and `mecbench -bench-json` run, so CI smoke runs and
+// the committed baseline measure the exact same operations.
+//
+// Cases come in engine/naive pairs at three market scales (cloudlets ×
+// providers). The naive twins re-run the pre-engine implementation (full
+// ascending-index rescans, clone-based hysteresis probes) in the same
+// process, so the committed file carries a machine-independent speedup
+// ratio: regressions are judged on engine-vs-naive ratios, never on raw
+// nanoseconds from someone else's laptop.
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"mecache/internal/dynamic"
+	"mecache/internal/game"
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/server"
+	"mecache/internal/workload"
+)
+
+// Case is one tracked benchmark: Setup builds the fixture and returns the
+// operation to time. The op must be self-contained and repeatable (steady
+// state), so harnesses can run it any number of times.
+type Case struct {
+	Name  string
+	Setup func() (func() error, error)
+}
+
+// scale is a market size the cases run at, named cloudlets x providers.
+type scale struct {
+	name      string
+	nodes     int // GT-ITM topology size; cloudlets = nodes/2
+	providers int
+}
+
+var scales = []scale{
+	{"50x25", 100, 25},
+	{"125x50", 250, 50},
+	{"250x100", 500, 100},
+}
+
+// benchSeed keeps every fixture deterministic.
+const benchSeed = 7
+
+func benchWorkload(sc scale) workload.Config {
+	cfg := workload.Default(benchSeed)
+	cfg.NumProviders = sc.providers
+	cfg.CloudletFraction = 0.5
+	return cfg
+}
+
+func benchMarket(sc scale) (*mec.Market, error) {
+	return workload.GenerateGTITM(sc.nodes, benchWorkload(sc))
+}
+
+// joinedPlacement grows a placement by sequential selfish joins — the
+// steady state an online market reaches, and the natural input for an epoch.
+func joinedPlacement(m *mec.Market) mec.Placement {
+	pl := make(mec.Placement, len(m.Providers))
+	for l := range pl {
+		pl[l] = mec.Remote
+	}
+	for l := range pl {
+		pl[l] = dynamic.BestResponseAvoidingFailed(m, pl, l, nil)
+	}
+	return pl
+}
+
+func dynamicsCase(sc scale, naive bool) Case {
+	name := "BestResponseDynamics"
+	if naive {
+		name += "Naive"
+	}
+	return Case{
+		Name: fmt.Sprintf("%s/%s", name, sc.name),
+		Setup: func() (func() error, error) {
+			m, err := benchMarket(sc)
+			if err != nil {
+				return nil, err
+			}
+			g := game.New(m)
+			g.NaiveScan = naive
+			init := make(mec.Placement, len(m.Providers))
+			return func() error {
+				for l := range init {
+					init[l] = mec.Remote
+				}
+				_, err := g.BestResponseDynamics(init, rng.New(benchSeed), 0)
+				return err
+			}, nil
+		},
+	}
+}
+
+func reequilibrateCase(sc scale, naive bool) Case {
+	name := "Reequilibrate"
+	if naive {
+		name += "Naive"
+	}
+	return Case{
+		Name: fmt.Sprintf("%s/%s", name, sc.name),
+		Setup: func() (func() error, error) {
+			m, err := benchMarket(sc)
+			if err != nil {
+				return nil, err
+			}
+			pl := joinedPlacement(m)
+			opts := dynamic.EpochOptions{
+				Xi: 0.7, Seed: benchSeed, MigrationAware: true, Reference: naive,
+			}
+			return func() error {
+				_, _, err := dynamic.Reequilibrate(m, pl, opts)
+				return err
+			}, nil
+		},
+	}
+}
+
+func admissionCase(sc scale) Case {
+	return Case{
+		Name: fmt.Sprintf("DaemonAdmission/%s", sc.name),
+		Setup: func() (func() error, error) {
+			cfg := server.DefaultConfig(benchSeed)
+			cfg.Size = sc.nodes
+			cfg.Workload = benchWorkload(sc)
+			cfg.TraceDepth = 0 // admissions run the untraced hot path
+			s, err := server.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Start()
+			h := s.Handler()
+			v := s.View()
+			wl := cfg.Workload
+			pool := make([][]byte, 64)
+			for i := range pool {
+				p := wl.DrawProvider(rng.Substream(benchSeed, uint64(i)), v.NumDCs, v.NumNodes)
+				body, err := json.Marshal(p)
+				if err != nil {
+					return nil, err
+				}
+				pool[i] = body
+			}
+			admit := func(body []byte) (int64, error) {
+				req := httptest.NewRequest(http.MethodPost, "/v1/providers", bytes.NewReader(body))
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, req)
+				if rw.Code != http.StatusCreated {
+					return 0, fmt.Errorf("admission status %d: %s", rw.Code, rw.Body.String())
+				}
+				var ar struct {
+					ID int64 `json:"id"`
+				}
+				if err := json.Unmarshal(rw.Body.Bytes(), &ar); err != nil {
+					return 0, err
+				}
+				return ar.ID, nil
+			}
+			// Fill the market to the scale's provider count so the timed
+			// admissions land in a congested steady state.
+			for i := 0; i < sc.providers; i++ {
+				if _, err := admit(pool[i%len(pool)]); err != nil {
+					return nil, err
+				}
+			}
+			n := sc.providers
+			return func() error {
+				id, err := admit(pool[n%len(pool)])
+				if err != nil {
+					return err
+				}
+				n++
+				req := httptest.NewRequest(http.MethodDelete, fmt.Sprintf("/v1/providers/%d", id), nil)
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, req)
+				if rw.Code != http.StatusNoContent {
+					return fmt.Errorf("depart status %d: %s", rw.Code, rw.Body.String())
+				}
+				return nil
+			}, nil
+		},
+	}
+}
+
+// Cases returns every tracked benchmark, engine/naive pairs first.
+func Cases() []Case {
+	var cs []Case
+	for _, sc := range scales {
+		cs = append(cs,
+			dynamicsCase(sc, false),
+			dynamicsCase(sc, true),
+			reequilibrateCase(sc, false),
+			reequilibrateCase(sc, true),
+			admissionCase(sc),
+		)
+	}
+	return cs
+}
+
+// Result is one measured case, as committed in BENCH_<pr>.json.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp float64 `json:"allocsPerOp"`
+}
+
+// File is the committed benchmark baseline.
+type File struct {
+	// Note documents how to regenerate the file.
+	Note    string   `json:"note"`
+	Results []Result `json:"results"`
+}
+
+// Measure times one case: a warm-up op, then batches of operations until
+// minDuration of measured time accumulates (or maxIters operations ran,
+// whichever comes first; maxIters <= 0 means unbounded). Allocations are
+// read from runtime.MemStats deltas around the timed region.
+func Measure(c Case, minDuration time.Duration, maxIters int) (Result, error) {
+	op, err := c.Setup()
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: setup: %w", c.Name, err)
+	}
+	if err := op(); err != nil { // warm-up
+		return Result{}, fmt.Errorf("%s: warm-up: %w", c.Name, err)
+	}
+	var (
+		iters   int
+		elapsed time.Duration
+		mallocs uint64
+		ms      runtime.MemStats
+	)
+	batch := 1
+	for {
+		runtime.ReadMemStats(&ms)
+		before := ms.Mallocs
+		start := time.Now()
+		for i := 0; i < batch; i++ {
+			if err := op(); err != nil {
+				return Result{}, fmt.Errorf("%s: %w", c.Name, err)
+			}
+		}
+		elapsed += time.Since(start)
+		runtime.ReadMemStats(&ms)
+		mallocs += ms.Mallocs - before
+		iters += batch
+		if elapsed >= minDuration || (maxIters > 0 && iters >= maxIters) {
+			break
+		}
+		if batch < 1<<20 {
+			batch *= 2
+		}
+		if maxIters > 0 && iters+batch > maxIters {
+			batch = maxIters - iters
+		}
+	}
+	return Result{
+		Name:        c.Name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp: float64(mallocs) / float64(iters),
+	}, nil
+}
+
+// MeasureAll measures every tracked case.
+func MeasureAll(minDuration time.Duration, maxIters int) ([]Result, error) {
+	var out []Result
+	for _, c := range Cases() {
+		r, err := Measure(c, minDuration, maxIters)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -67,6 +67,10 @@ type LCFOptions struct {
 	// pick, every best-response move and round of the selfish providers,
 	// and the final convergence. Nil disables tracing at zero cost.
 	Trace obs.Tracer
+	// Reference runs the inner best-response dynamics on the pre-engine
+	// naive scan (game.Game.NaiveScan) — the differential-test and
+	// benchmark-baseline hook; the result must be identical either way.
+	Reference bool
 }
 
 // selectCoordinated applies the coordination strategy to pick which
@@ -167,6 +171,7 @@ func LCF(m *mec.Market, opts LCFOptions) (*LCFResult, error) {
 
 	g := game.New(m)
 	g.Trace = opts.Trace
+	g.NaiveScan = opts.Reference
 	init := make(mec.Placement, n)
 	for l := range init {
 		init[l] = mec.Remote

@@ -1,0 +1,74 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/mec"
+	"mecache/internal/workload"
+)
+
+// TestDifferentialReequilibrate runs every epoch variant twice — the
+// incremental engine and the pre-engine reference (naive scans inside LCF,
+// clone-based hysteresis probes) — and demands byte-identical placements
+// and bit-equal stats across fuzz markets and fault masks.
+func TestDifferentialReequilibrate(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		cfg := workload.Default(seed * 19)
+		cfg.NumProviders = 40
+		m, err := workload.GenerateGTITM(80, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl := make(mec.Placement, len(m.Providers))
+		for l := range pl {
+			pl[l] = mec.Remote
+		}
+		for l := range pl {
+			pl[l] = BestResponseAvoidingFailed(m, pl, l, nil)
+		}
+		failed := make([]bool, m.Net.NumCloudlets())
+		failed[int(seed)%len(failed)] = true
+		frozen := make([]bool, len(m.Providers))
+		for i := range frozen {
+			frozen[i] = i%5 == int(seed)%5
+		}
+
+		for _, opts := range []EpochOptions{
+			{Xi: 0.6, Seed: seed},
+			{Xi: 0.6, Seed: seed, MigrationAware: true},
+			{Xi: 0.8, Seed: seed, MigrationAware: true, Failed: failed, Frozen: frozen},
+		} {
+			engine := opts
+			naive := opts
+			naive.Reference = true
+			nextE, stE, err := Reequilibrate(m, pl, engine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nextN, stN, err := Reequilibrate(m, pl, naive)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range nextE {
+				if nextE[i] != nextN[i] {
+					t.Fatalf("seed=%d xi=%v aware=%v: provider %d at %d (engine) vs %d (reference)",
+						seed, opts.Xi, opts.MigrationAware, i, nextE[i], nextN[i])
+				}
+			}
+			if math.Float64bits(stE.SocialCost) != math.Float64bits(stN.SocialCost) ||
+				math.Float64bits(stE.MigrationCost) != math.Float64bits(stN.MigrationCost) {
+				t.Fatalf("seed=%d xi=%v aware=%v: stats diverge: social %x/%x migration %x/%x",
+					seed, opts.Xi, opts.MigrationAware,
+					math.Float64bits(stE.SocialCost), math.Float64bits(stN.SocialCost),
+					math.Float64bits(stE.MigrationCost), math.Float64bits(stN.MigrationCost))
+			}
+			if stE.Reconfigurations != stN.Reconfigurations || stE.MigrationsSuppressed != stN.MigrationsSuppressed {
+				t.Fatalf("seed=%d xi=%v aware=%v: counts diverge: reconf %d/%d suppressed %d/%d",
+					seed, opts.Xi, opts.MigrationAware,
+					stE.Reconfigurations, stN.Reconfigurations,
+					stE.MigrationsSuppressed, stN.MigrationsSuppressed)
+			}
+		}
+	}
+}

@@ -215,6 +215,16 @@ type Simulator struct {
 	live   []*liveProvider
 	nextID int
 
+	// Persistent market state: m/pl/ls mirror live exactly (market index i
+	// is live[i]) and are delta-updated on every arrival, departure, and
+	// move via addProvider/setChoice — never rebuilt per event. All three
+	// are nil while the market is empty; a market grown by appends is
+	// indistinguishable from one batch-built over the same providers
+	// (mec/mutate_test.go), so this is invisible to fixed-seed results.
+	m  *mec.Market
+	pl mec.Placement
+	ls *game.LoadState
+
 	metrics      Metrics
 	lastT        float64
 	costIntegral float64
@@ -268,23 +278,39 @@ func New(topo *topology.Topology, cfg Config) (*Simulator, error) {
 	return s, nil
 }
 
-// market assembles a Market over the active providers; ids maps market
-// index -> live slot. Returns nil when no provider is active.
-func (s *Simulator) market() (*mec.Market, mec.Placement, error) {
-	if len(s.live) == 0 {
-		return nil, nil, nil
+// addProvider grows the persistent market by one provider (at Remote) and
+// returns its index. The first arrival into an empty market boots the
+// market and load state.
+func (s *Simulator) addProvider(p mec.Provider) (int, error) {
+	if s.m == nil {
+		m, err := mec.NewMarket(s.net, []mec.Provider{p})
+		if err != nil {
+			return 0, err
+		}
+		s.m = m
+		s.pl = mec.Placement{mec.Remote}
+		s.ls = game.NewLoadState(m)
+		return 0, nil
 	}
-	providers := make([]mec.Provider, len(s.live))
-	placement := make(mec.Placement, len(s.live))
-	for i, lp := range s.live {
-		providers[i] = lp.p
-		placement[i] = lp.choice
-	}
-	m, err := mec.NewMarket(s.net, providers)
+	idx, err := s.m.AppendProvider(p)
 	if err != nil {
-		return nil, nil, err
+		return 0, err
 	}
-	return m, placement, nil
+	s.pl = append(s.pl, mec.Remote)
+	return idx, nil
+}
+
+// setChoice moves live[idx] to strategy c, keeping the placement and load
+// state in lockstep. Every strategy change in the simulator funnels through
+// here.
+func (s *Simulator) setChoice(idx, c int) {
+	lp := s.live[idx]
+	if lp.choice == c {
+		return
+	}
+	s.ls.Move(idx, lp.choice, c)
+	lp.choice = c
+	s.pl[idx] = c
 }
 
 // integrate accrues the cost and cached-fraction integrals up to the
@@ -295,20 +321,16 @@ func (s *Simulator) integrate() error {
 	if dt <= 0 {
 		return nil
 	}
-	m, pl, err := s.market()
-	if err != nil {
-		return err
-	}
-	if m != nil {
-		s.costIntegral += m.SocialCost(pl) * dt
+	if s.m != nil {
+		s.costIntegral += s.m.SocialCost(s.pl) * dt
 		cached := 0
-		for _, c := range pl {
+		for _, c := range s.pl {
 			if c != mec.Remote {
 				cached++
 			}
 		}
-		s.cachedTime += float64(cached) / float64(len(pl)) * dt
-		s.activeTime += float64(len(pl)) * dt
+		s.cachedTime += float64(cached) / float64(len(s.pl)) * dt
+		s.activeTime += float64(len(s.pl)) * dt
 		down, degraded := 0, 0
 		for _, lp := range s.live {
 			switch lp.state {
@@ -350,20 +372,19 @@ func (s *Simulator) arrive() error {
 		s.metrics.PeakActive = len(s.live)
 	}
 
-	// Selfish join: best response against everyone else's current choices.
-	// Under an active fault model the response is masked so arrivals never
-	// cache at a cloudlet that is currently down.
-	m, pl, err := s.market()
+	// Selfish join: best response against everyone else's current choices
+	// (the newcomer sits at Remote, so the persistent load state already
+	// excludes it). Under an active fault model the response is masked so
+	// arrivals never cache at a cloudlet that is currently down.
+	idx, err := s.addProvider(p)
 	if err != nil {
 		return err
 	}
+	var mask []bool
 	if s.cfg.Fault.Enabled() {
-		lp.choice = BestResponseAvoidingFailed(m, pl, len(pl)-1, s.failedCl)
-	} else {
-		g := game.New(m)
-		choice, _ := g.BestResponse(pl, len(pl)-1)
-		lp.choice = choice
+		mask = s.failedCl
 	}
+	s.setChoice(idx, BestResponseWithLoads(s.ls, s.pl, idx, mask, nil))
 
 	// Exponential lifetime.
 	life := s.r.Exp(1 / s.cfg.MeanLifetime)
@@ -393,6 +414,18 @@ func (s *Simulator) depart(id int) error {
 	}
 	for i, lp := range s.live {
 		if lp.id == id {
+			// Unwind the load contribution before indices shift, then
+			// splice the provider out of the market (or drop the market
+			// entirely when it empties — it cannot hold zero providers).
+			s.setChoice(i, mec.Remote)
+			if len(s.live) == 1 {
+				s.m, s.pl, s.ls = nil, nil, nil
+			} else {
+				if err := s.m.RemoveProvider(i); err != nil {
+					return err
+				}
+				s.pl = append(s.pl[:i], s.pl[i+1:]...)
+			}
 			s.live = append(s.live[:i], s.live[i+1:]...)
 			s.metrics.Departures++
 			return nil
@@ -413,9 +446,8 @@ func (s *Simulator) epoch() error {
 		}
 	}
 	s.metrics.Epochs++
-	m, pl, err := s.market()
-	if err != nil || m == nil {
-		return err
+	if s.m == nil {
+		return nil
 	}
 	opts := EpochOptions{
 		Xi:             s.cfg.Xi,
@@ -432,12 +464,12 @@ func (s *Simulator) epoch() error {
 			opts.Frozen[i] = lp.state != stateOK
 		}
 	}
-	next, st, err := Reequilibrate(m, pl, opts)
+	next, st, err := Reequilibrate(s.m, s.pl, opts)
 	if err != nil {
 		return err
 	}
-	for i, lp := range s.live {
-		lp.choice = next[i]
+	for i := range s.live {
+		s.setChoice(i, next[i])
 	}
 	s.metrics.Reconfigurations += st.Reconfigurations
 	s.metrics.MigrationCost += st.MigrationCost
@@ -467,6 +499,12 @@ type EpochOptions struct {
 	// one move/suppress event per provider whose LCF target differs from its
 	// current strategy. Nil disables tracing at zero cost.
 	Trace obs.Tracer
+	// Reference runs the pre-engine naive path end to end: full-scan best
+	// responses inside LCF and clone-based O(N) hysteresis probes. Exists so
+	// differential tests and the benchmark baseline can pit the incremental
+	// engine against the historical implementation in the same run; results
+	// must be identical.
+	Reference bool
 }
 
 // EpochStats reports what one re-equilibration changed.
@@ -498,10 +536,11 @@ type EpochStats struct {
 func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Placement, EpochStats, error) {
 	var st EpochStats
 	res, err := core.LCF(m, core.LCFOptions{
-		Xi:    opts.Xi,
-		Seed:  opts.Seed,
-		Appro: core.ApproOptions{Solver: core.SolverTransport},
-		Trace: opts.Trace,
+		Xi:        opts.Xi,
+		Seed:      opts.Seed,
+		Appro:     core.ApproOptions{Solver: core.SolverTransport},
+		Trace:     opts.Trace,
+		Reference: opts.Reference,
 	})
 	if err != nil {
 		return nil, st, err
@@ -545,16 +584,41 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 	// Hysteresis: apply each provider's move only if its own cost under the
 	// new placement improves on its cost of staying put (holding everyone
 	// else at the new placement) by more than the re-instantiation cost.
+	// The engine path reads both probe costs off a load state maintained
+	// incrementally over next — O(1) per mover instead of two O(N) clones
+	// and rescans; the suppressed branch moves the provider back so
+	// downstream deciders see the same loads either way.
+	var ls *game.LoadState
+	if !opts.Reference {
+		ls = game.NewLoadState(m)
+		ls.Reset(next)
+	}
 	for i := range next {
 		if next[i] == pl[i] {
 			continue
 		}
 		moved := next[i]
 		stay := pl[i]
-		probe := next.Clone()
-		costMoved := m.ProviderCost(probe, i)
-		probe[i] = stay
-		costStay := m.ProviderCost(probe, i)
+		var costMoved, costStay float64
+		if opts.Reference {
+			probe := next.Clone()
+			costMoved = m.ProviderCost(probe, i)
+			probe[i] = stay
+			costStay = m.ProviderCost(probe, i)
+		} else {
+			// i sits at moved in ls, so Count(moved) includes it and
+			// Count(stay) excludes it — both loads match the clone probes.
+			if moved == mec.Remote {
+				costMoved = m.RemoteCost(i)
+			} else {
+				costMoved = m.CostAt(i, moved, ls.Count(moved))
+			}
+			if stay == mec.Remote {
+				costStay = m.RemoteCost(i)
+			} else {
+				costStay = m.CostAt(i, stay, ls.Count(stay)+1)
+			}
+		}
 		threshold := 0.0
 		if stay != mec.Remote {
 			threshold = m.Providers[i].InstCost
@@ -574,6 +638,9 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 		} else {
 			st.MigrationsSuppressed++
 			next[i] = stay // keep downstream decisions consistent
+			if ls != nil {
+				ls.Move(i, moved, stay)
+			}
 			if opts.Trace != nil {
 				opts.Trace.Emit(obs.Event{
 					Kind: obs.KindSuppress, Provider: i, Strategy: moved, From: stay,
@@ -635,52 +702,54 @@ func fitsAt(m *mec.Market, l, i int, compute, bandwidth []float64) bool {
 // provider l restricted to live cloudlets: the same candidate scan as
 // game.BestResponse, with the cloudlets marked in failed excluded (nil
 // means every cloudlet is up). Shared by the simulator's arrivals/failovers
-// and the serving daemon's online admissions.
+// and the serving daemon's online admissions. This entry point rebuilds the
+// load state from pl on every call; callers with a placement that changes
+// one provider at a time should carry a game.LoadState across calls and use
+// BestResponseWithLoads instead.
 func BestResponseAvoidingFailed(m *mec.Market, pl mec.Placement, l int, failed []bool) int {
 	return BestResponseAvoidingFailedTraced(m, pl, l, failed, nil)
 }
 
 // BestResponseAvoidingFailedTraced is BestResponseAvoidingFailed with
 // decision tracing: every candidate strategy (remote first, then each live
-// and capacity-feasible cloudlet) is emitted with its Eq. 3 cost broken
-// out, followed by the chosen strategy. A nil tracer makes it identical to
-// the untraced scan — same candidates, same tie-breaking, same result.
+// and capacity-feasible cloudlet in ascending base-cost order) is emitted
+// with its Eq. 3 cost broken out, followed by the chosen strategy. A nil
+// tracer makes it identical to the untraced scan — same candidates, same
+// tie-breaking, same result.
 func BestResponseAvoidingFailedTraced(m *mec.Market, pl mec.Placement, l int, failed []bool, tr obs.Tracer) int {
+	ls := game.NewLoadState(m)
+	ls.Reset(pl)
+	return BestResponseWithLoads(ls, pl, l, failed, tr)
+}
+
+// BestResponseWithLoads is the incremental form of the masked best
+// response: ls must reflect pl exactly (including provider l's current
+// strategy — it is excluded for the duration of the scan). Both the traced
+// and untraced paths run the engine's scan, so they cannot diverge.
+func BestResponseWithLoads(ls *game.LoadState, pl mec.Placement, l int, failed []bool, tr obs.Tracer) int {
+	cur := pl[l]
+	if cur != mec.Remote {
+		ls.Remove(l, cur)
+		defer ls.Add(l, cur)
+	}
+	best, _ := ls.BestResponseTraced(l, cur, true, failed, tr)
+	return best
+}
+
+// bestResponseNaive is the pre-engine reference scan, kept for the
+// differential tests and the benchmark baseline (EpochOptions.Reference).
+func bestResponseNaive(m *mec.Market, pl mec.Placement, l int, failed []bool) int {
 	count, compute, bandwidth := resourceLoads(m, pl, l)
 	best := mec.Remote
 	bestC := m.RemoteCost(l)
-	cur := pl[l]
-	if tr != nil {
-		b := m.Breakdown(l, mec.Remote, 0)
-		tr.Emit(obs.Event{
-			Kind: obs.KindCandidate, Provider: l, Strategy: mec.Remote, From: cur,
-			Cost: b, Total: b.Total(),
-		})
-	}
 	for i := 0; i < m.Net.NumCloudlets(); i++ {
 		if (failed != nil && failed[i]) || !fitsAt(m, l, i, compute, bandwidth) {
 			continue
 		}
 		c := m.CostAt(l, i, count[i]+1)
-		if tr != nil {
-			tr.Emit(obs.Event{
-				Kind: obs.KindCandidate, Provider: l, Strategy: i, From: cur,
-				Load: count[i] + 1, Cost: m.Breakdown(l, i, count[i]+1), Total: c,
-			})
-		}
 		if c < bestC-1e-15 {
 			best, bestC = i, c
 		}
-	}
-	if tr != nil {
-		load := 0
-		if best != mec.Remote {
-			load = count[best] + 1
-		}
-		tr.Emit(obs.Event{
-			Kind: obs.KindChoice, Provider: l, Strategy: best, From: cur,
-			Load: load, Cost: m.Breakdown(l, best, load), Total: bestC,
-		})
 	}
 	return best
 }
@@ -694,9 +763,9 @@ func (s *Simulator) cloudletFail(i int) error {
 	}
 	s.failedCl[i] = true
 	s.metrics.CloudletOutages++
-	for _, lp := range s.live {
+	for idx, lp := range s.live {
 		if lp.choice == i {
-			s.beginFailover(lp, i)
+			s.beginFailover(idx, lp, i)
 		}
 	}
 	return nil
@@ -705,8 +774,8 @@ func (s *Simulator) cloudletFail(i int) error {
 // beginFailover marks the provider unreachable and schedules the policy
 // resolution once the failure is detected. source is the failed cloudlet,
 // or -1 for an isolated instance crash.
-func (s *Simulator) beginFailover(lp *liveProvider, source int) {
-	lp.choice = mec.Remote // the original instance will absorb the traffic
+func (s *Simulator) beginFailover(idx int, lp *liveProvider, source int) {
+	s.setChoice(idx, mec.Remote) // the original instance absorbs the traffic
 	lp.state = stateDetecting
 	lp.failedAt = s.kernel.Now()
 	lp.waitSeq++
@@ -767,11 +836,7 @@ func (s *Simulator) resolveFailover(id, source, seq int) error {
 // replace re-places a provider with a best response over live cloudlets,
 // paying the re-instantiation cost when a new cached instance is created.
 func (s *Simulator) replace(idx int, lp *liveProvider) error {
-	m, pl, err := s.market()
-	if err != nil {
-		return err
-	}
-	lp.choice = BestResponseAvoidingFailed(m, pl, idx, s.failedCl)
+	s.setChoice(idx, BestResponseWithLoads(s.ls, s.pl, idx, s.failedCl, nil))
 	lp.state = stateOK
 	if lp.choice != mec.Remote {
 		s.metrics.MigrationCost += lp.p.InstCost
@@ -784,14 +849,10 @@ func (s *Simulator) replace(idx int, lp *liveProvider) error {
 // only if the hysteresis check passes — its cost saving over staying remote
 // must exceed the re-instantiation cost — and it still fits.
 func (s *Simulator) tryFailback(idx int, lp *liveProvider, cl int) error {
-	m, pl, err := s.market()
-	if err != nil {
-		return err
-	}
-	count, compute, bandwidth := resourceLoads(m, pl, idx)
-	saving := m.RemoteCost(idx) - m.CostAt(idx, cl, count[cl]+1)
-	if fitsAt(m, idx, cl, compute, bandwidth) && saving > lp.p.InstCost {
-		lp.choice = cl
+	// The waiting provider sits at Remote, so the load state excludes it.
+	saving := s.m.RemoteCost(idx) - s.m.CostAt(idx, cl, s.ls.Count(cl)+1)
+	if s.ls.Fits(idx, cl) && saving > lp.p.InstCost {
+		s.setChoice(idx, cl)
 		s.metrics.MigrationCost += lp.p.InstCost
 		s.metrics.FailbackReturns++
 	}
@@ -876,16 +937,16 @@ func (s *Simulator) instanceCrash() error {
 	if err := s.integrate(); err != nil {
 		return err
 	}
-	var victims []*liveProvider
-	for _, lp := range s.live {
+	var victims []int
+	for idx, lp := range s.live {
 		if lp.choice != mec.Remote && lp.state == stateOK {
-			victims = append(victims, lp)
+			victims = append(victims, idx)
 		}
 	}
 	if len(victims) > 0 {
-		lp := victims[s.fr.Intn(len(victims))]
+		idx := victims[s.fr.Intn(len(victims))]
 		s.metrics.InstanceCrashes++
-		s.beginFailover(lp, -1)
+		s.beginFailover(idx, s.live[idx], -1)
 	}
 	return s.scheduleNextCrash()
 }

@@ -158,10 +158,7 @@ func TestCapacityInvariantProperty(t *testing.T) {
 		if _, err := sim.Run(); err != nil {
 			return false
 		}
-		m, pl, err := sim.market()
-		if err != nil {
-			return false
-		}
+		m, pl := sim.m, sim.pl
 		if m == nil {
 			return true // nobody active at the horizon
 		}
@@ -185,10 +182,7 @@ func TestArrivalsJoinSelfishly(t *testing.T) {
 	if _, err := sim.Run(); err != nil {
 		t.Fatal(err)
 	}
-	m, pl, err := sim.market()
-	if err != nil {
-		t.Fatal(err)
-	}
+	m, pl := sim.m, sim.pl
 	if m == nil {
 		t.Skip("no active providers at horizon")
 	}

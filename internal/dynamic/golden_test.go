@@ -1,0 +1,181 @@
+package dynamic
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mecache/internal/fault"
+	"mecache/internal/mec"
+	"mecache/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// compareGolden marshals got and compares it against the golden file,
+// rewriting the file under -update.
+func compareGolden[T any](t *testing.T, path string, got T) {
+	t.Helper()
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	var want T
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("golden mismatch for %s:\ngot:\n%s\nwant:\n%s", path, gotJSON, data)
+	}
+}
+
+// goldenEpochEntry pins one Reequilibrate call bit-for-bit.
+type goldenEpochEntry struct {
+	Name             string `json:"name"`
+	Placement        []int  `json:"placement"`
+	SocialBits       uint64 `json:"socialBits"`
+	Reconfigurations int    `json:"reconfigurations"`
+	Suppressed       int    `json:"suppressed"`
+	MigrationBits    uint64 `json:"migrationBits"`
+}
+
+// TestGoldenReequilibrate asserts fixed-seed epoch re-equilibrations return
+// the committed pre-refactor placements byte for byte: the plain epoch, the
+// migration-aware (hysteresis) epoch, and a faulted epoch with frozen
+// providers and failed cloudlets. Regenerate with -update only for changes
+// that are meant to alter results.
+func TestGoldenReequilibrate(t *testing.T) {
+	cfg := workload.Default(17)
+	cfg.NumProviders = 50
+	m, err := workload.GenerateGTITM(100, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial placement: providers join selfishly one by one, exactly like
+	// online arrivals.
+	pl := make(mec.Placement, len(m.Providers))
+	for l := range pl {
+		pl[l] = mec.Remote
+	}
+	for l := range pl {
+		pl[l] = BestResponseAvoidingFailed(m, pl, l, nil)
+	}
+
+	failed := make([]bool, m.Net.NumCloudlets())
+	failed[0] = true
+	if len(failed) > 2 {
+		failed[2] = true
+	}
+	frozen := make([]bool, len(m.Providers))
+	for i := range frozen {
+		frozen[i] = i%7 == 0
+	}
+
+	cases := []struct {
+		name string
+		opts EpochOptions
+	}{
+		{"plain", EpochOptions{Xi: 0.7, Seed: 99}},
+		{"hysteresis", EpochOptions{Xi: 0.7, Seed: 99, MigrationAware: true}},
+		{"faulted", EpochOptions{Xi: 0.7, Seed: 99, MigrationAware: true, Failed: failed, Frozen: frozen}},
+	}
+	var got []goldenEpochEntry
+	for _, c := range cases {
+		next, st, err := Reequilibrate(m, pl, c.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, goldenEpochEntry{
+			Name:             c.name,
+			Placement:        next,
+			SocialBits:       math.Float64bits(st.SocialCost),
+			Reconfigurations: st.Reconfigurations,
+			Suppressed:       st.MigrationsSuppressed,
+			MigrationBits:    math.Float64bits(st.MigrationCost),
+		})
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_reequilibrate.json"), got)
+}
+
+// goldenSimEntry pins one full dynamic-market run.
+type goldenSimEntry struct {
+	Name              string `json:"name"`
+	Arrivals          int    `json:"arrivals"`
+	Departures        int    `json:"departures"`
+	Epochs            int    `json:"epochs"`
+	Reconfigurations  int    `json:"reconfigurations"`
+	Suppressed        int    `json:"suppressed"`
+	Failovers         int    `json:"failovers"`
+	CostBits          uint64 `json:"costBits"`
+	CachedBits        uint64 `json:"cachedBits"`
+	MigrationCostBits uint64 `json:"migrationCostBits"`
+	AvailabilityBits  uint64 `json:"availabilityBits"`
+}
+
+// TestGoldenSimulator asserts full fixed-seed simulator runs (selfish,
+// epochs + hysteresis, and a faulty market) reproduce the committed metrics
+// bit for bit.
+func TestGoldenSimulator(t *testing.T) {
+	mk := func(name string, mutate func(*Config)) goldenSimEntry {
+		cfg := DefaultConfig(11)
+		cfg.Horizon = 150
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		s, err := New(nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		met, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return goldenSimEntry{
+			Name:              name,
+			Arrivals:          met.Arrivals,
+			Departures:        met.Departures,
+			Epochs:            met.Epochs,
+			Reconfigurations:  met.Reconfigurations,
+			Suppressed:        met.MigrationsSuppressed,
+			Failovers:         met.Failovers,
+			CostBits:          math.Float64bits(met.TimeAvgSocialCost),
+			CachedBits:        math.Float64bits(met.CachedFraction),
+			MigrationCostBits: math.Float64bits(met.MigrationCost),
+			AvailabilityBits:  math.Float64bits(met.Availability),
+		}
+	}
+	got := []goldenSimEntry{
+		mk("selfish", func(c *Config) { c.Epoch = 0 }),
+		mk("epochs-hysteresis", func(c *Config) { c.MigrationAware = true }),
+		mk("faulty", func(c *Config) {
+			c.MigrationAware = true
+			c.Fault = fault.Config{
+				CloudletMTBF:   80,
+				CloudletMTTR:   6,
+				InstanceMTBF:   400,
+				DetectionDelay: 0.5,
+				WaitTimeout:    10,
+				Policy:         fault.PolicyReplace,
+			}
+		}),
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_sim.json"), got)
+}

@@ -1,0 +1,149 @@
+package game
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/workload"
+)
+
+// The differential suite pits the incremental engine (pruned base-sorted
+// scan over a delta-maintained LoadState) against the pre-engine naive
+// reference (full ascending-index rescan) and demands byte-identical
+// placements and bit-equal costs. It sweeps the axes that could plausibly
+// break the scan-order-equivalence argument: non-linear congestion models
+// (the congestion floor changes), capacity-tight cloudlets (candidates
+// skipped mid-scan), and failed-cloudlet masks.
+
+// tightenCapacities scales every cloudlet's capacities down so a meaningful
+// fraction of candidates fails the feasibility check during scans.
+func tightenCapacities(m *mec.Market, factor float64) {
+	for i := range m.Net.Cloudlets {
+		m.Net.Cloudlets[i].ComputeCap *= factor
+		m.Net.Cloudlets[i].BandwidthCap *= factor
+	}
+}
+
+func diffMarket(t *testing.T, seed uint64, providers int, cm mec.CongestionModel, tight bool) *mec.Market {
+	t.Helper()
+	cfg := workload.Default(seed)
+	cfg.NumProviders = providers
+	m, err := workload.GenerateGTITM(80, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight {
+		tightenCapacities(m, 0.35)
+	}
+	if cm != nil {
+		if err := m.SetCongestionModel(cm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+// TestDifferentialDynamics runs full best-response dynamics twice per fuzz
+// market — engine scan vs naive scan — and requires identical trajectories.
+func TestDifferentialDynamics(t *testing.T) {
+	models := []struct {
+		name string
+		cm   mec.CongestionModel
+	}{
+		{"linear", nil}, // nil model is the paper's proportional Level(k)=k
+		{"poly", mec.PolynomialCongestion{Degree: 1.5}},
+		{"exp", mec.ExponentialCongestion{Base: 1.08}},
+	}
+	for _, mod := range models {
+		for _, tight := range []bool{false, true} {
+			for seed := uint64(1); seed <= 5; seed++ {
+				m := diffMarket(t, seed*13+7, 40, mod.cm, tight)
+
+				run := func(naive bool) (mec.Placement, float64, float64, DynamicsResult) {
+					g := New(m)
+					g.NaiveScan = naive
+					init := make(mec.Placement, len(m.Providers))
+					for l := range init {
+						init[l] = mec.Remote
+					}
+					res, err := g.BestResponseDynamics(init, rng.New(seed), 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res.Placement, m.SocialCost(res.Placement), g.Potential(res.Placement), res
+				}
+				plE, scE, phiE, resE := run(false)
+				plN, scN, phiN, resN := run(true)
+
+				for l := range plE {
+					if plE[l] != plN[l] {
+						t.Fatalf("%s tight=%v seed=%d: provider %d placed at %d (engine) vs %d (naive)",
+							mod.name, tight, seed, l, plE[l], plN[l])
+					}
+				}
+				if math.Float64bits(scE) != math.Float64bits(scN) {
+					t.Fatalf("%s tight=%v seed=%d: social cost bits differ: %x vs %x",
+						mod.name, tight, seed, math.Float64bits(scE), math.Float64bits(scN))
+				}
+				if math.Float64bits(phiE) != math.Float64bits(phiN) {
+					t.Fatalf("%s tight=%v seed=%d: potential bits differ: %x vs %x",
+						mod.name, tight, seed, math.Float64bits(phiE), math.Float64bits(phiN))
+				}
+				if resE.Rounds != resN.Rounds || resE.Moves != resN.Moves {
+					t.Fatalf("%s tight=%v seed=%d: trajectory differs: rounds %d/%d moves %d/%d",
+						mod.name, tight, seed, resE.Rounds, resN.Rounds, resE.Moves, resN.Moves)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMaskedScan fuzzes single best responses under random
+// failed-cloudlet masks and random mid-stream placements: the pruned,
+// the traced, and the naive scans must agree on every single decision.
+func TestDifferentialMaskedScan(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		m := diffMarket(t, seed*31+3, 35, mec.PolynomialCongestion{Degree: 2}, seed%2 == 0)
+		r := rng.New(seed ^ 0xd1ff)
+		nc := m.Net.NumCloudlets()
+
+		pl := make(mec.Placement, len(m.Providers))
+		for l := range pl {
+			pl[l] = mec.Remote
+		}
+		ls := NewLoadState(m)
+		for trial := 0; trial < 200; trial++ {
+			failed := make([]bool, nc)
+			for i := range failed {
+				failed[i] = r.Intn(5) == 0
+			}
+			l := r.Intn(len(pl))
+			cur := pl[l]
+			if cur != mec.Remote {
+				ls.Remove(l, cur)
+			}
+			sE, cE := ls.BestResponse(l, true, failed)
+			sT, cT := ls.BestResponseTraced(l, cur, true, failed, nil)
+			sN, cN := ls.BestResponseNaive(l, true, failed)
+			if sE != sN || sE != sT {
+				t.Fatalf("seed=%d trial=%d: strategies diverge: engine %d traced %d naive %d",
+					seed, trial, sE, sT, sN)
+			}
+			if math.Float64bits(cE) != math.Float64bits(cN) || math.Float64bits(cE) != math.Float64bits(cT) {
+				t.Fatalf("seed=%d trial=%d: costs diverge: %x / %x / %x",
+					seed, trial, math.Float64bits(cE), math.Float64bits(cT), math.Float64bits(cN))
+			}
+			// Walk the market through the chosen move so later trials scan
+			// non-trivial load patterns.
+			if sE != mec.Remote && (failed[sE] || !ls.Fits(l, sE)) {
+				t.Fatalf("seed=%d trial=%d: chose masked or infeasible cloudlet %d", seed, trial, sE)
+			}
+			if sE != mec.Remote {
+				ls.Add(l, sE)
+			}
+			pl[l] = sE
+		}
+	}
+}

@@ -49,6 +49,11 @@ type Game struct {
 	// runs of the same seed reach identical placements. Do not share a
 	// tracer across the parallel restart searches.
 	Trace obs.Tracer
+	// NaiveScan replaces the pruned base-sorted candidate scan with the
+	// historical ascending-index full scan (LoadState.BestResponseNaive).
+	// It exists for the differential tests and the benchmark baseline —
+	// both scans must reach identical placements at every fixed seed.
+	NaiveScan bool
 }
 
 // New returns a game over the market with no pinned players, capacity
@@ -62,52 +67,16 @@ func New(m *mec.Market) *Game {
 	}
 }
 
-// resourceLoads tracks per-cloudlet usage incrementally during dynamics.
-type resourceLoads struct {
-	count     []int
-	compute   []float64
-	bandwidth []float64
-}
-
-func (g *Game) newLoads(pl mec.Placement) *resourceLoads {
-	nc := g.Market.Net.NumCloudlets()
-	rl := &resourceLoads{
-		count:     make([]int, nc),
-		compute:   make([]float64, nc),
-		bandwidth: make([]float64, nc),
-	}
-	for l, s := range pl {
-		if s != mec.Remote {
-			rl.add(g.Market, l, s)
-		}
-	}
-	return rl
-}
-
-func (rl *resourceLoads) add(m *mec.Market, l, i int) {
-	p := &m.Providers[l]
-	rl.count[i]++
-	rl.compute[i] += p.ComputeDemand()
-	rl.bandwidth[i] += p.BandwidthDemand()
-}
-
-func (rl *resourceLoads) remove(m *mec.Market, l, i int) {
-	p := &m.Providers[l]
-	rl.count[i]--
-	rl.compute[i] -= p.ComputeDemand()
-	rl.bandwidth[i] -= p.BandwidthDemand()
+func (g *Game) newLoads(pl mec.Placement) *LoadState {
+	ls := NewLoadState(g.Market)
+	ls.Reset(pl)
+	return ls
 }
 
 // fits reports whether provider l fits in cloudlet i given current usage
 // (with l already removed from the loads).
-func (g *Game) fits(rl *resourceLoads, l, i int) bool {
-	if !g.CapacityAware {
-		return true
-	}
-	p := &g.Market.Providers[l]
-	cl := &g.Market.Net.Cloudlets[i]
-	return rl.compute[i]+p.ComputeDemand() <= cl.ComputeCap+1e-9 &&
-		rl.bandwidth[i]+p.BandwidthDemand() <= cl.BandwidthCap+1e-9
+func (g *Game) fits(rl *LoadState, l, i int) bool {
+	return !g.CapacityAware || rl.Fits(l, i)
 }
 
 // BestResponse returns provider l's cost-minimizing strategy against the
@@ -119,28 +88,23 @@ func (g *Game) BestResponse(pl mec.Placement, l int) (int, float64) {
 }
 
 // bestResponseLoads is the incremental core: rl must reflect pl exactly.
-func (g *Game) bestResponseLoads(rl *resourceLoads, pl mec.Placement, l int) (int, float64) {
+func (g *Game) bestResponseLoads(rl *LoadState, pl mec.Placement, l int) (int, float64) {
 	cur := pl[l]
 	if cur != mec.Remote {
-		rl.remove(g.Market, l, cur)
-		defer rl.add(g.Market, l, cur)
+		rl.Remove(l, cur)
+		defer rl.Add(l, cur)
 	}
-	bestS := mec.Remote
-	bestC := g.Market.RemoteCost(l)
-	for i := 0; i < g.Market.Net.NumCloudlets(); i++ {
-		if !g.fits(rl, l, i) {
-			continue
-		}
-		// Joining i makes its load count[i]+1 (including l).
-		c := g.Market.CostAt(l, i, rl.count[i]+1)
-		if c < bestC-1e-15 {
-			bestS, bestC = i, c
-		}
+	var bestS int
+	var bestC float64
+	if g.NaiveScan {
+		bestS, bestC = rl.BestResponseNaive(l, g.CapacityAware, nil)
+	} else {
+		bestS, bestC = rl.BestResponse(l, g.CapacityAware, nil)
 	}
 	if g.Trace != nil {
 		load := 0
 		if bestS != mec.Remote {
-			load = rl.count[bestS] + 1
+			load = rl.Count(bestS) + 1
 		}
 		g.Trace.Emit(obs.Event{
 			Kind: obs.KindChoice, Provider: l, Strategy: bestS, From: cur,
@@ -163,11 +127,10 @@ func (g *Game) Potential(pl mec.Placement) float64 {
 	loads := g.Market.Loads(pl)
 	phi := 0.0
 	for i, k := range loads {
-		sum := 0.0
-		for j := 1; j <= k; j++ {
-			sum += g.Market.CongestionLevel(j)
-		}
-		phi += g.Market.CongestionCoeff(i) * sum
+		// LevelPrefix is the Σ_{j=1..k} Level(j) accumulated in the same
+		// ascending order a direct loop would use, so Φ is bit-identical to
+		// the pre-cache implementation.
+		phi += g.Market.CongestionCoeff(i) * g.Market.LevelPrefix(k)
 	}
 	for l, s := range pl {
 		if s == mec.Remote {
@@ -197,12 +160,12 @@ func (g *Game) IsNash(pl mec.Placement) bool {
 }
 
 // playerCost evaluates provider l's cost under pl using the load cache.
-func (g *Game) playerCost(rl *resourceLoads, pl mec.Placement, l int) float64 {
+func (g *Game) playerCost(rl *LoadState, pl mec.Placement, l int) float64 {
 	s := pl[l]
 	if s == mec.Remote {
 		return g.Market.RemoteCost(l)
 	}
-	return g.Market.CostAt(l, s, rl.count[s])
+	return g.Market.CostAt(l, s, rl.Count(s))
 }
 
 // DynamicsResult reports a best-response run.
@@ -256,12 +219,7 @@ func (g *Game) BestResponseDynamics(init mec.Placement, r *rng.Source, maxRounds
 						Round: res.Rounds, Total: c,
 					})
 				}
-				if pl[l] != mec.Remote {
-					rl.remove(g.Market, l, pl[l])
-				}
-				if s != mec.Remote {
-					rl.add(g.Market, l, s)
-				}
+				rl.Move(l, pl[l], s)
 				pl[l] = s
 				res.Moves++
 				moved = true
@@ -436,7 +394,7 @@ func (g *Game) randomInit(base mec.Placement, r *rng.Source) mec.Placement {
 		// cloudlet fits.
 		if k := r.Intn(len(feasible) + 1); k < len(feasible) {
 			init[l] = feasible[k]
-			rl.add(g.Market, l, feasible[k])
+			rl.Add(l, feasible[k])
 		}
 	}
 	return init

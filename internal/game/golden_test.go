@@ -1,0 +1,116 @@
+package game
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDynamicsEntry pins one fixed-seed best-response run: the exact
+// placement and the bit patterns of its social cost and potential. Costs are
+// stored as Float64bits so the comparison is bit-equality, not approximate.
+type goldenDynamicsEntry struct {
+	Size          int    `json:"size"`
+	Providers     int    `json:"providers"`
+	Seed          uint64 `json:"seed"`
+	Placement     []int  `json:"placement"`
+	SocialBits    uint64 `json:"socialBits"`
+	PotentialBits uint64 `json:"potentialBits"`
+	Rounds        int    `json:"rounds"`
+	Moves         int    `json:"moves"`
+}
+
+// goldenMarket builds the deterministic GT-ITM market the golden fixtures
+// are pinned to.
+func goldenMarket(t testing.TB, size, providers int, seed uint64) *mec.Market {
+	t.Helper()
+	cfg := workload.Default(seed)
+	cfg.NumProviders = providers
+	m, err := workload.GenerateGTITM(size, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGoldenDynamicsPlacements asserts that fixed-seed best-response
+// dynamics reproduce the committed pre-refactor placements byte for byte
+// (and their social cost / Rosenthal potential bit for bit). Regenerate with
+// `go test ./internal/game -run Golden -update` — but a diff here after a
+// performance change means the optimization altered results and must be
+// fixed, not re-baselined.
+func TestGoldenDynamicsPlacements(t *testing.T) {
+	scales := []struct {
+		size, providers int
+		seed            uint64
+	}{
+		{60, 30, 3},
+		{120, 60, 42},
+		{250, 100, 7},
+	}
+	var got []goldenDynamicsEntry
+	for _, sc := range scales {
+		m := goldenMarket(t, sc.size, sc.providers, sc.seed)
+		g := New(m)
+		init := make(mec.Placement, len(m.Providers))
+		for l := range init {
+			init[l] = mec.Remote
+		}
+		res, err := g.BestResponseDynamics(init, rng.New(sc.seed), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, goldenDynamicsEntry{
+			Size:          sc.size,
+			Providers:     sc.providers,
+			Seed:          sc.seed,
+			Placement:     res.Placement,
+			SocialBits:    math.Float64bits(m.SocialCost(res.Placement)),
+			PotentialBits: math.Float64bits(g.Potential(res.Placement)),
+			Rounds:        res.Rounds,
+			Moves:         res.Moves,
+		})
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_dynamics.json"), got)
+}
+
+// compareGolden marshals got and compares it against the golden file,
+// rewriting the file under -update.
+func compareGolden[T any](t *testing.T, path string, got T) {
+	t.Helper()
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	var want T
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gotJSON, _ := json.MarshalIndent(got, "", "  ")
+		t.Fatalf("golden mismatch for %s:\ngot:\n%s\nwant:\n%s", path, gotJSON, data)
+	}
+}

@@ -1,7 +1,6 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
 )
 
@@ -14,18 +13,52 @@ type pqItem struct {
 	dist float64
 }
 
+// pq is a typed binary min-heap on dist. container/heap's interface would
+// box every pqItem through interface{} on Push/Pop — two heap allocations
+// per relaxed edge — so the sift routines are hand-rolled over the concrete
+// slice instead and the queue allocates only when it grows its backing
+// array.
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func (q *pq) push(it pqItem) {
+	*q = append(*q, it)
+	// Sift up.
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].dist <= s[i].dist {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+}
+
+func (q *pq) pop() pqItem {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*q = s[:n]
+	s = s[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s[l].dist < s[smallest].dist {
+			smallest = l
+		}
+		if r < n && s[r].dist < s[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
 }
 
 // ShortestPaths holds the result of a single-source Dijkstra run.
@@ -49,9 +82,10 @@ func (g *Graph) Dijkstra(src int) ShortestPaths {
 		sp.Prev[i] = -1
 	}
 	sp.Dist[src] = 0
-	q := &pq{{node: src, dist: 0}}
-	for q.Len() > 0 {
-		it, _ := heap.Pop(q).(pqItem)
+	q := make(pq, 1, n)
+	q[0] = pqItem{node: src, dist: 0}
+	for len(q) > 0 {
+		it := q.pop()
 		if it.dist > sp.Dist[it.node] {
 			continue // stale entry
 		}
@@ -59,7 +93,7 @@ func (g *Graph) Dijkstra(src int) ShortestPaths {
 			if nd := it.dist + e.Weight; nd < sp.Dist[e.To] {
 				sp.Dist[e.To] = nd
 				sp.Prev[e.To] = it.node
-				heap.Push(q, pqItem{node: e.To, dist: nd})
+				q.push(pqItem{node: e.To, dist: nd})
 			}
 		}
 	}

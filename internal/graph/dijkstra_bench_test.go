@@ -1,0 +1,29 @@
+package graph_test
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/topology"
+)
+
+// BenchmarkAllPairsGTITM250 measures all-pairs Dijkstra on the 250-node
+// GT-ITM topology the large-scale experiments use. ReportAllocs pins the
+// typed index-heap win: the former container/heap queue boxed every push
+// and pop through interface{}, adding two heap allocations per relaxed edge
+// (tens of thousands per AllPairs call at this size); the typed heap's only
+// allocations are the result rows and the occasional queue growth.
+func BenchmarkAllPairsGTITM250(b *testing.B) {
+	top, err := topology.GTITM(7, 250)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist := top.Graph.AllPairs()
+		if math.IsInf(dist[0][top.N()-1], 1) {
+			b.Fatal("disconnected topology")
+		}
+	}
+}

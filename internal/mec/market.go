@@ -3,6 +3,7 @@ package mec
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Provider is a network service provider sp_l with the single service SV_l
@@ -56,6 +57,26 @@ type Market struct {
 	// i; remote[l] caches the cost of not caching.
 	base   [][]float64
 	remote []float64
+
+	// scanOrder[l] lists cloudlet indices in ascending (base[l][i], i)
+	// order. Base costs are congestion-independent, so the order survives
+	// SetCongestionModel; best-response scans walk it and stop at the first
+	// candidate whose base cost plus the congestion floor already exceeds
+	// the best total seen (see game.LoadState).
+	scanOrder [][]int32
+	// congFloor is a lower bound on the congestion term any tenant pays at
+	// any cloudlet under any load: min_i (α_i+β_i)·Level(1). Level is
+	// validated non-decreasing with Level(0)=0, so Level(k) ≥ Level(1) for
+	// every occupancy k ≥ 1. A negative congestion coefficient (never
+	// produced by the workload generator, but not forbidden by Network)
+	// voids the bound, so the floor collapses to -Inf, which disables
+	// pruning rather than corrupting results.
+	congFloor float64
+	// levelSum[k] caches Σ_{j=1..k} Level(j), accumulated in ascending j so
+	// the partial sums are bit-identical to a direct loop. The Rosenthal
+	// potential reads it to price a cloudlet's whole occupancy ladder in
+	// O(1) instead of O(load).
+	levelSum []float64
 }
 
 // SetCongestionModel installs a non-proportional congestion model (the
@@ -64,12 +85,17 @@ type Market struct {
 func (m *Market) SetCongestionModel(cm CongestionModel) error {
 	if cm == nil {
 		m.congestion = nil
+		m.precomputeCongestion()
 		return nil
 	}
 	if err := ValidateCongestionModel(cm, len(m.Providers)+1); err != nil {
 		return err
 	}
 	m.congestion = cm
+	// The congestion floor and level prefix sums price Level directly, so a
+	// model swap must rebuild them (the base-sorted scan orders survive:
+	// base costs are congestion-free).
+	m.precomputeCongestion()
 	return nil
 }
 
@@ -131,12 +157,14 @@ func validateProvider(net *Network, l int, p Provider) error {
 	return nil
 }
 
-// precompute fills the congestion-free cost tables.
+// precompute fills the congestion-free cost tables and the scan-acceleration
+// tables the incremental equilibrium engine reads.
 func (m *Market) precompute() {
 	n := len(m.Providers)
 	nc := m.Net.NumCloudlets()
 	m.base = make([][]float64, n)
 	m.remote = make([]float64, n)
+	m.scanOrder = make([][]int32, n)
 	for l := range m.Providers {
 		p := &m.Providers[l]
 		m.base[l] = make([]float64, nc)
@@ -144,8 +172,80 @@ func (m *Market) precompute() {
 			m.base[l][i] = m.baseCost(p, i)
 		}
 		m.remote[l] = m.remoteCost(p)
+		m.scanOrder[l] = m.sortedByBase(l)
+	}
+	m.precomputeCongestion()
+}
+
+// sortedByBase returns provider l's cloudlet indices in ascending
+// (base[l][i], i) order. Ties break toward the lower index so the pruned
+// scan visits bit-equal candidates in the same order the index-order scan
+// would, preserving first-lowest-index tie-breaking.
+func (m *Market) sortedByBase(l int) []int32 {
+	nc := m.Net.NumCloudlets()
+	order := make([]int32, nc)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	row := m.base[l]
+	sort.Slice(order, func(a, b int) bool {
+		if row[order[a]] != row[order[b]] {
+			return row[order[a]] < row[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// precomputeCongestion rebuilds the congestion floor and the Level prefix
+// sums for the active congestion model and current provider count.
+func (m *Market) precomputeCongestion() {
+	m.congFloor = math.Inf(1)
+	l1 := m.CongestionLevel(1)
+	for i := range m.Net.Cloudlets {
+		if m.CongestionCoeff(i) < 0 {
+			// Negative coefficients break the Level(k) ≥ Level(1) bound's
+			// direction; give up on pruning instead of mispruning.
+			m.congFloor = math.Inf(-1)
+			break
+		}
+		if c := m.CongestionCoeff(i) * l1; c < m.congFloor {
+			m.congFloor = c
+		}
+	}
+	if m.Net.NumCloudlets() == 0 {
+		m.congFloor = 0
+	}
+	m.levelSum = nil // the model may have changed; rebuild from scratch
+	m.growLevelSum()
+}
+
+// growLevelSum extends the Level prefix-sum cache to cover occupancies up to
+// the current provider count (the maximum possible cloudlet load).
+func (m *Market) growLevelSum() {
+	want := len(m.Providers) + 1
+	if m.levelSum == nil {
+		m.levelSum = make([]float64, 1, want)
+	}
+	for k := len(m.levelSum); k < want; k++ {
+		m.levelSum = append(m.levelSum, m.levelSum[k-1]+m.CongestionLevel(k))
 	}
 }
+
+// CandidateOrder returns provider l's cloudlets in ascending base-cost
+// order, ties broken toward the lower index. The slice is owned by the
+// market; callers must not mutate it.
+func (m *Market) CandidateOrder(l int) []int32 { return m.scanOrder[l] }
+
+// CongestionFloor returns the precomputed lower bound on the congestion term
+// of any (provider, cloudlet, load) triple: min_i (α_i+β_i)·Level(1).
+// Candidate scans use it to stop early once every remaining base cost is
+// provably priced out.
+func (m *Market) CongestionFloor() float64 { return m.congFloor }
+
+// LevelPrefix returns Σ_{j=1..k} Level(j), bit-identical to accumulating
+// CongestionLevel in ascending j. k must not exceed the provider count.
+func (m *Market) LevelPrefix(k int) float64 { return m.levelSum[k] }
 
 // baseCost is the congestion-independent part of c_{l,i}: instantiation,
 // fixed bandwidth charge, processing, request transmission, and

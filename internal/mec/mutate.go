@@ -32,6 +32,8 @@ func (m *Market) AppendProvider(p Provider) (int, error) {
 	}
 	m.base = append(m.base, row)
 	m.remote = append(m.remote, m.remoteCost(&m.Providers[l]))
+	m.scanOrder = append(m.scanOrder, m.sortedByBase(l))
+	m.growLevelSum()
 	return l, nil
 }
 
@@ -49,5 +51,8 @@ func (m *Market) RemoveProvider(l int) error {
 	m.Providers = append(m.Providers[:l], m.Providers[l+1:]...)
 	m.base = append(m.base[:l], m.base[l+1:]...)
 	m.remote = append(m.remote[:l], m.remote[l+1:]...)
+	m.scanOrder = append(m.scanOrder[:l], m.scanOrder[l+1:]...)
+	// levelSum deliberately keeps its extra tail entry: it is a pure function
+	// of the congestion model, so a longer prefix cache stays valid.
 	return nil
 }

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenServerLog pins a fixed-seed daemon session: every admission's chosen
+// placement plus market snapshots after departures, an outage/repair cycle,
+// and an epoch. Byte-identical placements across refactors of the admission
+// hot path are the acceptance criterion; regenerate with -update only for
+// changes that are meant to alter results.
+type goldenServerLog struct {
+	Admissions []goldenAdmission `json:"admissions"`
+	Phases     []goldenPhase     `json:"phases"`
+}
+
+type goldenAdmission struct {
+	ID        int64 `json:"id"`
+	Placement int   `json:"placement"`
+}
+
+type goldenPhase struct {
+	Name       string `json:"name"`
+	Placements []int  `json:"placements"`
+	SocialCost string `json:"socialCost"` // %x formatting: exact bits, readable diff
+}
+
+func TestGoldenAdmissions(t *testing.T) {
+	cfg := testConfig(21)
+	cfg.MigrationAware = true
+	_, ts := startServer(t, cfg)
+	var v View
+	getJSON(t, ts.URL+"/v1/market", &v)
+
+	var log goldenServerLog
+	snapshot := func(name string) {
+		var view View
+		getJSON(t, ts.URL+"/v1/market", &view)
+		ph := goldenPhase{Name: name, SocialCost: fmt.Sprintf("%x", view.SocialCost)}
+		for _, p := range view.Providers {
+			ph.Placements = append(ph.Placements, p.Placement)
+		}
+		log.Phases = append(log.Phases, ph)
+	}
+
+	admit := func(i int) {
+		p := drawProvider(cfg, &v, 77, i)
+		resp, body := postJSON(t, ts.URL+"/v1/providers", p)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("admission %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var ar struct {
+			ID        int64 `json:"id"`
+			Placement int   `json:"placement"`
+		}
+		if err := json.Unmarshal(body, &ar); err != nil {
+			t.Fatal(err)
+		}
+		log.Admissions = append(log.Admissions, goldenAdmission{ID: ar.ID, Placement: ar.Placement})
+	}
+
+	for i := 0; i < 30; i++ {
+		admit(i)
+	}
+	snapshot("after-30-admissions")
+
+	for _, id := range []int{3, 7, 11} {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+fmt.Sprintf("/v1/providers/%d", id), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("delete %d: status %d", id, resp.StatusCode)
+		}
+	}
+	snapshot("after-departures")
+
+	if resp, body := postJSON(t, ts.URL+"/v1/admin/fail", map[string]any{"cloudlet": 0}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail: status %d: %s", resp.StatusCode, body)
+	}
+	snapshot("after-fail-0")
+	if resp, body := postJSON(t, ts.URL+"/v1/admin/fail", map[string]any{"cloudlet": 0, "repair": true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair: status %d: %s", resp.StatusCode, body)
+	}
+	snapshot("after-repair-0")
+
+	if resp, body := postJSON(t, ts.URL+"/v1/admin/epoch", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch: status %d: %s", resp.StatusCode, body)
+	}
+	snapshot("after-epoch")
+
+	for i := 30; i < 40; i++ {
+		admit(i)
+	}
+	snapshot("final")
+
+	path := filepath.Join("testdata", "golden_admissions.json")
+	if *update {
+		data, err := json.MarshalIndent(log, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to generate): %v", err)
+	}
+	var want goldenServerLog
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log, want) {
+		gotJSON, _ := json.MarshalIndent(log, "", "  ")
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", gotJSON, data)
+	}
+}

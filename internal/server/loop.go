@@ -7,6 +7,7 @@ import (
 
 	"mecache/internal/dynamic"
 	"mecache/internal/fault"
+	"mecache/internal/game"
 	"mecache/internal/mec"
 	"mecache/internal/obs"
 )
@@ -19,6 +20,10 @@ type state struct {
 	// is empty (mec.Market requires at least one provider).
 	m  *mec.Market
 	pl mec.Placement
+	// ls mirrors pl's per-cloudlet loads and is delta-updated on every
+	// placement change (setPl), so admissions, failovers, and epochs never
+	// rebuild loads from the full placement. Nil whenever m is nil.
+	ls *game.LoadState
 	// ids maps market index -> public provider id; byID is the inverse.
 	ids  []int64
 	byID map[int64]int
@@ -45,6 +50,16 @@ type state struct {
 	// lastEpochErr records the most recent background-epoch failure for the
 	// health endpoint; cleared by the next successful epoch.
 	lastEpochErr string
+}
+
+// setPl moves provider idx to strategy c, keeping the load state in
+// lockstep with the placement. Every placement change funnels through here.
+func (st *state) setPl(idx, c int) {
+	if st.pl[idx] == c {
+		return
+	}
+	st.ls.Move(idx, st.pl[idx], c)
+	st.pl[idx] = c
 }
 
 // cmdResult is what a command hands back to its waiting HTTP handler.
@@ -163,6 +178,7 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 		}
 		st.m, idx = m, 0
 		st.pl = mec.Placement{mec.Remote}
+		st.ls = game.NewLoadState(m)
 	} else {
 		i, err := st.m.AppendProvider(p)
 		if err != nil {
@@ -181,7 +197,7 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 	if s.ring.Enabled() {
 		rec = obs.NewRecorder(0)
 	}
-	st.pl[idx] = dynamic.BestResponseAvoidingFailedTraced(st.m, st.pl, idx, st.failed, tracer(rec))
+	st.setPl(idx, dynamic.BestResponseWithLoads(st.ls, st.pl, idx, st.failed, tracer(rec)))
 	id := st.nextID
 	st.nextID++
 	st.ids = append(st.ids, id)
@@ -230,9 +246,14 @@ func (s *Server) departCmd(st *state, id int64) cmdResult {
 	if !ok {
 		return errorf(http.StatusNotFound, "server: no active provider %d", id)
 	}
+	if st.pl[idx] != mec.Remote {
+		// Unwind the departing tenant's load before indices shift.
+		st.setPl(idx, mec.Remote)
+	}
 	if len(st.ids) == 1 {
 		st.m = nil
 		st.pl = nil
+		st.ls = nil
 		st.ids = st.ids[:0]
 		st.waiting = st.waiting[:0]
 		st.waitingFor = st.waitingFor[:0]
@@ -276,12 +297,12 @@ func (s *Server) failCmd(st *state, cloudlet int) cmdResult {
 		hit++
 		st.failovers++
 		s.mFailovers.Inc()
-		st.pl[idx] = mec.Remote // the remote original absorbs the traffic
+		st.setPl(idx, mec.Remote) // the remote original absorbs the traffic
 		switch s.cfg.Policy {
 		case fault.PolicyRemoteFallback:
 			// Stay remote.
 		case fault.PolicyReplace:
-			st.pl[idx] = dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed)
+			st.setPl(idx, dynamic.BestResponseWithLoads(st.ls, st.pl, idx, st.failed, nil))
 		case fault.PolicyWaitForRepair:
 			st.waiting[idx] = true
 			st.waitingFor[idx] = cloudlet
@@ -312,10 +333,12 @@ func (s *Server) repairCmd(st *state, cloudlet int) cmdResult {
 		}
 		st.waiting[idx] = false
 		st.waitingFor[idx] = -1
-		if choice := dynamic.BestResponseAvoidingFailed(st.m, st.pl, idx, st.failed); choice == cloudlet {
-			saving := st.m.RemoteCost(idx) - st.m.ProviderCost(placeAt(st.pl, idx, cloudlet), idx)
+		if choice := dynamic.BestResponseWithLoads(st.ls, st.pl, idx, st.failed, nil); choice == cloudlet {
+			// The waiter sits at Remote, so the load state excludes it and
+			// joining makes the cloudlet's load Count+1.
+			saving := st.m.RemoteCost(idx) - st.m.CostAt(idx, cloudlet, st.ls.Count(cloudlet)+1)
 			if saving > st.m.Providers[idx].InstCost {
-				st.pl[idx] = cloudlet
+				st.setPl(idx, cloudlet)
 				st.failbacks++
 				s.mFailbacks.Inc()
 				back++
@@ -325,13 +348,6 @@ func (s *Server) repairCmd(st *state, cloudlet int) cmdResult {
 	return cmdResult{status: http.StatusOK, body: map[string]any{
 		"cloudlet": cloudlet, "failed": false, "providersReturned": back,
 	}}
-}
-
-// placeAt returns a copy of pl with provider idx moved to choice.
-func placeAt(pl mec.Placement, idx, choice int) mec.Placement {
-	c := pl.Clone()
-	c[idx] = choice
-	return c
 }
 
 // epochCmd is the slow-timescale control loop: one LCF/Appro
@@ -360,7 +376,9 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	if err != nil {
 		return errorf(http.StatusInternalServerError, "server: epoch %d: %v", st.epochs, err)
 	}
-	st.pl = next
+	for i := range next {
+		st.setPl(i, next[i])
+	}
 	st.reconfigs += uint64(est.Reconfigurations)
 	st.suppressed += uint64(est.MigrationsSuppressed)
 	st.migCost += est.MigrationCost

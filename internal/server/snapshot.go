@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mecache/internal/game"
 	"mecache/internal/mec"
 )
 
@@ -180,6 +181,9 @@ func (s *Server) restore() error {
 		s.st.pl = nil
 		s.st.waiting = []bool{}
 		s.st.waitingFor = []int{}
+	} else {
+		s.st.ls = game.NewLoadState(s.st.m)
+		s.st.ls.Reset(s.st.pl)
 	}
 	return nil
 }

@@ -73,7 +73,8 @@ func TestAdmissionTraceReconstructsDecision(t *testing.T) {
 					t.Fatalf("trace %d candidate %d: components sum to %v, total %v",
 						j, e.Strategy, e.Cost.Total(), e.Total)
 				}
-				if candidates == 0 || e.Total < minTotal {
+				if candidates == 0 || e.Total < minTotal ||
+					(e.Total == minTotal && e.Strategy < argmin) {
 					argmin, minTotal = e.Strategy, e.Total
 				}
 				candidates++
@@ -90,10 +91,10 @@ func TestAdmissionTraceReconstructsDecision(t *testing.T) {
 		if choice == nil {
 			t.Fatalf("trace %d: no choice event", j)
 		}
-		// The scan's tie-breaking keeps the first strict minimum, and
-		// candidates are emitted remote-first then by cloudlet index — the
-		// same order the scan visits — so the argmin over the recorded
-		// events is exactly the recorded choice.
+		// Candidates are emitted remote-first then in ascending base-cost
+		// order — the same order the engine's scan visits — and exact cost
+		// ties resolve to the lowest cloudlet index, so the index-tie-broken
+		// argmin over the recorded events is exactly the recorded choice.
 		if choice.Strategy != argmin {
 			t.Fatalf("trace %d: choice %d is not the candidate argmin %d", j, choice.Strategy, argmin)
 		}

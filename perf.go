@@ -1,0 +1,50 @@
+package mecache
+
+import (
+	"time"
+
+	"mecache/internal/bench"
+	"mecache/internal/dynamic"
+	"mecache/internal/game"
+)
+
+// Performance-engineering surface: the incremental equilibrium engine the
+// algorithms share, and the tracked benchmark harness behind the committed
+// BENCH_<pr>.json baselines.
+type (
+	// LoadState is the delta-maintained per-cloudlet load view (tenant
+	// counts and capacity headroom) best-response scans run against.
+	LoadState = game.LoadState
+	// BenchCase is one tracked benchmark case.
+	BenchCase = bench.Case
+	// BenchResult is one measured case as committed in a baseline file.
+	BenchResult = bench.Result
+	// BenchFile is the committed benchmark baseline file layout.
+	BenchFile = bench.File
+)
+
+// NewLoadState builds an empty load view of m; Reset it to a placement,
+// then delta-update it with Add/Remove/Move as the placement evolves.
+func NewLoadState(m *Market) *LoadState { return game.NewLoadState(m) }
+
+// BestResponseWithLoads computes provider l's capacity-aware best response
+// against an incrementally maintained load view, skipping failed cloudlets
+// and emitting candidate traces to tr (nil disables tracing at zero cost).
+// It is the single scan shared by the dynamic simulator and the daemon.
+func BestResponseWithLoads(ls *LoadState, pl Placement, l int, failed []bool, tr Tracer) int {
+	return dynamic.BestResponseWithLoads(ls, pl, l, failed, tr)
+}
+
+// BenchCases returns every tracked benchmark case, engine/naive pairs first.
+func BenchCases() []BenchCase { return bench.Cases() }
+
+// MeasureBench times one tracked case (see bench.Measure for the
+// minDuration/maxIters contract).
+func MeasureBench(c BenchCase, minDuration time.Duration, maxIters int) (BenchResult, error) {
+	return bench.Measure(c, minDuration, maxIters)
+}
+
+// MeasureBenchAll measures every tracked case in declaration order.
+func MeasureBenchAll(minDuration time.Duration, maxIters int) ([]BenchResult, error) {
+	return bench.MeasureAll(minDuration, maxIters)
+}

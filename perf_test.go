@@ -1,0 +1,77 @@
+package mecache_test
+
+import (
+	"strings"
+	"testing"
+
+	"mecache"
+)
+
+// TestFacadeLoadState drives the incremental engine through the facade: a
+// sequence of arrivals placed by BestResponseWithLoads must match a fresh
+// recomputation against the same placement, and every placement must be a
+// legal strategy.
+func TestFacadeLoadState(t *testing.T) {
+	cfg := mecache.DefaultWorkload(11)
+	cfg.NumProviders = 12
+	m, err := mecache.GenerateMarketGTITM(60, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := mecache.NewLoadState(m)
+	pl := make(mecache.Placement, len(m.Providers))
+	for l := range pl {
+		pl[l] = mecache.Remote
+	}
+	nc := m.Net.NumCloudlets()
+	for l := range pl {
+		s := mecache.BestResponseWithLoads(ls, pl, l, nil, nil)
+		if s != mecache.Remote && (s < 0 || s >= nc) {
+			t.Fatalf("provider %d: strategy %d out of range", l, s)
+		}
+		if s != mecache.Remote {
+			ls.Add(l, s)
+		}
+		pl[l] = s
+	}
+	// A state rebuilt from scratch over the final placement must agree with
+	// the incrementally maintained one on the next decision.
+	fresh := mecache.NewLoadState(m)
+	fresh.Reset(pl)
+	l := 0
+	if pl[l] != mecache.Remote {
+		fresh.Remove(l, pl[l])
+		ls.Remove(l, pl[l])
+	}
+	sF := mecache.BestResponseWithLoads(fresh, pl, l, nil, nil)
+	sI := mecache.BestResponseWithLoads(ls, pl, l, nil, nil)
+	if sF != sI {
+		t.Fatalf("rebuilt state answers %d, incremental state %d", sF, sI)
+	}
+}
+
+// TestFacadeBenchHarness measures the smallest tracked case through the
+// facade and sanity-checks the result fields.
+func TestFacadeBenchHarness(t *testing.T) {
+	cases := mecache.BenchCases()
+	if len(cases) == 0 {
+		t.Fatal("no tracked benchmark cases")
+	}
+	var small *mecache.BenchCase
+	for i := range cases {
+		if strings.HasPrefix(cases[i].Name, "BestResponseDynamics/") {
+			small = &cases[i]
+			break
+		}
+	}
+	if small == nil {
+		t.Fatal("no BestResponseDynamics case")
+	}
+	r, err := mecache.MeasureBench(*small, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != small.Name || r.Iterations < 1 || r.NsPerOp <= 0 {
+		t.Fatalf("implausible result %+v", r)
+	}
+}
