@@ -10,7 +10,11 @@
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain, the event loop stops, and (with -snapshot) the market is persisted
-// for the next start.
+// for the next start. With -wal-dir every mutating command is written to a
+// write-ahead log before it applies and replayed on startup, so even a
+// SIGKILL loses no acknowledged mutation (see -wal-sync for the fsync
+// policy); -queue-depth and -request-timeout bound how much work the
+// daemon accepts before shedding with 429/503.
 package main
 
 import (
@@ -50,6 +54,12 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	migrationAware := fs.Bool("migration-aware", false, "suppress epoch moves not worth their re-instantiation cost")
 	policy := fs.String("policy", "remote-fallback", "failover policy: remote-fallback, re-place, or wait-for-repair")
 	snapshot := fs.String("snapshot", "", "JSON snapshot path for persistence across restarts (empty = none)")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory: mutating commands are logged before applying and replayed on startup (empty = no WAL)")
+	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (lossless), interval, or off")
+	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "minimum spacing between WAL fsyncs under -wal-sync interval")
+	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 64 MiB default)")
+	queueDepth := fs.Int("queue-depth", 0, "command queue bound; a full queue sheds requests with 429 (0 = default 256)")
+	requestTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline for mutating commands, queue wait included (0 = none)")
 	portFile := fs.String("port-file", "", "write the bound listen address to this file once serving")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
@@ -77,12 +87,19 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.SnapshotPath = *snapshot
 	cfg.Logger = logger
 	cfg.TraceDepth = *traceDepth
+	cfg.WALDir = *walDir
+	cfg.WALSync = *walSync
+	cfg.WALSyncInterval = *walSyncInterval
+	cfg.WALSegmentBytes = *walSegmentBytes
+	cfg.QueueDepth = *queueDepth
+	cfg.RequestTimeout = *requestTimeout
 
 	srv, err := mecache.NewMarketServer(cfg)
 	if err != nil {
-		// The constructor also restores -snapshot state; surface the cause
-		// structurally before the process exits non-zero.
-		logger.Error("daemon startup failed", "snapshot", *snapshot, "err", err)
+		// The constructor also restores -snapshot state and replays the
+		// WAL; surface the cause structurally before the process exits
+		// non-zero.
+		logger.Error("daemon startup failed", "snapshot", *snapshot, "wal", *walDir, "err", err)
 		return err
 	}
 

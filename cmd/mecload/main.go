@@ -48,12 +48,17 @@ type latencySummary struct {
 	Max   float64 `json:"maxSeconds"`
 }
 
-// output is the JSON document mecload emits.
+// output is the JSON document mecload emits. Retries counts overload
+// responses (429 + Retry-After, or 503) that were retried with backoff;
+// Shed counts requests abandoned after exhausting their retries. Neither
+// is a hard error: the daemon shedding load is the daemon working.
 type output struct {
 	Target      string         `json:"target"`
 	Admissions  int            `json:"admissions"`
 	Accepted    uint64         `json:"accepted"`
 	Rejected    uint64         `json:"rejected"`
+	Retries     uint64         `json:"retries"`
+	Shed        uint64         `json:"shed"`
 	Errors      uint64         `json:"errors"`
 	Concurrency int            `json:"concurrency"`
 	Churn       bool           `json:"churn"`
@@ -69,7 +74,62 @@ type workerStats struct {
 	hist     *stats.Histogram
 	accepted uint64
 	rejected uint64
+	retries  uint64
+	shed     uint64
 	errs     uint64
+}
+
+// Backoff shape for overload retries: the capped doubling of
+// internal/testbed's link-fault retries, scaled to wall-clock HTTP, with
+// half-width jitter so synchronized workers desynchronize.
+const (
+	retryBase = 5 * time.Millisecond
+	retryCap  = 500 * time.Millisecond
+)
+
+// retryable reports whether a response is an overload signal worth backing
+// off for: 503 (shutting down, deadline pressure) or 429 carrying
+// Retry-After (the daemon's queue-shed reply). A bare 429 is the admission
+// cap — a market-state rejection that no amount of waiting fixes.
+func retryable(resp *http.Response) bool {
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return true
+	}
+	return resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") != ""
+}
+
+// sendWithBackoff issues the request built by build, retrying overload
+// responses up to maxRetries times with capped exponential backoff and
+// jitter drawn from src. It returns the terminal response, or nil if the
+// request was shed (retries exhausted); network errors pass through.
+func sendWithBackoff(client *http.Client, build func() (*http.Request, error), src *rng.Source, maxRetries int, ws *workerStats) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if !retryable(resp) {
+			return resp, nil
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if attempt >= maxRetries {
+			ws.shed++
+			return nil, nil
+		}
+		ws.retries++
+		backoff := retryBase << attempt
+		if backoff > retryCap {
+			backoff = retryCap
+		}
+		// Jitter in [backoff/2, backoff): full-rate retries with the same
+		// period would re-collide at the queue.
+		time.Sleep(backoff/2 + time.Duration(src.Float64()*float64(backoff)/2))
+	}
 }
 
 func main() {
@@ -86,6 +146,7 @@ func run(w io.Writer, args []string) error {
 	c := fs.Int("c", 4, "concurrent closed-loop workers")
 	seed := fs.Uint64("seed", 1, "workload seed (provider i is a pure function of seed and i)")
 	churn := fs.Bool("churn", false, "depart each provider right after admission (keeps the active set small)")
+	retries := fs.Int("retries", 6, "retries with capped exponential backoff when the daemon sheds load (429 + Retry-After, or 503); exhausted requests count as shed, not errors")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
@@ -102,6 +163,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *c <= 0 {
 		return fmt.Errorf("need at least one worker: -c %d", *c)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("negative retry budget: -retries %d", *retries)
 	}
 
 	probe := &http.Client{Timeout: *timeout}
@@ -136,6 +200,9 @@ func run(w io.Writer, args []string) error {
 		ws := &res[wk]
 		ws.hist = h
 		client := &http.Client{Timeout: *timeout}
+		// Jitter stream per worker, disjoint from the provider-draw
+		// substreams (which are indexed by admission, not worker).
+		jit := rng.Substream(*seed^0x626b6f6666, uint64(wk))
 		for i := wk; i < *n; i += workers {
 			p := wl.DrawProvider(rng.Substream(*seed, uint64(i)), facts.NumDCs, facts.NumNodes)
 			body, err := json.Marshal(p)
@@ -143,9 +210,19 @@ func run(w io.Writer, args []string) error {
 				return err
 			}
 			t0 := time.Now()
-			resp, err := client.Post(*url+"/v1/providers", "application/json", bytes.NewReader(body))
+			resp, err := sendWithBackoff(client, func() (*http.Request, error) {
+				req, err := http.NewRequest(http.MethodPost, *url+"/v1/providers", bytes.NewReader(body))
+				if err != nil {
+					return nil, err
+				}
+				req.Header.Set("Content-Type", "application/json")
+				return req, nil
+			}, jit, *retries, ws)
 			if err != nil {
 				ws.errs++
+				continue
+			}
+			if resp == nil { // shed after exhausting retries
 				continue
 			}
 			data, _ := io.ReadAll(resp.Body)
@@ -163,13 +240,14 @@ func run(w io.Writer, args []string) error {
 				if err := json.Unmarshal(data, &ar); err != nil {
 					return fmt.Errorf("worker %d: decode admission: %w", wk, err)
 				}
-				req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/providers/%d", *url, ar.ID), nil)
-				if err != nil {
-					return err
-				}
-				dresp, err := client.Do(req)
+				dresp, err := sendWithBackoff(client, func() (*http.Request, error) {
+					return http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/providers/%d", *url, ar.ID), nil)
+				}, jit, *retries, ws)
 				if err != nil {
 					ws.errs++
+					continue
+				}
+				if dresp == nil {
 					continue
 				}
 				io.Copy(io.Discard, dresp.Body)
@@ -206,10 +284,12 @@ func run(w io.Writer, args []string) error {
 		}
 		out.Accepted += ws.accepted
 		out.Rejected += ws.rejected
+		out.Retries += ws.retries
+		out.Shed += ws.shed
 		out.Errors += ws.errs
 	}
 	if out.Accepted == 0 {
-		return fmt.Errorf("no admission succeeded (%d rejected, %d errors)", out.Rejected, out.Errors)
+		return fmt.Errorf("no admission succeeded (%d rejected, %d shed, %d errors)", out.Rejected, out.Shed, out.Errors)
 	}
 	if elapsed > 0 {
 		out.Throughput = float64(out.Accepted+out.Rejected) / elapsed
@@ -224,6 +304,7 @@ func run(w io.Writer, args []string) error {
 		Max:   merged.Max(),
 	}
 	logger.Info("load complete", "accepted", out.Accepted, "rejected", out.Rejected,
+		"retries", out.Retries, "shed", out.Shed,
 		"errors", out.Errors, "elapsedSeconds", elapsed, "admissionsPerSecond", out.Throughput,
 		"p50Seconds", out.Latency.P50, "p99Seconds", out.Latency.P99)
 	enc := json.NewEncoder(w)

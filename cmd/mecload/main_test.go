@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -85,6 +88,83 @@ func TestLoadReportsRejections(t *testing.T) {
 	out := loadRun(t, []string{"-url", url, "-n", "30", "-c", "2"})
 	if out.Accepted != 10 || out.Rejected != 20 {
 		t.Fatalf("cap 10 over 30 admissions: %+v", out)
+	}
+}
+
+// TestLoadRetriesOverload drives mecload against a stub that sheds the
+// first attempt of every admission with 429 + Retry-After, then accepts:
+// every admission should succeed after exactly one retry, none counted as
+// errors. A second run with -retries 0 must shed everything and fail the
+// "no admission succeeded" check.
+func TestLoadRetriesOverload(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	alwaysShed := false
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/market", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int{"numDCs": 4, "numNodes": 50})
+	})
+	mux.HandleFunc("POST /v1/providers", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		attempts++
+		shed := alwaysShed || attempts%2 == 1
+		mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		json.NewEncoder(w).Encode(map[string]int64{"id": 1})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	out := loadRun(t, []string{"-url", ts.URL, "-n", "8", "-c", "1", "-retries", "3"})
+	if out.Accepted != 8 || out.Retries != 8 || out.Shed != 0 || out.Errors != 0 {
+		t.Fatalf("alternating shed/accept with retries: %+v", out)
+	}
+
+	mu.Lock()
+	alwaysShed = true
+	mu.Unlock()
+	// With the retry budget at zero every admission is shed immediately and
+	// run must report that nothing succeeded.
+	var buf bytes.Buffer
+	err := run(&buf, []string{"-url", ts.URL, "-n", "4", "-c", "1", "-retries", "0"})
+	if err == nil || !strings.Contains(err.Error(), "shed") {
+		t.Fatalf("expected all-shed failure mentioning sheds, got %v", err)
+	}
+}
+
+// TestLoadBareRateLimitNotRetried pins the distinction the daemon's two
+// 429s rely on: a 429 without Retry-After is the admission cap, a market
+// rejection that retrying cannot fix — it must count as rejected without
+// consuming the retry budget.
+func TestLoadBareRateLimitNotRetried(t *testing.T) {
+	attempts := 0
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/market", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int{"numDCs": 4, "numNodes": 50})
+	})
+	mux.HandleFunc("POST /v1/providers", func(w http.ResponseWriter, r *http.Request) {
+		attempts++
+		if attempts == 1 {
+			w.WriteHeader(http.StatusCreated)
+			json.NewEncoder(w).Encode(map[string]int64{"id": 1})
+			return
+		}
+		w.WriteHeader(http.StatusTooManyRequests) // no Retry-After: capacity cap
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	out := loadRun(t, []string{"-url", ts.URL, "-n", "5", "-c", "1", "-retries", "6"})
+	if out.Accepted != 1 || out.Rejected != 4 || out.Retries != 0 || out.Shed != 0 {
+		t.Fatalf("bare 429s should be terminal rejections: %+v", out)
+	}
+	if attempts != 5 {
+		t.Fatalf("expected exactly one attempt per admission, saw %d", attempts)
 	}
 }
 

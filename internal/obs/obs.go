@@ -148,12 +148,13 @@ func (r *Recorder) Events() []Event { return r.events }
 // Dropped counts events discarded beyond the limit.
 func (r *Recorder) Dropped() int { return r.dropped }
 
-// Trace is one completed decision: an online admission's best response or
-// an epoch re-equilibration, with its recorded event stream.
+// Trace is one completed decision: an online admission's best response, an
+// epoch re-equilibration, or a crash-recovery replay, with its recorded
+// event stream.
 type Trace struct {
 	// ID is assigned by the Ring: a monotone sequence over all traces.
 	ID   uint64 `json:"id"`
-	Kind string `json:"kind"` // "admission" or "epoch"
+	Kind string `json:"kind"` // "admission", "epoch", or "recovery"
 	// Start and Duration time the decision (wall clock; informational
 	// only, never fed back into any algorithm).
 	Start    time.Time `json:"start"`
@@ -174,6 +175,9 @@ type Trace struct {
 	// Reconfigurations and Suppressed summarize an epoch's churn.
 	Reconfigurations int `json:"reconfigurations"`
 	Suppressed       int `json:"suppressed"`
+	// Records counts WAL records replayed by a recovery trace (0 for
+	// admissions and epochs).
+	Records int `json:"records,omitempty"`
 	// Events is the recorded decision stream; EventsDropped counts events
 	// beyond the recorder's cap.
 	Events        []Event `json:"events"`

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -32,6 +33,11 @@ type state struct {
 	waitingFor []int
 	// failed mirrors which cloudlets are administratively down.
 	failed []bool
+
+	// lsn is the write-ahead log sequence number of the last logged
+	// command (0 when nothing was ever logged). Snapshots carry it so
+	// recovery can skip WAL records the snapshot already contains.
+	lsn uint64
 
 	nextID   int64
 	epochs   uint64
@@ -67,11 +73,18 @@ type cmdResult struct {
 	status int
 	body   any
 	err    error
+	// retryAfter, when positive, becomes a Retry-After header (seconds):
+	// the shed path's backoff hint.
+	retryAfter int
 }
 
 // command pairs a state mutation with the channel its result travels back
 // on. reply is buffered (size 1) so the loop never blocks on a handler.
+// rec, when non-nil, is written to the WAL before run executes; ctx, when
+// non-nil, lets the loop skip commands whose caller already gave up.
 type command struct {
+	ctx   context.Context
+	rec   *walRecord
 	run   func(st *state) cmdResult
 	reply chan cmdResult
 }
@@ -81,11 +94,17 @@ func errorf(status int, format string, args ...any) cmdResult {
 	return cmdResult{status: status, err: fmt.Errorf(format, args...)}
 }
 
-// loop is the single writer. It applies commands in arrival order, runs the
+// loop is the single writer. It applies commands in arrival order —
+// writing each mutating command to the WAL before applying it — runs the
 // re-equilibration epoch on the ticker, publishes a fresh read View after
-// every mutation, and writes the final snapshot on shutdown.
+// every mutation, and writes the final snapshot (compacting the WAL) on
+// graceful shutdown. Kill skips the snapshot and compaction, leaving
+// recovery to the snapshot + WAL-replay path — a crash, on purpose.
 func (s *Server) loop() {
-	defer close(s.done)
+	defer func() {
+		s.closeWAL()
+		close(s.done)
+	}()
 	var tick <-chan time.Time
 	if s.cfg.EpochInterval > 0 {
 		t := time.NewTicker(s.cfg.EpochInterval)
@@ -94,6 +113,16 @@ func (s *Server) loop() {
 	}
 	for {
 		select {
+		case <-s.killing:
+			// Simulated crash: answer queued commands, persist nothing.
+			for {
+				select {
+				case c := <-s.cmds:
+					c.reply <- errorf(http.StatusServiceUnavailable, "server: killed")
+				default:
+					return
+				}
+			}
 		case <-s.stopping:
 			// Drain commands that raced with shutdown so no handler hangs.
 			for {
@@ -105,17 +134,40 @@ func (s *Server) loop() {
 						if s.stopErr = s.writeSnapshot(&s.st); s.stopErr != nil {
 							s.mSnapErrs.Inc()
 							s.log.Error("final snapshot failed", "path", s.cfg.SnapshotPath, "err", s.stopErr)
+						} else {
+							s.compactWAL()
 						}
 					}
 					return
 				}
 			}
 		case c := <-s.cmds:
+			if c.ctx != nil && c.ctx.Err() != nil {
+				// The caller's deadline expired while the command sat in
+				// the queue: skip it entirely (not logged, not applied) so
+				// overload sheds work instead of amplifying it.
+				c.reply <- errorf(http.StatusServiceUnavailable,
+					"server: deadline expired before execution: %v", c.ctx.Err())
+				continue
+			}
+			if err := s.logCommand(c.rec); err != nil {
+				// The mutation is not durable, so it must not apply.
+				s.log.Error("wal append failed", "op", c.rec.Op, "err", err)
+				c.reply <- errorf(http.StatusServiceUnavailable, "server: write-ahead log: %v", err)
+				continue
+			}
 			res := c.run(&s.st)
 			s.publish(&s.st)
 			c.reply <- res
 		case <-tick:
-			if res := s.epochCmd(&s.st); res.err != nil {
+			// Background epochs mutate state like any command, so they are
+			// WAL-logged like any command; their position in the log fixes
+			// their position in the deterministic replay order.
+			if err := s.logCommand(&walRecord{Op: opEpoch}); err != nil {
+				s.st.lastEpochErr = err.Error()
+				s.mEpochErrs.Inc()
+				s.log.Error("background epoch not logged", "err", err)
+			} else if res := s.epochCmd(&s.st); res.err != nil {
 				// Background epochs have no caller to report to; surface the
 				// failure on the health endpoint via the view, the log, and
 				// the error counter.
@@ -128,17 +180,41 @@ func (s *Server) loop() {
 	}
 }
 
-// do submits a command and waits for its result (or shutdown).
-func (s *Server) do(run func(st *state) cmdResult) cmdResult {
-	c := command{run: run, reply: make(chan cmdResult, 1)}
+// do submits a command and waits for its result, the caller's deadline, or
+// shutdown. The queue is bounded: when it is full the command is shed
+// immediately with 429 + Retry-After rather than blocking the handler —
+// under overload the daemon degrades by refusing work it cannot absorb,
+// never by queueing without bound.
+//
+// A 429 means the command was certainly not applied. A 503 for a deadline
+// expiry is ambiguous: the command may still execute after the reply (the
+// same ambiguity a crashed network gives any client); idempotent retry is
+// the caller's remedy.
+func (s *Server) do(ctx context.Context, rec *walRecord, run func(st *state) cmdResult) cmdResult {
+	if ctx != nil && s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	c := command{ctx: ctx, rec: rec, run: run, reply: make(chan cmdResult, 1)}
 	select {
 	case s.cmds <- c:
 	case <-s.done:
 		return errorf(http.StatusServiceUnavailable, "server: not running")
+	default:
+		s.mShed.Inc()
+		return shedResult(cap(s.cmds))
+	}
+	var expired <-chan struct{}
+	if ctx != nil {
+		expired = ctx.Done()
 	}
 	select {
 	case r := <-c.reply:
 		return r
+	case <-expired:
+		return errorf(http.StatusServiceUnavailable,
+			"server: deadline expired while queued: %v", ctx.Err())
 	case <-s.done:
 		// The loop may have answered just before exiting.
 		select {
@@ -192,9 +268,12 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 	// The traced and untraced scans are the same algorithm — tracing only
 	// records what the scan already computes — so enabling the ring never
 	// changes a placement.
+	// During WAL replay the ring stays quiet: recovery re-runs old
+	// decisions, and re-tracing them would flood the ring with stale
+	// entries (the traced and untraced scans place identically anyway).
 	var rec *obs.Recorder
 	started := time.Now()
-	if s.ring.Enabled() {
+	if s.ring.Enabled() && !s.recovering {
 		rec = obs.NewRecorder(0)
 	}
 	st.setPl(idx, dynamic.BestResponseWithLoads(st.ls, st.pl, idx, st.failed, tracer(rec)))
@@ -362,7 +441,7 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	}
 	var rec *obs.Recorder
 	started := time.Now()
-	if s.ring.Enabled() {
+	if s.ring.Enabled() && !s.recovering {
 		rec = obs.NewRecorder(0)
 	}
 	next, est, err := dynamic.Reequilibrate(st.m, st.pl, dynamic.EpochOptions{
@@ -401,17 +480,22 @@ func (s *Server) epochCmd(st *state) cmdResult {
 			EventsDropped:    rec.Dropped(),
 		})
 	}
-	s.log.Info("epoch complete",
-		"epoch", st.epochs, "active", len(st.ids), "rounds", est.Rounds,
-		"reconfigurations", est.Reconfigurations, "suppressed", est.MigrationsSuppressed,
-		"socialCost", est.SocialCost)
+	if !s.recovering {
+		s.log.Info("epoch complete",
+			"epoch", st.epochs, "active", len(st.ids), "rounds", est.Rounds,
+			"reconfigurations", est.Reconfigurations, "suppressed", est.MigrationsSuppressed,
+			"socialCost", est.SocialCost)
+	}
 	st.lastEpochErr = ""
-	if s.cfg.SnapshotPath != "" {
+	// Replayed epochs never write snapshots: recovery is a read of history,
+	// not new history.
+	if s.cfg.SnapshotPath != "" && !s.recovering {
 		if err := s.writeSnapshot(st); err != nil {
 			s.mSnapErrs.Inc()
 			s.log.Error("epoch snapshot failed", "epoch", st.epochs, "path", s.cfg.SnapshotPath, "err", err)
 			return errorf(http.StatusInternalServerError, "server: epoch snapshot: %v", err)
 		}
+		s.compactWAL()
 	}
 	return cmdResult{status: http.StatusOK, body: map[string]any{
 		"epoch":            st.epochs,

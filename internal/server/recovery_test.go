@@ -1,0 +1,415 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// viewJSON canonicalizes a server's published state for byte-level
+// comparison across crash/recovery boundaries.
+func viewJSON(t *testing.T, s *Server) []byte {
+	t.Helper()
+	data, err := json.Marshal(s.View())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// driveMixedWorkload applies a deterministic command sequence touching every
+// WAL op: admissions, a failure, more admissions, an epoch, a repair, and a
+// departure. It returns nothing; the sequence is a pure function of the
+// server's seed, so two servers driven by it converge to identical state.
+func driveMixedWorkload(t *testing.T, s *Server, ts *httptest.Server, cfg Config) {
+	t.Helper()
+	v := s.View()
+	var ids []int64
+	for i := 0; i < 12; i++ {
+		ids = append(ids, admit(t, ts, drawProvider(cfg, v, 7, i)).ID)
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/admin/fail", map[string]any{"cloudlet": 1}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fail cloudlet: %d: %s", resp.StatusCode, data)
+	}
+	for i := 12; i < 14; i++ {
+		admit(t, ts, drawProvider(cfg, s.View(), 7, i))
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/admin/epoch", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("epoch: %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/admin/fail", map[string]any{"cloudlet": 1, "repair": true}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repair cloudlet: %d: %s", resp.StatusCode, data)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/providers/"+jsonInt(ids[2]), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("depart: %d", resp.StatusCode)
+	}
+}
+
+func jsonInt(id int64) string {
+	data, _ := json.Marshal(id)
+	return string(data)
+}
+
+// walSegments lists the segment files in a WAL directory, oldest first.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			segs = append(segs, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(segs)
+	if len(segs) == 0 {
+		t.Fatalf("no WAL segments in %s", dir)
+	}
+	return segs
+}
+
+// TestWALRecoveryMatchesNeverCrashedRun is the differential acceptance
+// criterion: a daemon killed without a snapshot must recover from the WAL
+// alone into state byte-identical both to its own pre-kill view and to a
+// reference daemon that ran the same command sequence without crashing.
+func TestWALRecoveryMatchesNeverCrashedRun(t *testing.T) {
+	cfg := testConfig(5)
+	cfg.WALDir = t.TempDir()
+
+	crashed, ts := startServer(t, cfg)
+	driveMixedWorkload(t, crashed, ts, cfg)
+	want := viewJSON(t, crashed)
+	ts.Close()
+	crashed.Kill()
+
+	recovered, _ := startServer(t, cfg)
+	if got := viewJSON(t, recovered); string(got) != string(want) {
+		t.Fatalf("recovered view diverged from pre-kill view:\n%s\nvs\n%s", got, want)
+	}
+
+	ref := testConfig(5) // same seed, no WAL: the never-crashed reference
+	refSrv, refTS := startServer(t, ref)
+	driveMixedWorkload(t, refSrv, refTS, ref)
+	if got := viewJSON(t, refSrv); string(got) != string(want) {
+		t.Fatalf("reference run diverged from crashed run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestWALRecoveryTornTail kills a daemon, tears the last WAL frame the way
+// a crash mid-write would, and asserts the next boot truncates the tear
+// (counting it in mecd_wal_truncations_total) instead of refusing to start.
+func TestWALRecoveryTornTail(t *testing.T) {
+	cfg := testConfig(6)
+	cfg.WALDir = t.TempDir()
+
+	s, ts := startServer(t, cfg)
+	v := s.View()
+	for i := 0; i < 5; i++ {
+		admit(t, ts, drawProvider(cfg, v, 9, i))
+	}
+	want := viewJSON(t, s)
+	ts.Close()
+	s.Kill()
+
+	segs := walSegments(t, cfg.WALDir)
+	last := segs[len(segs)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a frame header: the length word of a record whose body never
+	// reached the disk.
+	if _, err := f.Write([]byte{0x2a, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, rts := startServer(t, cfg)
+	if got := viewJSON(t, recovered); string(got) != string(want) {
+		t.Fatalf("torn-tail recovery diverged:\n%s\nvs\n%s", got, want)
+	}
+	metrics := fetchMetrics(t, rts.URL)
+	if !strings.Contains(metrics, "mecd_wal_truncations_total 1") {
+		t.Fatalf("truncation not counted in /metrics:\n%s", grepLines(metrics, "wal"))
+	}
+}
+
+// TestWALInteriorCorruptionRefusesBoot flips one byte inside a middle
+// record. Unlike a torn tail this means acknowledged history is damaged, so
+// the daemon must refuse to construct rather than silently skip it.
+func TestWALInteriorCorruptionRefusesBoot(t *testing.T) {
+	cfg := testConfig(7)
+	cfg.WALDir = t.TempDir()
+
+	s, ts := startServer(t, cfg)
+	v := s.View()
+	for i := 0; i < 6; i++ {
+		admit(t, ts, drawProvider(cfg, v, 4, i))
+	}
+	ts.Close()
+	s.Kill()
+
+	segs := walSegments(t, cfg.WALDir)
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk the frames ([len][crc][payload]) to find the third one (header +
+	// two records in) and flip a payload byte there — interior damage, with
+	// intact frames after it.
+	off := 0
+	for frame := 0; frame < 3; frame++ {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 8 + n
+	}
+	data[off+8+4] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(cfg); err == nil {
+		t.Fatal("interior corruption booted anyway")
+	} else if !strings.Contains(err.Error(), "wal recovery") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestSnapshotLSNSkipPreventsDoubleApply simulates the crash window between
+// writing a snapshot and compacting the WAL: the snapshot carries LSN n,
+// the log still holds records 1..n, and recovery must skip them all rather
+// than admit every provider twice.
+func TestSnapshotLSNSkipPreventsDoubleApply(t *testing.T) {
+	cfg := testConfig(8)
+	cfg.WALDir = t.TempDir()
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "snap.json")
+
+	s, ts := startServer(t, cfg)
+	v := s.View()
+	for i := 0; i < 10; i++ {
+		admit(t, ts, drawProvider(cfg, v, 3, i))
+	}
+	// Keep the pre-compaction log: these are the records the snapshot is
+	// about to absorb.
+	backup := map[string][]byte{}
+	for _, seg := range walSegments(t, cfg.WALDir) {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		backup[seg] = data
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/admin/snapshot", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin snapshot: %d: %s", resp.StatusCode, data)
+	}
+	want := viewJSON(t, s)
+	ts.Close()
+	s.Kill()
+
+	// Undo the compaction on disk, as if the crash hit before Reset's
+	// deletions reached the directory.
+	for seg, data := range backup {
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	recovered, _ := startServer(t, cfg)
+	got := viewJSON(t, recovered)
+	if string(got) != string(want) {
+		t.Fatalf("LSN skip failed:\n%s\nvs\n%s", got, want)
+	}
+	if rv := recovered.View(); rv.Accepted != 10 || rv.Active != 10 {
+		t.Fatalf("double apply: accepted %d active %d, want 10/10", rv.Accepted, rv.Active)
+	}
+}
+
+// blockLoop parks the event loop inside a command until the returned
+// release function is called. It waits until the loop is actually inside
+// the command, so the caller knows the queue drains nowhere.
+func blockLoop(t *testing.T, s *Server) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	go s.do(context.Background(), nil, func(st *state) cmdResult {
+		close(entered)
+		<-gate
+		return cmdResult{status: http.StatusOK}
+	})
+	<-entered
+	var once sync.Once
+	return func() { once.Do(func() { close(gate) }) }
+}
+
+// TestOverloadShedsWith429 saturates a depth-1 command queue while the loop
+// is wedged and asserts POST /v1/providers is refused promptly with 429 +
+// Retry-After — the acceptance criterion that a full queue sheds instead of
+// hanging the client until its deadline.
+func TestOverloadShedsWith429(t *testing.T) {
+	cfg := testConfig(9)
+	cfg.QueueDepth = 1
+	s, ts := startServer(t, cfg)
+
+	release := blockLoop(t, s)
+	defer release()
+	// Occupy the single queue slot.
+	go s.do(context.Background(), nil, func(st *state) cmdResult {
+		return cmdResult{status: http.StatusOK}
+	})
+	waitFor(t, func() bool { return len(s.cmds) == 1 })
+
+	start := time.Now()
+	resp, data := postJSON(t, ts.URL+"/v1/providers", drawProvider(cfg, s.View(), 2, 0))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d: %s", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shed took %v, want immediate", elapsed)
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	for _, metric := range []string{"mecd_cmds_shed_total 1", "mecd_cmd_queue_depth 1"} {
+		if !strings.Contains(metrics, metric) {
+			t.Errorf("missing %q in /metrics:\n%s", metric, grepLines(metrics, "cmd"))
+		}
+	}
+}
+
+// TestRequestDeadlineReturns503 wedges the loop and asserts a queued
+// mutation comes back 503 once its per-request deadline expires, instead of
+// waiting for the loop indefinitely.
+func TestRequestDeadlineReturns503(t *testing.T) {
+	cfg := testConfig(10)
+	cfg.RequestTimeout = 100 * time.Millisecond
+	s, ts := startServer(t, cfg)
+
+	release := blockLoop(t, s)
+	defer release()
+
+	resp, data := postJSON(t, ts.URL+"/v1/providers", drawProvider(cfg, s.View(), 2, 0))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "deadline") {
+		t.Fatalf("503 body does not mention the deadline: %s", data)
+	}
+}
+
+// TestDoStopRaceAlwaysTerminal races a burst of do calls against Stop:
+// every call must return a terminal result (never hang), the final snapshot
+// Stop writes must be readable by restore, and no goroutine may leak.
+func TestDoStopRaceAlwaysTerminal(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "snap.json")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+
+	before := runtime.NumGoroutine()
+	v := s.View()
+	const callers = 32
+	results := make(chan cmdResult, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := drawProvider(cfg, v, 13, i)
+			results <- s.do(context.Background(), &walRecord{Op: opAdmit, Provider: &p}, func(st *state) cmdResult {
+				return s.admitCmd(st, p)
+			})
+		}(i)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(results)
+	for r := range results {
+		if r.status == 0 {
+			t.Fatal("do returned a zero-status result during shutdown")
+		}
+	}
+
+	// All caller goroutines must be gone: do never strands a waiter.
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+
+	// Whatever prefix of the burst was applied, the final snapshot must
+	// reload exactly.
+	final := viewJSON(t, s)
+	restored, err := New(cfg)
+	if err != nil {
+		t.Fatalf("final snapshot unreadable: %v", err)
+	}
+	if got := viewJSON(t, restored); string(got) != string(final) {
+		t.Fatalf("restored state diverged from pre-stop view:\n%s\nvs\n%s", got, final)
+	}
+}
+
+// waitFor polls cond for up to five seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// fetchMetrics returns the Prometheus text exposition from a test server.
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -33,8 +33,12 @@ import (
 	"mecache/internal/obs"
 	"mecache/internal/stats"
 	"mecache/internal/topology"
+	"mecache/internal/wal"
 	"mecache/internal/workload"
 )
+
+// DefaultQueueDepth bounds the command queue when Config.QueueDepth is 0.
+const DefaultQueueDepth = 256
 
 // Config parameterizes the daemon.
 type Config struct {
@@ -76,6 +80,36 @@ type Config struct {
 	// decision tracing entirely — admissions then run the untraced
 	// best-response scan. Negative is invalid.
 	TraceDepth int
+	// WALDir, when non-empty, enables the write-ahead log: every mutating
+	// command is logged (and fsynced per WALSync) before it applies, and
+	// startup replays the log tail over the restored snapshot, so a crash
+	// loses nothing that was acknowledged. Works with or without
+	// SnapshotPath; snapshots compact the log.
+	WALDir string
+	// WALSync is the fsync policy: "always" (default; acknowledged
+	// commands survive power loss), "interval" (fsync at most once per
+	// WALSyncInterval; bounded loss), or "off" (the OS decides).
+	WALSync string
+	// WALSyncInterval spaces fsyncs under WALSync "interval".
+	WALSyncInterval time.Duration
+	// WALSegmentBytes rotates log segments at this size; 0 uses the wal
+	// package default (64 MiB).
+	WALSegmentBytes int64
+	// QueueDepth bounds the command queue between HTTP handlers and the
+	// event loop; a full queue sheds new commands with 429 + Retry-After
+	// instead of blocking. 0 means DefaultQueueDepth; negative is invalid.
+	QueueDepth int
+	// RequestTimeout bounds how long a mutating request may wait in the
+	// queue plus execute; expiry answers 503. 0 disables the deadline.
+	RequestTimeout time.Duration
+}
+
+// walSyncOrDefault maps the empty policy spelling to "always".
+func (cfg Config) walSyncOrDefault() string {
+	if cfg.WALSync == "" {
+		return "always"
+	}
+	return cfg.WALSync
 }
 
 // DefaultConfig mirrors the paper's Section IV setup.
@@ -106,6 +140,24 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.TraceDepth < 0 {
 		return fmt.Errorf("server: negative TraceDepth %d", cfg.TraceDepth)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("server: negative QueueDepth %d", cfg.QueueDepth)
+	}
+	if cfg.RequestTimeout < 0 {
+		return fmt.Errorf("server: negative RequestTimeout %v", cfg.RequestTimeout)
+	}
+	if cfg.WALSegmentBytes < 0 {
+		return fmt.Errorf("server: negative WALSegmentBytes %d", cfg.WALSegmentBytes)
+	}
+	if cfg.WALDir != "" {
+		pol, err := wal.ParseSyncPolicy(cfg.walSyncOrDefault())
+		if err != nil {
+			return fmt.Errorf("server: %w", err)
+		}
+		if pol == wal.SyncInterval && cfg.WALSyncInterval <= 0 {
+			return fmt.Errorf("server: WALSync interval needs a positive WALSyncInterval, got %v", cfg.WALSyncInterval)
+		}
 	}
 	switch cfg.Policy {
 	case fault.PolicyRemoteFallback, fault.PolicyReplace, fault.PolicyWaitForRepair:
@@ -161,10 +213,18 @@ type Server struct {
 	st       state
 	cmds     chan command
 	stopping chan struct{}
+	killing  chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
+	killOnce sync.Once
 	stopErr  error
 	started  atomic.Bool
+
+	// wal is the command log (nil without WALDir); recovering is true only
+	// during the constructor's replay, gating snapshot writes and tracing
+	// inside the replayed command functions.
+	wal        *wal.Log
+	recovering bool
 
 	view atomic.Pointer[View]
 	mux  *http.ServeMux
@@ -191,6 +251,14 @@ type Server struct {
 	gActive    *metrics.Gauge
 	gSocial    *metrics.Gauge
 	gLoads     []*metrics.Gauge
+
+	mShed           *metrics.Counter
+	mWALErrs        *metrics.Counter
+	mWALTruncations *metrics.Counter
+	hWALAppend      *metrics.Histogram
+	hWALSync        *metrics.Histogram
+	gRecoverySec    *metrics.Gauge
+	gRecoveredRecs  *metrics.Gauge
 }
 
 // New builds the daemon: generates (or adopts) the physical network,
@@ -216,11 +284,16 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	depth := cfg.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
+	}
 	s := &Server{
 		cfg:      cfg,
 		net:      pm.Net,
-		cmds:     make(chan command),
+		cmds:     make(chan command, depth),
 		stopping: make(chan struct{}),
+		killing:  make(chan struct{}),
 		done:     make(chan struct{}),
 		reg:      metrics.NewRegistry(),
 		log:      cfg.Logger,
@@ -239,6 +312,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s.registerMetrics()
+	if cfg.WALDir != "" {
+		// Recovery replays the WAL tail through the same command functions
+		// the live loop uses, so the metrics registered above keep counting
+		// through the replay — a restart never zeroes the exported series.
+		if err := s.recoverWAL(); err != nil {
+			return nil, err
+		}
+	}
 	s.buildMux()
 	s.publish(&s.st)
 	return s, nil
@@ -263,6 +344,15 @@ func (s *Server) registerMetrics() {
 		[]float64{0, 1, 2, 5, 10, 20, 50, 100, 200})
 	s.gActive = s.reg.Gauge("mecd_active_providers", "Currently active providers.")
 	s.gSocial = s.reg.Gauge("mecd_social_cost", "Social cost of the current placement.")
+	s.mShed = s.reg.Counter("mecd_cmds_shed_total", "Commands shed with 429 because the queue was full.")
+	s.reg.GaugeFunc("mecd_cmd_queue_depth", "Commands waiting in the event-loop queue.",
+		func() float64 { return float64(len(s.cmds)) })
+	s.mWALErrs = s.reg.Counter("mecd_wal_errors_total", "WAL append, fsync, and compaction failures.")
+	s.mWALTruncations = s.reg.Counter("mecd_wal_truncations_total", "Torn WAL tails truncated during recovery.")
+	s.hWALAppend = s.reg.Histogram("mecd_wal_append_seconds", "WAL record append (write) latency.", stats.LatencyBuckets())
+	s.hWALSync = s.reg.Histogram("mecd_wal_fsync_seconds", "WAL fsync latency.", stats.LatencyBuckets())
+	s.gRecoverySec = s.reg.Gauge("mecd_wal_recovery_seconds", "Duration of the last startup WAL replay.")
+	s.gRecoveredRecs = s.reg.Gauge("mecd_wal_recovered_records", "Commands replayed by the last startup WAL recovery.")
 	s.gLoads = make([]*metrics.Gauge, s.net.NumCloudlets())
 	for i := range s.gLoads {
 		s.gLoads[i] = s.reg.Gauge("mecd_cloudlet_load", "Services cached per cloudlet.", "cloudlet", strconv.Itoa(i))
@@ -339,9 +429,10 @@ func (s *Server) Start() {
 }
 
 // Stop shuts the event loop down, draining queued commands with 503s, and
-// waits for the final snapshot write (bounded by ctx).
+// waits for the final snapshot write and WAL compaction (bounded by ctx).
 func (s *Server) Stop(ctx context.Context) error {
 	if !s.started.Load() {
+		s.closeWAL()
 		return nil
 	}
 	s.stopOnce.Do(func() { close(s.stopping) })
@@ -351,6 +442,20 @@ func (s *Server) Stop(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// Kill terminates the event loop abruptly: no final snapshot, no WAL
+// compaction, queued commands answered with 503. It simulates a crash for
+// chaos testing — the next New over the same SnapshotPath/WALDir must
+// rebuild the identical state from the last snapshot plus the WAL tail.
+// Kill waits for the loop to exit before returning.
+func (s *Server) Kill() {
+	if !s.started.Load() {
+		s.closeWAL()
+		return
+	}
+	s.killOnce.Do(func() { close(s.killing) })
+	<-s.done
 }
 
 // View returns the current read snapshot.
@@ -458,7 +563,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	kind := r.URL.Query().Get("kind")
 	switch kind {
-	case "", "admission", "epoch":
+	case "", "admission", "epoch", "recovery":
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad kind: " + kind})
 		return
@@ -483,6 +588,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeResult(w http.ResponseWriter, res cmdResult) {
+	if res.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+	}
 	if res.err != nil {
 		writeJSON(w, res.status, map[string]string{"error": res.err.Error()})
 		return
@@ -501,7 +609,8 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res := s.do(func(st *state) cmdResult { return s.admitCmd(st, p) })
+	res := s.do(r.Context(), &walRecord{Op: opAdmit, Provider: &p},
+		func(st *state) cmdResult { return s.admitCmd(st, p) })
 	s.mLatency.Observe(time.Since(start).Seconds())
 	writeResult(w, res)
 }
@@ -512,7 +621,8 @@ func (s *Server) handleDepart(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad provider id: " + err.Error()})
 		return
 	}
-	writeResult(w, s.do(func(st *state) cmdResult { return s.departCmd(st, id) }))
+	writeResult(w, s.do(r.Context(), &walRecord{Op: opDepart, ID: id},
+		func(st *state) cmdResult { return s.departCmd(st, id) }))
 }
 
 func (s *Server) handlePlacements(w http.ResponseWriter, _ *http.Request) {
@@ -540,27 +650,36 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "decode fail request: " + err.Error()})
 		return
 	}
-	writeResult(w, s.do(func(st *state) cmdResult {
-		if req.Repair {
-			return s.repairCmd(st, req.Cloudlet)
-		}
-		return s.failCmd(st, req.Cloudlet)
-	}))
+	op := opFail
+	if req.Repair {
+		op = opRepair
+	}
+	writeResult(w, s.do(r.Context(), &walRecord{Op: op, Cloudlet: req.Cloudlet},
+		func(st *state) cmdResult {
+			if req.Repair {
+				return s.repairCmd(st, req.Cloudlet)
+			}
+			return s.failCmd(st, req.Cloudlet)
+		}))
 }
 
-func (s *Server) handleEpoch(w http.ResponseWriter, _ *http.Request) {
-	writeResult(w, s.do(func(st *state) cmdResult { return s.epochCmd(st) }))
+func (s *Server) handleEpoch(w http.ResponseWriter, r *http.Request) {
+	writeResult(w, s.do(r.Context(), &walRecord{Op: opEpoch},
+		func(st *state) cmdResult { return s.epochCmd(st) }))
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.SnapshotPath == "" {
 		writeJSON(w, http.StatusConflict, map[string]string{"error": "server: no snapshot path configured"})
 		return
 	}
-	writeResult(w, s.do(func(st *state) cmdResult {
+	// Snapshots are not mutations and are never WAL-logged; a successful
+	// one compacts the log, since its records are now in the snapshot.
+	writeResult(w, s.do(r.Context(), nil, func(st *state) cmdResult {
 		if err := s.writeSnapshot(st); err != nil {
 			return errorf(http.StatusInternalServerError, "server: snapshot: %v", err)
 		}
+		s.compactWAL()
 		return cmdResult{status: http.StatusOK, body: map[string]string{"path": s.cfg.SnapshotPath}}
 	}))
 }

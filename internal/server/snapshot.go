@@ -34,10 +34,15 @@ type snapCounters struct {
 // marshaler, so a snapshot is self-contained: restore never regenerates the
 // topology, which keeps hop distances and cost tables bit-identical.
 type snapshotFile struct {
-	Version    int           `json:"version"`
-	Seed       uint64        `json:"seed"`
-	NextID     int64         `json:"nextID"`
-	Epochs     uint64        `json:"epochs"`
+	Version int    `json:"version"`
+	Seed    uint64 `json:"seed"`
+	NextID  int64  `json:"nextID"`
+	Epochs  uint64 `json:"epochs"`
+	// LSN is the write-ahead-log sequence number of the last command this
+	// snapshot contains. Recovery skips WAL records at or below it, which
+	// makes snapshot-then-compact safe against a crash at any point in
+	// between. Absent (0) in pre-WAL snapshots.
+	LSN uint64 `json:"lsn,omitempty"`
 	Counters   snapCounters  `json:"counters"`
 	Network    *mec.Network  `json:"network,omitempty"` // only when the market is empty
 	Market     *mec.Market   `json:"market,omitempty"`
@@ -48,14 +53,18 @@ type snapshotFile struct {
 	Failed     []bool        `json:"failed"`
 }
 
-// writeSnapshot persists the loop-owned state atomically (temp file +
-// rename). Only the event loop calls this.
+// writeSnapshot persists the loop-owned state atomically and durably:
+// temp file, fsync, rename, fsync the directory. Without the fsyncs a
+// power loss shortly after the rename could install an empty or garbage
+// file — the rename survives in the directory, the data does not. Only the
+// event loop calls this.
 func (s *Server) writeSnapshot(st *state) error {
 	f := snapshotFile{
 		Version: snapshotVersion,
 		Seed:    s.cfg.Seed,
 		NextID:  st.nextID,
 		Epochs:  st.epochs,
+		LSN:     st.lsn,
 		Counters: snapCounters{
 			Accepted:   st.accepted,
 			Rejected:   st.rejected,
@@ -92,11 +101,28 @@ func (s *Server) writeSnapshot(st *state) error {
 		tmp.Close()
 		return fmt.Errorf("server: write snapshot: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("server: fsync snapshot: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("server: close snapshot: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), s.cfg.SnapshotPath); err != nil {
 		return fmt.Errorf("server: install snapshot: %w", err)
+	}
+	// Persist the rename itself: until the directory entry is flushed, the
+	// old file (or nothing) is what a crash would leave behind.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("server: open snapshot dir: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("server: fsync snapshot dir: %w", err)
+	}
+	if err := d.Close(); err != nil {
+		return fmt.Errorf("server: close snapshot dir: %w", err)
 	}
 	return nil
 }
@@ -145,6 +171,22 @@ func (s *Server) restore() error {
 		return fmt.Errorf("server: snapshot failure mask covers %d cloudlets, network has %d",
 			len(f.Failed), s.net.NumCloudlets())
 	}
+	// The waiting/waitingFor/failed triple has invariants the failback path
+	// relies on; an inconsistent snapshot must not load silently, or the
+	// next repair would consult garbage.
+	for i := range f.Waiting {
+		wf := f.WaitingFor[i]
+		if wf < -1 || wf >= s.net.NumCloudlets() {
+			return fmt.Errorf("server: snapshot waitingFor[%d] = %d outside [-1,%d)", i, wf, s.net.NumCloudlets())
+		}
+		if f.Waiting[i] != (wf != -1) {
+			return fmt.Errorf("server: snapshot waiting[%d] = %v disagrees with waitingFor[%d] = %d",
+				i, f.Waiting[i], i, wf)
+		}
+		if f.Waiting[i] && !f.Failed[wf] {
+			return fmt.Errorf("server: snapshot provider %d waits for cloudlet %d, which is not failed", i, wf)
+		}
+	}
 	byID := make(map[int64]int, n)
 	for i, id := range f.IDs {
 		if _, dup := byID[id]; dup {
@@ -165,6 +207,7 @@ func (s *Server) restore() error {
 		failed:     f.Failed,
 		nextID:     f.NextID,
 		epochs:     f.Epochs,
+		lsn:        f.LSN,
 		accepted:   f.Counters.Accepted,
 		rejected:   f.Counters.Rejected,
 		departed:   f.Counters.Departed,

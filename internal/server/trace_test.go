@@ -265,13 +265,13 @@ func TestTracingPreservesPlacements(t *testing.T) {
 		placements := make([]int, 10)
 		for i := range placements {
 			p := drawProvider(cfg, v, 17, i)
-			res := s.do(func(st *state) cmdResult { return s.admitCmd(st, p) })
+			res := s.do(context.Background(), nil, func(st *state) cmdResult { return s.admitCmd(st, p) })
 			if res.err != nil {
 				t.Fatal(res.err)
 			}
 			placements[i] = res.body.(admitResponse).Placement
 		}
-		res := s.do(func(st *state) cmdResult { return s.epochCmd(st) })
+		res := s.do(context.Background(), nil, func(st *state) cmdResult { return s.epochCmd(st) })
 		if res.err != nil {
 			t.Fatal(res.err)
 		}

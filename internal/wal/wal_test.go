@@ -1,0 +1,520 @@
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// openForTest opens a log with SyncAlways in dir.
+func openForTest(t *testing.T, dir string, opt Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+// replayAll collects every payload.
+func replayAll(t *testing.T, l *Log) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	stats, err := l.Replay(func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openForTest(t, dir, Options{})
+	var want []string
+	for i := 0; i < 100; i++ {
+		rec := fmt.Sprintf(`{"op":"admit","lsn":%d}`, i+1)
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2 := openForTest(t, dir, Options{})
+	got, stats := replayAll(t, l2)
+	if stats.Truncated || stats.Records != 100 || stats.Segments != 1 {
+		t.Fatalf("stats %+v, want 100 records in 1 segment, no truncation", stats)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %q != %q", i, got[i], want[i])
+		}
+	}
+	// The replayed log keeps appending.
+	if err := l2.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	l3 := openForTest(t, dir, Options{})
+	got, _ = replayAll(t, l3)
+	if len(got) != 101 || got[100] != "after" {
+		t.Fatalf("append-after-replay lost: %d records, last %q", len(got), got[len(got)-1])
+	}
+	l3.Close()
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l := openForTest(t, dir, Options{SegmentBytes: 256})
+	rec := strings.Repeat("x", 40)
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ents, _ := os.ReadDir(dir)
+	if len(ents) < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", len(ents))
+	}
+	l2 := openForTest(t, dir, Options{SegmentBytes: 256})
+	got, stats := replayAll(t, l2)
+	if len(got) != 30 {
+		t.Fatalf("replayed %d records across segments, want 30", len(got))
+	}
+	if stats.Segments != len(ents) {
+		t.Fatalf("replay visited %d segments, dir has %d", stats.Segments, len(ents))
+	}
+	l2.Close()
+}
+
+func TestResetCompacts(t *testing.T) {
+	dir := t.TempDir()
+	l := openForTest(t, dir, Options{SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		if err := l.Append([]byte(strings.Repeat("y", 30))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("reset left %d segments, want 1", len(ents))
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openForTest(t, dir, Options{})
+	got, _ := replayAll(t, l2)
+	if len(got) != 1 || got[0] != "fresh" {
+		t.Fatalf("post-reset replay %v, want [fresh]", got)
+	}
+	l2.Close()
+}
+
+// lastSegment returns the path of the highest-sequence segment.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("no segments")
+	}
+	return filepath.Join(dir, ents[len(ents)-1].Name())
+}
+
+func writeRecords(t *testing.T, dir string, recs ...string) {
+	t.Helper()
+	l := openForTest(t, dir, Options{})
+	for _, r := range recs {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	cases := []struct {
+		name string
+		tear func(t *testing.T, path string)
+	}{
+		{"half frame header", func(t *testing.T, path string) {
+			appendBytes(t, path, []byte{1, 2, 3})
+		}},
+		{"frame runs past eof", func(t *testing.T, path string) {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 500)
+			binary.LittleEndian.PutUint32(hdr[4:8], 0xdead)
+			appendBytes(t, path, append(hdr[:], []byte("short")...))
+		}},
+		{"implausible length", func(t *testing.T, path string) {
+			var hdr [8]byte
+			binary.LittleEndian.PutUint32(hdr[0:4], 1<<30)
+			appendBytes(t, path, hdr[:])
+		}},
+		{"crc mismatch on final frame", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0xff // flip a byte inside the last payload
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			writeRecords(t, dir, "a", "b", "c")
+			tc.tear(t, lastSegment(t, dir))
+
+			l := openForTest(t, dir, Options{})
+			got, stats := replayAll(t, l)
+			if !stats.Truncated {
+				t.Fatalf("torn tail not reported: %+v", stats)
+			}
+			wantRecords := 3
+			if tc.name == "crc mismatch on final frame" {
+				wantRecords = 2 // the damaged record itself is cut
+			}
+			if len(got) != wantRecords {
+				t.Fatalf("replayed %v, want %d clean records", got, wantRecords)
+			}
+			// The truncated log appends and replays cleanly afterwards.
+			if err := l.Append([]byte("post")); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+			l2 := openForTest(t, dir, Options{})
+			got2, stats2 := replayAll(t, l2)
+			if stats2.Truncated {
+				t.Fatalf("second replay still truncating: %+v", stats2)
+			}
+			if len(got2) != wantRecords+1 || got2[len(got2)-1] != "post" {
+				t.Fatalf("post-truncation records %v", got2)
+			}
+			l2.Close()
+		})
+	}
+}
+
+func TestInteriorCorruptionFatal(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "a", "bb", "ccc")
+	path := lastSegment(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the file: damages an interior record
+	// while the final frame stays intact.
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openForTest(t, dir, Options{})
+	_, err = l.Replay(func([]byte) error { return nil })
+	if err == nil {
+		t.Fatal("interior corruption replayed without error")
+	}
+	l.Close()
+}
+
+func TestCorruptionBeforeLastSegmentFatal(t *testing.T) {
+	dir := t.TempDir()
+	l := openForTest(t, dir, Options{SegmentBytes: 96})
+	for i := 0; i < 12; i++ {
+		if err := l.Append([]byte(strings.Repeat("z", 20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	ents, _ := os.ReadDir(dir)
+	if len(ents) < 2 {
+		t.Fatalf("need multiple segments, got %d", len(ents))
+	}
+	// Tear the tail of the FIRST segment: with later segments present this
+	// must refuse to boot, not silently truncate.
+	first := filepath.Join(dir, ents[0].Name())
+	appendBytes(t, first, []byte{9, 9, 9})
+	l2 := openForTest(t, dir, Options{})
+	if _, err := l2.Replay(func([]byte) error { return nil }); err == nil {
+		t.Fatal("corrupt interior segment replayed without error")
+	}
+	l2.Close()
+}
+
+func TestVersionMismatchFatal(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "a")
+	path := lastSegment(t, dir)
+	// Rewrite the segment with a future-version header and one record.
+	hdr, _ := json.Marshal(segHeader{Version: Version + 1, Segment: 1})
+	var buf []byte
+	buf = appendFrame(buf, hdr)
+	buf = appendFrame(buf, []byte("a"))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openForTest(t, dir, Options{})
+	_, err := l.Replay(func([]byte) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not fatal: %v", err)
+	}
+	l.Close()
+}
+
+func TestEmptyTailSegmentRecovers(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "a", "b")
+	// Simulate a crash between segment creation and the header write.
+	if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%016d.wal", uint64(2))), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l := openForTest(t, dir, Options{})
+	got, _ := replayAll(t, l)
+	if len(got) != 2 {
+		t.Fatalf("replayed %v, want the 2 records before the empty segment", got)
+	}
+	if err := l.Append([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2 := openForTest(t, dir, Options{})
+	got, _ = replayAll(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("after re-stamped header: %v", got)
+	}
+	l2.Close()
+}
+
+func TestSyncErrorInjection(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("disk on fire")
+	fail := false
+	l, err := Open(dir, Options{SyncFile: func(f *os.File) error {
+		if fail {
+			return boom
+		}
+		return f.Sync()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if err := l.Append([]byte("lost")); !errors.Is(err, boom) {
+		t.Fatalf("append with failing fsync returned %v, want the injected error", err)
+	}
+	// The frame bytes may already be on disk, so the log is poisoned: the
+	// durable history can no longer be trusted to match acknowledgements.
+	fail = false
+	if err := l.Append([]byte("again")); !errors.Is(err, boom) {
+		t.Fatalf("poisoned log accepted an append: %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("poisoned log accepted a sync: %v", err)
+	}
+	l.Close()
+
+	// A fresh process recovers: the unacknowledged record is on disk and
+	// replays (a crash leaves the same ambiguity for in-flight commands).
+	l2 := openForTest(t, dir, Options{})
+	got, _ := replayAll(t, l2)
+	if len(got) != 2 || got[0] != "ok" || got[1] != "lost" {
+		t.Fatalf("post-poison recovery replayed %v", got)
+	}
+	l2.Close()
+}
+
+func TestSyncPolicies(t *testing.T) {
+	t.Run("interval batches fsyncs", func(t *testing.T) {
+		syncs := 0
+		l, err := Open(t.TempDir(), Options{
+			Policy:    SyncInterval,
+			SyncEvery: time.Hour,
+			SyncFile:  func(f *os.File) error { syncs++; return f.Sync() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := syncs // header write syncs once
+		for i := 0; i < 50; i++ {
+			if err := l.Append([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if syncs-base > 1 {
+			t.Fatalf("interval policy fsynced %d times for 50 appends", syncs-base)
+		}
+		l.Close()
+		if syncs == base {
+			t.Fatal("close never flushed")
+		}
+	})
+	t.Run("off never syncs after header", func(t *testing.T) {
+		syncs := 0
+		l, err := Open(t.TempDir(), Options{
+			Policy:   SyncOff,
+			SyncFile: func(f *os.File) error { syncs++; return f.Sync() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := syncs
+		for i := 0; i < 20; i++ {
+			if err := l.Append([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if syncs != base {
+			t.Fatalf("off policy fsynced %d times on append", syncs-base)
+		}
+		l.Close()
+	})
+	t.Run("always syncs every append", func(t *testing.T) {
+		syncs := 0
+		l, err := Open(t.TempDir(), Options{
+			SyncFile: func(f *os.File) error { syncs++; return f.Sync() },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := syncs
+		for i := 0; i < 7; i++ {
+			if err := l.Append([]byte("r")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if syncs-base != 7 {
+			t.Fatalf("always policy fsynced %d times for 7 appends", syncs-base)
+		}
+		l.Close()
+	})
+}
+
+func TestMetricsHooks(t *testing.T) {
+	appends, syncs := 0, 0
+	l, err := Open(t.TempDir(), Options{
+		OnAppend: func(s float64) {
+			appends++
+			if s < 0 {
+				t.Errorf("negative append duration %v", s)
+			}
+		},
+		OnSync: func(s float64) { syncs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append([]byte("m")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	if appends != 5 {
+		t.Fatalf("OnAppend fired %d times, want 5", appends)
+	}
+	if syncs < 5 {
+		t.Fatalf("OnSync fired %d times, want >=5 under SyncAlways", syncs)
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open("", Options{}); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := Open(t.TempDir(), Options{Policy: SyncInterval}); err == nil {
+		t.Fatal("interval policy without SyncEvery accepted")
+	}
+	if _, err := Open(t.TempDir(), Options{SegmentBytes: -1}); err == nil {
+		t.Fatal("negative SegmentBytes accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "stray.wal"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("stray non-numeric .wal file accepted")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{"always": SyncAlways, "Interval": SyncInterval, " off ": SyncOff} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+	if SyncAlways.String() != "always" || SyncInterval.String() != "interval" || SyncOff.String() != "off" {
+		t.Fatal("policy String() spelling drifted from the flag spelling")
+	}
+}
+
+func TestAppendBeforeReplayRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeRecords(t, dir, "a")
+	l := openForTest(t, dir, Options{})
+	if err := l.Append([]byte("b")); err == nil {
+		t.Fatal("append before replay on a non-empty log accepted")
+	}
+	replayAll(t, l)
+	if err := l.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+// appendBytes tacks raw bytes onto a file, simulating a torn write.
+func appendBytes(t *testing.T, path string, b []byte) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// appendFrame frames a payload the same way the log does.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
