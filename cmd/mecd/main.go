@@ -8,13 +8,22 @@
 //
 //	mecd -addr :8080 -seed 1 -size 150 -epoch 30s -xi 0.7 -policy remote-fallback
 //
+// The daemon is multi-tenant: /v1/t/{tenant}/... addresses an independent
+// market per tenant ID (each with its own event loop, WAL directory, and
+// snapshot file), while the bare /v1/... API aliases the default tenant,
+// so single-tenant clients work unchanged. Tenants hydrate lazily on
+// first request; under -max-resident-tenants the least recently used idle
+// tenant is snapshotted and evicted, to be rebuilt from disk on its next
+// request.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain, the event loop stops, and (with -snapshot) the market is persisted
-// for the next start. With -wal-dir every mutating command is written to a
-// write-ahead log before it applies and replayed on startup, so even a
-// SIGKILL loses no acknowledged mutation (see -wal-sync for the fsync
-// policy); -queue-depth and -request-timeout bound how much work the
-// daemon accepts before shedding with 429/503.
+// drain, every resident tenant's loop stops, and (with -snapshot) its
+// market is persisted for the next start. With -wal-dir every mutating
+// command is written to a per-tenant write-ahead log before it applies
+// and replayed on startup, so even a SIGKILL loses no acknowledged
+// mutation (see -wal-sync for the fsync policy); -queue-depth and
+// -request-timeout bound how much work each tenant accepts before
+// shedding with 429/503.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,25 +56,28 @@ func main() {
 func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("mecd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free port)")
-	seed := fs.Uint64("seed", 1, "random seed for topology and epoch tie-breaking")
+	seed := fs.Uint64("seed", 1, "random seed for topology and epoch tie-breaking (shared by every tenant)")
 	size := fs.Int("size", 150, "GT-ITM network size")
-	maxActive := fs.Int("max-active", 0, "admission cap on concurrently active providers (0 = unlimited)")
+	maxActive := fs.Int("max-active", 0, "admission cap on concurrently active providers per tenant (0 = unlimited)")
 	epoch := fs.Duration("epoch", 0, "wall-clock re-equilibration period (0 = manual epochs via POST /v1/admin/epoch)")
 	xi := fs.Float64("xi", 0.7, "coordinated fraction at each epoch")
 	migrationAware := fs.Bool("migration-aware", false, "suppress epoch moves not worth their re-instantiation cost")
 	policy := fs.String("policy", "remote-fallback", "failover policy: remote-fallback, re-place, or wait-for-repair")
-	snapshot := fs.String("snapshot", "", "JSON snapshot path for persistence across restarts (empty = none)")
-	walDir := fs.String("wal-dir", "", "write-ahead log directory: mutating commands are logged before applying and replayed on startup (empty = no WAL)")
+	snapshot := fs.String("snapshot", "", "JSON snapshot path for persistence across restarts; tenant t writes dir/<t>/file (empty = none)")
+	walDir := fs.String("wal-dir", "", "write-ahead log base directory; tenant t logs to <wal-dir>/<t>/ (empty = no WAL)")
 	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (lossless), interval, or off")
 	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "minimum spacing between WAL fsyncs under -wal-sync interval")
 	walSegmentBytes := fs.Int64("wal-segment-bytes", 0, "WAL segment rotation size in bytes (0 = 64 MiB default)")
-	queueDepth := fs.Int("queue-depth", 0, "command queue bound; a full queue sheds requests with 429 (0 = default 256)")
+	queueDepth := fs.Int("queue-depth", 0, "per-tenant command queue bound; a full queue sheds requests with 429 (0 = default 256)")
 	requestTimeout := fs.Duration("request-timeout", 10*time.Second, "per-request deadline for mutating commands, queue wait included (0 = none)")
+	defaultTenant := fs.String("default-tenant", mecache.DefaultTenant, "tenant ID the bare /v1/... routes alias")
+	maxResident := fs.Int("max-resident-tenants", 0, "resident tenant cap: beyond it the LRU idle tenant is snapshotted and evicted (0 = unlimited; needs -wal-dir or -snapshot)")
+	preload := fs.String("preload-tenants", "", "comma-separated tenant IDs hydrated at startup (empty = the default tenant; \"none\" = fully lazy)")
 	portFile := fs.String("port-file", "", "write the bound listen address to this file once serving")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "grace period for draining on shutdown")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
 	logFormat := fs.String("log-format", "text", "log encoding: text or json")
-	traceDepth := fs.Int("trace", 64, "decision traces retained for GET /v1/debug/trace (0 disables tracing)")
+	traceDepth := fs.Int("trace", 64, "decision traces retained per tenant for GET /v1/debug/trace (0 disables tracing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,7 +98,6 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.MigrationAware = *migrationAware
 	cfg.Policy = pol
 	cfg.SnapshotPath = *snapshot
-	cfg.Logger = logger
 	cfg.TraceDepth = *traceDepth
 	cfg.WALDir = *walDir
 	cfg.WALSync = *walSync
@@ -94,13 +106,33 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	cfg.QueueDepth = *queueDepth
 	cfg.RequestTimeout = *requestTimeout
 
-	srv, err := mecache.NewMarketServer(cfg)
+	reg, err := mecache.NewTenantRegistry(mecache.TenantConfig{
+		Template:    cfg,
+		Default:     *defaultTenant,
+		MaxResident: *maxResident,
+		Logger:      logger,
+	})
 	if err != nil {
-		// The constructor also restores -snapshot state and replays the
-		// WAL; surface the cause structurally before the process exits
-		// non-zero.
 		logger.Error("daemon startup failed", "snapshot", *snapshot, "wal", *walDir, "err", err)
 		return err
+	}
+
+	// Hydrate the requested tenants now rather than at their first request:
+	// a corrupt snapshot or unreplayable WAL surfaces as a non-zero exit at
+	// boot, exactly as the single-tenant daemon behaved.
+	var warm []string
+	switch *preload {
+	case "":
+		warm = []string{*defaultTenant}
+	case "none":
+	default:
+		warm = strings.Split(*preload, ",")
+	}
+	for _, id := range warm {
+		if _, err := reg.Tenant(strings.TrimSpace(id)); err != nil {
+			logger.Error("daemon startup failed", "tenant", id, "snapshot", *snapshot, "wal", *walDir, "err", err)
+			return err
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -115,18 +147,18 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	}
 
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           reg.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	srv.Start()
 	fmt.Fprintf(w, "mecd: serving on http://%s (seed %d, %d nodes, policy %s)\n",
 		ln.Addr(), *seed, *size, pol)
 	build := mecache.Build()
 	logger.Info("serving", "addr", ln.Addr().String(), "seed", *seed, "size", *size,
 		"policy", pol.String(), "epoch", epoch.String(), "traceDepth", *traceDepth,
+		"defaultTenant", *defaultTenant, "maxResidentTenants", *maxResident,
 		"version", build.Version, "revision", build.Revision, "go", build.GoVersion)
 
 	serveErr := make(chan error, 1)
@@ -150,14 +182,14 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 		}
 	}
 
-	// Drain HTTP first so no handler is left waiting on the loop, then stop
-	// the loop (writing the final snapshot).
+	// Drain HTTP first so no handler is left waiting on a loop, then stop
+	// every resident tenant (writing final snapshots).
 	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}
-	if err := srv.Stop(ctx); err != nil {
+	if err := reg.Stop(ctx); err != nil {
 		return fmt.Errorf("loop shutdown: %w", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {

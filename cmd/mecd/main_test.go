@@ -98,7 +98,7 @@ func TestDaemonServesAndStopsCleanly(t *testing.T) {
 	met := new(bytes.Buffer)
 	met.ReadFrom(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(met.String(), `mecd_admissions_total{result="accepted"} 1`) {
+	if !strings.Contains(met.String(), `mecd_admissions_total{result="accepted",tenant="default"} 1`) {
 		t.Fatalf("metrics missing admission count:\n%s", met)
 	}
 
@@ -126,7 +126,9 @@ func TestDaemonSnapshotAcrossRestarts(t *testing.T) {
 		t.Fatalf("admission status %d", resp.StatusCode)
 	}
 	shutdown()
-	if _, err := os.Stat(snap); err != nil {
+	// Tenant t snapshots to dir/<t>/file under the -snapshot base path;
+	// the bare API is the default tenant.
+	if _, err := os.Stat(filepath.Join(dir, "default", "market.json")); err != nil {
 		t.Fatalf("no snapshot after shutdown: %v", err)
 	}
 

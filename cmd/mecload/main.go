@@ -8,9 +8,17 @@
 // with -c 1 against a fixed-seed daemon and the final market state is
 // byte-reproducible.
 //
+// With -tenants N the run fans out across N tenants of a multi-tenant
+// daemon (/v1/t/<prefix><k>/...), splitting -n round-robin. Tenant k draws
+// its j-th provider from substream index k<<32 + j, so each tenant's
+// workload is a pure, disjoint stream: a single-tenant run with
+// -stream-base $((k<<32)) and the same seed reproduces tenant k's exact
+// admission prefix.
+//
 // Usage:
 //
 //	mecload -url http://127.0.0.1:8080 -n 10000 -c 8 -seed 1 -churn
+//	mecload -url http://127.0.0.1:8080 -n 9000 -c 8 -tenants 3
 package main
 
 import (
@@ -61,6 +69,8 @@ type output struct {
 	Shed        uint64         `json:"shed"`
 	Errors      uint64         `json:"errors"`
 	Concurrency int            `json:"concurrency"`
+	Tenants     int            `json:"tenants"`
+	StreamBase  uint64         `json:"streamBase,omitempty"`
 	Churn       bool           `json:"churn"`
 	Seed        uint64         `json:"seed"`
 	Elapsed     float64        `json:"elapsedSeconds"`
@@ -86,6 +96,20 @@ const (
 	retryBase = 5 * time.Millisecond
 	retryCap  = 500 * time.Millisecond
 )
+
+// backoffFor returns the capped doubling delay for the given retry
+// attempt. The doubling stops once it reaches the cap (attempt 7): shifting
+// retryBase by an arbitrary -retries budget would eventually overflow
+// time.Duration into a negative sleep.
+func backoffFor(attempt int) time.Duration {
+	if attempt >= 7 {
+		return retryCap
+	}
+	if backoff := retryBase << attempt; backoff < retryCap {
+		return backoff
+	}
+	return retryCap
+}
 
 // retryable reports whether a response is an overload signal worth backing
 // off for: 503 (shutting down, deadline pressure) or 429 carrying
@@ -122,10 +146,7 @@ func sendWithBackoff(client *http.Client, build func() (*http.Request, error), s
 			return nil, nil
 		}
 		ws.retries++
-		backoff := retryBase << attempt
-		if backoff > retryCap {
-			backoff = retryCap
-		}
+		backoff := backoffFor(attempt)
 		// Jitter in [backoff/2, backoff): full-rate retries with the same
 		// period would re-collide at the queue.
 		time.Sleep(backoff/2 + time.Duration(src.Float64()*float64(backoff)/2))
@@ -146,6 +167,9 @@ func run(w io.Writer, args []string) error {
 	c := fs.Int("c", 4, "concurrent closed-loop workers")
 	seed := fs.Uint64("seed", 1, "workload seed (provider i is a pure function of seed and i)")
 	churn := fs.Bool("churn", false, "depart each provider right after admission (keeps the active set small)")
+	tenants := fs.Int("tenants", 1, "fan admissions out across this many tenants of a multi-tenant daemon (1 = the bare /v1 API)")
+	tenantPrefix := fs.String("tenant-prefix", "t", "tenant ID prefix: tenant k is <prefix><k>")
+	streamBase := fs.Uint64("stream-base", 0, "offset added to every substream index; -stream-base $((k<<32)) replays tenant k's stream single-tenant")
 	retries := fs.Int("retries", 6, "retries with capped exponential backoff when the daemon sheds load (429 + Retry-After, or 503); exhausted requests count as shed, not errors")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
@@ -167,9 +191,34 @@ func run(w io.Writer, args []string) error {
 	if *retries < 0 {
 		return fmt.Errorf("negative retry budget: -retries %d", *retries)
 	}
+	if *tenants < 1 {
+		return fmt.Errorf("need at least one tenant: -tenants %d", *tenants)
+	}
+	if *tenants > 1 && *tenantPrefix == "" {
+		return fmt.Errorf("-tenants %d needs a non-empty -tenant-prefix", *tenants)
+	}
+
+	// apiBase maps global admission i to its tenant's URL prefix. With one
+	// tenant the bare /v1 API is used, so single-tenant daemons work
+	// unchanged; otherwise admission i belongs to tenant i mod T.
+	apiBase := func(i int) string {
+		if *tenants <= 1 {
+			return *url + "/v1"
+		}
+		return fmt.Sprintf("%s/v1/t/%s%d", *url, *tenantPrefix, i%*tenants)
+	}
+	// substreamIndex keeps each tenant's draw stream pure and disjoint:
+	// tenant k's j-th admission always uses index k<<32 + j, independent of
+	// how many tenants share the run.
+	substreamIndex := func(i int) uint64 {
+		if *tenants <= 1 {
+			return *streamBase + uint64(i)
+		}
+		return *streamBase + uint64(i%*tenants)<<32 + uint64(i / *tenants)
+	}
 
 	probe := &http.Client{Timeout: *timeout}
-	resp, err := probe.Get(*url + "/v1/market")
+	resp, err := probe.Get(apiBase(0) + "/market")
 	if err != nil {
 		return fmt.Errorf("probe %s: %w", *url, err)
 	}
@@ -183,6 +232,7 @@ func run(w io.Writer, args []string) error {
 		return fmt.Errorf("implausible market: %d DCs, %d nodes", facts.NumDCs, facts.NumNodes)
 	}
 	logger.Info("starting load", "target", *url, "admissions", *n, "seed", *seed,
+		"tenants", *tenants, "streamBase", *streamBase,
 		"churn", *churn, "numDCs", facts.NumDCs, "numNodes", facts.NumNodes)
 
 	wl := workload.Default(*seed)
@@ -204,14 +254,15 @@ func run(w io.Writer, args []string) error {
 		// substreams (which are indexed by admission, not worker).
 		jit := rng.Substream(*seed^0x626b6f6666, uint64(wk))
 		for i := wk; i < *n; i += workers {
-			p := wl.DrawProvider(rng.Substream(*seed, uint64(i)), facts.NumDCs, facts.NumNodes)
+			base := apiBase(i)
+			p := wl.DrawProvider(rng.Substream(*seed, substreamIndex(i)), facts.NumDCs, facts.NumNodes)
 			body, err := json.Marshal(p)
 			if err != nil {
 				return err
 			}
 			t0 := time.Now()
 			resp, err := sendWithBackoff(client, func() (*http.Request, error) {
-				req, err := http.NewRequest(http.MethodPost, *url+"/v1/providers", bytes.NewReader(body))
+				req, err := http.NewRequest(http.MethodPost, base+"/providers", bytes.NewReader(body))
 				if err != nil {
 					return nil, err
 				}
@@ -241,7 +292,7 @@ func run(w io.Writer, args []string) error {
 					return fmt.Errorf("worker %d: decode admission: %w", wk, err)
 				}
 				dresp, err := sendWithBackoff(client, func() (*http.Request, error) {
-					return http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/providers/%d", *url, ar.ID), nil)
+					return http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/providers/%d", base, ar.ID), nil)
 				}, jit, *retries, ws)
 				if err != nil {
 					ws.errs++
@@ -272,6 +323,8 @@ func run(w io.Writer, args []string) error {
 		Target:      *url,
 		Admissions:  *n,
 		Concurrency: workers,
+		Tenants:     *tenants,
+		StreamBase:  *streamBase,
 		Churn:       *churn,
 		Seed:        *seed,
 		Elapsed:     elapsed,

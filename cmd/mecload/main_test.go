@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -124,6 +125,13 @@ func TestLoadRetriesOverload(t *testing.T) {
 	if out.Accepted != 8 || out.Retries != 8 || out.Shed != 0 || out.Errors != 0 {
 		t.Fatalf("alternating shed/accept with retries: %+v", out)
 	}
+	// A 429-then-success admission is ONE end-to-end sample (queue wait and
+	// backoff included), not one per attempt: the histogram must see exactly
+	// as many samples as terminal responses.
+	if out.Latency.Count != out.Accepted+out.Rejected {
+		t.Fatalf("retried admissions double-counted: %d latency samples for %d terminal responses",
+			out.Latency.Count, out.Accepted+out.Rejected)
+	}
 
 	mu.Lock()
 	alwaysShed = true
@@ -176,8 +184,109 @@ func TestLoadValidation(t *testing.T) {
 	if err := run(&buf, []string{"-c", "0"}); err == nil {
 		t.Fatal("zero workers accepted")
 	}
+	if err := run(&buf, []string{"-tenants", "0"}); err == nil {
+		t.Fatal("zero tenants accepted")
+	}
+	if err := run(&buf, []string{"-tenants", "2", "-tenant-prefix", ""}); err == nil {
+		t.Fatal("empty tenant prefix accepted with -tenants 2")
+	}
 	if err := run(&buf, []string{"-url", "http://127.0.0.1:1", "-timeout", "100ms"}); err == nil {
 		t.Fatal("unreachable daemon accepted")
+	}
+}
+
+// TestLoadBackoffClamp pins the retry-delay shape: capped doubling that
+// stays positive for any attempt number. Before the clamp, a large -retries
+// budget shifted retryBase past 63 bits, overflowing time.Duration into a
+// negative (i.e. zero-length) sleep and turning backoff into a busy loop.
+func TestLoadBackoffClamp(t *testing.T) {
+	if got := backoffFor(0); got != retryBase {
+		t.Fatalf("attempt 0: %v, want %v", got, retryBase)
+	}
+	if got := backoffFor(3); got != retryBase<<3 {
+		t.Fatalf("attempt 3: %v, want %v", got, retryBase<<3)
+	}
+	for _, attempt := range []int{7, 41, 63, 100, 1 << 20} {
+		if got := backoffFor(attempt); got != retryCap {
+			t.Fatalf("attempt %d: %v, want cap %v", attempt, got, retryCap)
+		}
+	}
+}
+
+// startTenantRegistry serves a multi-tenant registry over the same template
+// startMarket uses (seed 3, size 50), so a registry tenant and a bare
+// single-tenant daemon see identical topologies.
+func startTenantRegistry(t *testing.T) string {
+	t.Helper()
+	cfg := mecache.DefaultServerConfig(3)
+	cfg.Size = 50
+	reg, err := mecache.NewTenantRegistry(mecache.TenantConfig{Template: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := reg.Stop(ctx); err != nil {
+			t.Errorf("stop registry: %v", err)
+		}
+	})
+	return ts.URL
+}
+
+func marketBytes(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadMultiTenantFanOut drives -tenants 3 against a tenant registry and
+// pins the substream contract: tenant k's market must be byte-identical to
+// a bare single-tenant run of its share with -stream-base $((k<<32)).
+func TestLoadMultiTenantFanOut(t *testing.T) {
+	url := startTenantRegistry(t)
+	out := loadRun(t, []string{"-url", url, "-n", "9", "-c", "1", "-seed", "11", "-tenants", "3"})
+	if out.Accepted != 9 || out.Rejected != 0 || out.Errors != 0 {
+		t.Fatalf("fan-out run: %+v", out)
+	}
+	if out.Tenants != 3 || out.StreamBase != 0 {
+		t.Fatalf("output misreports the fan-out: %+v", out)
+	}
+
+	for k := 0; k < 3; k++ {
+		got := marketBytes(t, fmt.Sprintf("%s/v1/t/t%d/market", url, k))
+		var view struct {
+			Active int `json:"active"`
+		}
+		if err := json.Unmarshal(got, &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Active != 3 {
+			t.Fatalf("tenant t%d holds %d providers, want its round-robin share of 3", k, view.Active)
+		}
+
+		// Replay tenant k's exact stream against a fresh single-tenant
+		// daemon: same seed, same template, -stream-base k<<32.
+		ref := startMarket(t, nil)
+		loadRun(t, []string{"-url", ref, "-n", "3", "-c", "1", "-seed", "11",
+			"-stream-base", fmt.Sprint(uint64(k) << 32)})
+		want := marketBytes(t, ref+"/v1/market")
+		if !bytes.Equal(got, want) {
+			t.Fatalf("tenant t%d diverged from its single-tenant replay:\n%s\nvs\n%s", k, got, want)
+		}
 	}
 }
 

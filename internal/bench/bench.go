@@ -14,10 +14,12 @@ package bench
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 	"time"
 
 	"mecache/internal/dynamic"
@@ -25,6 +27,7 @@ import (
 	"mecache/internal/mec"
 	"mecache/internal/rng"
 	"mecache/internal/server"
+	"mecache/internal/tenant"
 	"mecache/internal/workload"
 )
 
@@ -192,6 +195,113 @@ func admissionCase(sc scale) Case {
 	}
 }
 
+// multiTenantAdmissionCase times one admission+departure pair on each of
+// nTenants independent tenants concurrently, through the registry's routed
+// handler at the smallest scale. The 8-tenant op performs 8x the admissions
+// of the 1-tenant op, so the 8/1 time ratio measures how well per-tenant
+// event loops scale: near 8/min(8,GOMAXPROCS) when tenants are truly
+// independent, climbing past it when shared state serializes them.
+func multiTenantAdmissionCase(nTenants int) Case {
+	plural := "tenants"
+	if nTenants == 1 {
+		plural = "tenant"
+	}
+	return Case{
+		Name: fmt.Sprintf("MultiTenantAdmission/%d%s", nTenants, plural),
+		Setup: func() (func() error, error) {
+			sc := scales[0]
+			cfg := server.DefaultConfig(benchSeed)
+			cfg.Size = sc.nodes
+			cfg.Workload = benchWorkload(sc)
+			cfg.TraceDepth = 0
+			reg, err := tenant.NewRegistry(tenant.Config{Template: cfg})
+			if err != nil {
+				return nil, err
+			}
+			h := reg.Handler()
+			bases := make([]string, nTenants)
+			for k := range bases {
+				bases[k] = fmt.Sprintf("/v1/t/bench%d", k)
+			}
+
+			req := httptest.NewRequest(http.MethodGet, bases[0]+"/market", nil)
+			rw := httptest.NewRecorder()
+			h.ServeHTTP(rw, req)
+			if rw.Code != http.StatusOK {
+				return nil, fmt.Errorf("probe market: status %d", rw.Code)
+			}
+			var v struct {
+				NumDCs   int `json:"numDCs"`
+				NumNodes int `json:"numNodes"`
+			}
+			if err := json.Unmarshal(rw.Body.Bytes(), &v); err != nil {
+				return nil, err
+			}
+			wl := cfg.Workload
+			pool := make([][]byte, 64)
+			for i := range pool {
+				p := wl.DrawProvider(rng.Substream(benchSeed, uint64(i)), v.NumDCs, v.NumNodes)
+				body, err := json.Marshal(p)
+				if err != nil {
+					return nil, err
+				}
+				pool[i] = body
+			}
+			admit := func(base string, body []byte) (int64, error) {
+				req := httptest.NewRequest(http.MethodPost, base+"/providers", bytes.NewReader(body))
+				rw := httptest.NewRecorder()
+				h.ServeHTTP(rw, req)
+				if rw.Code != http.StatusCreated {
+					return 0, fmt.Errorf("admission status %d: %s", rw.Code, rw.Body.String())
+				}
+				var ar struct {
+					ID int64 `json:"id"`
+				}
+				if err := json.Unmarshal(rw.Body.Bytes(), &ar); err != nil {
+					return 0, err
+				}
+				return ar.ID, nil
+			}
+			// Fill every tenant to the scale's provider count so the timed
+			// admissions land in the same congested steady state the
+			// single-tenant DaemonAdmission case measures.
+			ns := make([]int, nTenants)
+			for k, base := range bases {
+				for i := 0; i < sc.providers; i++ {
+					if _, err := admit(base, pool[i%len(pool)]); err != nil {
+						return nil, err
+					}
+				}
+				ns[k] = sc.providers
+			}
+			return func() error {
+				var wg sync.WaitGroup
+				errs := make([]error, nTenants)
+				for k := range bases {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						id, err := admit(bases[k], pool[ns[k]%len(pool)])
+						if err != nil {
+							errs[k] = err
+							return
+						}
+						ns[k]++
+						req := httptest.NewRequest(http.MethodDelete, fmt.Sprintf("%s/providers/%d", bases[k], id), nil)
+						rw := httptest.NewRecorder()
+						h.ServeHTTP(rw, req)
+						if rw.Code != http.StatusNoContent {
+							errs[k] = fmt.Errorf("depart status %d: %s", rw.Code, rw.Body.String())
+						}
+					}(k)
+				}
+				wg.Wait()
+				return errors.Join(errs...)
+			}, nil
+		},
+	}
+}
+
 // Cases returns every tracked benchmark, engine/naive pairs first.
 func Cases() []Case {
 	var cs []Case
@@ -204,6 +314,7 @@ func Cases() []Case {
 			admissionCase(sc),
 		)
 	}
+	cs = append(cs, multiTenantAdmissionCase(1), multiTenantAdmissionCase(8))
 	return cs
 }
 

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mecache/internal/wal"
+)
+
+// TestQueuedExpiredCommandSkipsWAL pins the queued-expiry contract: a
+// mutating command whose deadline fires while it is still queued must
+// leave no trace — no WAL record, no market mutation — so its 503 means
+// "certainly not applied". Before the claim CAS, the handler could return
+// 503 while the loop, dequeuing moments later, still logged and applied
+// the command behind the client's back.
+func TestQueuedExpiredCommandSkipsWAL(t *testing.T) {
+	cfg := testConfig(1)
+	cfg.WALDir = filepath.Join(t.TempDir(), "wal")
+	cfg.RequestTimeout = 100 * time.Millisecond
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	admit(t, ts, drawProvider(cfg, s.View(), 7, 0)) // baseline: WAL record 1
+
+	// Park the loop inside a command so the next admission expires while
+	// still queued. The blocker carries no ctx, no WAL record, and a
+	// buffered reply the test never reads.
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	s.cmds <- command{
+		run: func(st *state) cmdResult {
+			close(started)
+			<-gate
+			return cmdResult{status: http.StatusOK}
+		},
+		reply: make(chan cmdResult, 1),
+	}
+	<-started
+
+	resp, data := postJSON(t, ts.URL+"/v1/providers", drawProvider(cfg, s.View(), 7, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("queued-expired admission: status %d, want 503: %s", resp.StatusCode, data)
+	}
+	if !strings.Contains(string(data), "not applied") {
+		t.Fatalf("queued-expired admission should state it was not applied: %s", data)
+	}
+
+	// Release the loop: it dequeues the abandoned command, loses the claim
+	// race, and must skip it entirely.
+	close(gate)
+
+	second := admit(t, ts, drawProvider(cfg, s.View(), 7, 2)) // WAL record 2
+	if second.Active != 2 {
+		t.Fatalf("expired admission mutated the market: %d active, want 2", second.Active)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable history must hold exactly the two acknowledged
+	// admissions, with contiguous LSNs: the expired command appended
+	// nothing.
+	l, err := wal.Open(cfg.WALDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var ops []string
+	if _, err := l.Replay(func(payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return err
+		}
+		ops = append(ops, fmt.Sprintf("%d:%s", rec.LSN, rec.Op))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(ops, ","), "1:admit,2:admit"; got != want {
+		t.Fatalf("WAL holds %q, want %q (expired command must not be logged)", got, want)
+	}
+}
+
+// TestStorageValidationCreatesNestedDirs pins the fail-fast half of boot
+// validation: persistence paths with missing parents are created at New,
+// so the first snapshot or WAL append can no longer be the first time a
+// typo in -wal-dir surfaces.
+func TestStorageValidationCreatesNestedDirs(t *testing.T) {
+	base := t.TempDir()
+	cfg := testConfig(1)
+	cfg.WALDir = filepath.Join(base, "a", "b", "c", "wal")
+	cfg.SnapshotPath = filepath.Join(base, "x", "y", "z", "snap.json")
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New with nested nonexistent dirs: %v", err)
+	}
+	for _, dir := range []string{cfg.WALDir, filepath.Dir(cfg.SnapshotPath)} {
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			t.Errorf("New did not create %s: %v", dir, err)
+		}
+	}
+	s.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cfg.SnapshotPath); err != nil {
+		t.Errorf("final snapshot not written to pre-created dir: %v", err)
+	}
+}
+
+// TestStorageValidationFailsFast pins the other half: an unusable
+// persistence path is a structured startup error, not a latent
+// first-write failure. A regular file in the directory chain makes the
+// path unusable even for root (chmod-based unwritability is a no-op when
+// tests run privileged).
+func TestStorageValidationFailsFast(t *testing.T) {
+	base := t.TempDir()
+	blocker := filepath.Join(base, "blocker")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		role   string
+	}{
+		{"wal dir through a file", func(c *Config) {
+			c.WALDir = filepath.Join(blocker, "wal")
+		}, "wal"},
+		{"snapshot parent through a file", func(c *Config) {
+			c.SnapshotPath = filepath.Join(blocker, "sub", "snap.json")
+		}, "snapshot"},
+		{"snapshot path is a directory", func(c *Config) {
+			c.SnapshotPath = base
+		}, "snapshot"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(1)
+			tc.mutate(&cfg)
+			_, err := New(cfg)
+			if err == nil {
+				t.Fatal("New accepted an unusable persistence path")
+			}
+			var se *StorageError
+			if !errors.As(err, &se) {
+				t.Fatalf("error %v is not a *StorageError", err)
+			}
+			if se.Role != tc.role {
+				t.Errorf("StorageError role %q, want %q", se.Role, tc.role)
+			}
+			if !strings.Contains(err.Error(), "unusable") {
+				t.Errorf("error message %q should say the path is unusable", err)
+			}
+		})
+	}
+}

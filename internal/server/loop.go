@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"mecache/internal/dynamic"
@@ -82,11 +83,26 @@ type cmdResult struct {
 // on. reply is buffered (size 1) so the loop never blocks on a handler.
 // rec, when non-nil, is written to the WAL before run executes; ctx, when
 // non-nil, lets the loop skip commands whose caller already gave up.
+//
+// claimed arbitrates the race between the loop dequeuing the command and
+// the caller's deadline expiring while it is still queued: exactly one
+// side wins the CAS. If the caller wins, the loop must skip the command
+// entirely — no WAL append, no state mutation — so a deadline-expiry 503
+// means "certainly not applied", never "maybe applied behind your back".
+// If the loop wins, the caller waits for the real reply instead.
 type command struct {
-	ctx   context.Context
-	rec   *walRecord
-	run   func(st *state) cmdResult
-	reply chan cmdResult
+	ctx     context.Context
+	rec     *walRecord
+	run     func(st *state) cmdResult
+	reply   chan cmdResult
+	claimed *atomic.Bool
+}
+
+// abandoned reports whether the caller gave up on this command before the
+// loop claimed it. The loop calls this exactly once per dequeued command;
+// a true return means the command must leave no trace.
+func (c *command) loopClaims() bool {
+	return c.claimed == nil || c.claimed.CompareAndSwap(false, true)
 }
 
 // errorf builds an error result.
@@ -111,6 +127,13 @@ func (s *Server) loop() {
 		defer t.Stop()
 		tick = t.C
 	}
+	// pending holds one batch's deferred replies; reused across wake-ups so
+	// the steady state allocates nothing.
+	type reply struct {
+		ch  chan cmdResult
+		res cmdResult
+	}
+	pending := make([]reply, 0, cap(s.cmds)+1)
 	for {
 		select {
 		case <-s.killing:
@@ -142,23 +165,30 @@ func (s *Server) loop() {
 				}
 			}
 		case c := <-s.cmds:
-			if c.ctx != nil && c.ctx.Err() != nil {
-				// The caller's deadline expired while the command sat in
-				// the queue: skip it entirely (not logged, not applied) so
-				// overload sheds work instead of amplifying it.
-				c.reply <- errorf(http.StatusServiceUnavailable,
-					"server: deadline expired before execution: %v", c.ctx.Err())
-				continue
+			// Batched pass: apply the command and then drain the burst that
+			// accumulated behind it, publishing the read View once for the
+			// whole batch. N queued admissions mutate the same persistent
+			// LoadState back to back and pay for one View rebuild (one
+			// ProviderCosts/Loads walk) instead of N. Replies are held until
+			// after the publish so an acknowledged admission is always
+			// visible to the client's next read. The drain is bounded by the
+			// queue capacity so stop, kill, and the epoch ticker are never
+			// starved by a continuous stream.
+			pending = pending[:0]
+			pending = append(pending, reply{c.reply, s.execCommand(c)})
+		drain:
+			for len(pending) <= cap(s.cmds) {
+				select {
+				case c2 := <-s.cmds:
+					pending = append(pending, reply{c2.reply, s.execCommand(c2)})
+				default:
+					break drain
+				}
 			}
-			if err := s.logCommand(c.rec); err != nil {
-				// The mutation is not durable, so it must not apply.
-				s.log.Error("wal append failed", "op", c.rec.Op, "err", err)
-				c.reply <- errorf(http.StatusServiceUnavailable, "server: write-ahead log: %v", err)
-				continue
-			}
-			res := c.run(&s.st)
 			s.publish(&s.st)
-			c.reply <- res
+			for _, p := range pending {
+				p.ch <- p.res
+			}
 		case <-tick:
 			// Background epochs mutate state like any command, so they are
 			// WAL-logged like any command; their position in the log fixes
@@ -180,23 +210,49 @@ func (s *Server) loop() {
 	}
 }
 
+// execCommand applies one dequeued command — claim, deadline check, WAL
+// append, run — and returns the reply to send after the batch publishes.
+// It never publishes the View itself; the loop does that once per batch.
+func (s *Server) execCommand(c command) cmdResult {
+	if !c.loopClaims() {
+		// The caller already gave up (deadline expired while queued) and
+		// won the claim: the command must leave no trace — no WAL record,
+		// no state mutation — so its 503 means "certainly not applied".
+		return errorf(http.StatusServiceUnavailable, "server: abandoned before execution")
+	}
+	if c.ctx != nil && c.ctx.Err() != nil {
+		// The deadline expired but the caller has not noticed yet: it will
+		// lose the claim race and wait for this reply. Skipping here keeps
+		// the same contract — an expired command is never logged or applied.
+		return errorf(http.StatusServiceUnavailable,
+			"server: deadline expired before execution (not applied): %v", c.ctx.Err())
+	}
+	if err := s.logCommand(c.rec); err != nil {
+		// The mutation is not durable, so it must not apply.
+		s.log.Error("wal append failed", "op", c.rec.Op, "err", err)
+		return errorf(http.StatusServiceUnavailable, "server: write-ahead log: %v", err)
+	}
+	return c.run(&s.st)
+}
+
 // do submits a command and waits for its result, the caller's deadline, or
 // shutdown. The queue is bounded: when it is full the command is shed
 // immediately with 429 + Retry-After rather than blocking the handler —
 // under overload the daemon degrades by refusing work it cannot absorb,
 // never by queueing without bound.
 //
-// A 429 means the command was certainly not applied. A 503 for a deadline
-// expiry is ambiguous: the command may still execute after the reply (the
-// same ambiguity a crashed network gives any client); idempotent retry is
-// the caller's remedy.
+// A 429 means the command was certainly not applied, and so does a 503
+// for a deadline expiry: the claim CAS guarantees that when the deadline
+// fires while the command is still queued, the loop will skip it without
+// logging or applying it. If the loop claimed the command first, the
+// caller waits for the real reply instead of reporting expiry.
 func (s *Server) do(ctx context.Context, rec *walRecord, run func(st *state) cmdResult) cmdResult {
 	if ctx != nil && s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 		defer cancel()
 	}
-	c := command{ctx: ctx, rec: rec, run: run, reply: make(chan cmdResult, 1)}
+	c := command{ctx: ctx, rec: rec, run: run, reply: make(chan cmdResult, 1), claimed: new(atomic.Bool)}
 	select {
 	case s.cmds <- c:
 	case <-s.done:
@@ -213,8 +269,21 @@ func (s *Server) do(ctx context.Context, rec *walRecord, run func(st *state) cmd
 	case r := <-c.reply:
 		return r
 	case <-expired:
-		return errorf(http.StatusServiceUnavailable,
-			"server: deadline expired while queued: %v", ctx.Err())
+		if c.claimed.CompareAndSwap(false, true) {
+			// We won the claim: the loop has not started this command and,
+			// on dequeue, will drop it without a WAL append or mutation.
+			return errorf(http.StatusServiceUnavailable,
+				"server: deadline expired while queued (not applied): %v", ctx.Err())
+		}
+		// The loop claimed it first — it is executing right now, so the
+		// authoritative reply is imminent. Returning it beats inventing an
+		// ambiguous timeout for work that actually happened.
+		select {
+		case r := <-c.reply:
+			return r
+		case <-s.done:
+			return errorf(http.StatusServiceUnavailable, "server: shut down mid-command")
+		}
 	case <-s.done:
 		// The loop may have answered just before exiting.
 		select {

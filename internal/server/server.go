@@ -102,6 +102,19 @@ type Config struct {
 	// RequestTimeout bounds how long a mutating request may wait in the
 	// queue plus execute; expiry answers 503. 0 disables the deadline.
 	RequestTimeout time.Duration
+	// Tenant, when non-empty, labels every metric this daemon registers
+	// with tenant="<Tenant>". The multi-tenant registry sets it so many
+	// markets can share one exposition without series collisions; a bare
+	// single-tenant daemon leaves it empty and keeps unlabeled series.
+	Tenant string
+	// Metrics, when non-nil, is an externally owned registry the daemon
+	// registers its instruments into instead of creating its own. The
+	// owner is then responsible for the process-wide series (runtime
+	// gauges, build info), which must be registered exactly once no matter
+	// how many tenants share the registry. Counters restored from a
+	// snapshot are delta-primed, so re-registering after an eviction and
+	// rehydration never double-counts.
+	Metrics *metrics.Registry
 }
 
 // walSyncOrDefault maps the empty policy spelling to "always".
@@ -268,6 +281,12 @@ func New(cfg Config) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// Create-and-validate the persistence paths up front: a daemon whose
+	// snapshot or WAL directory does not exist (or is not writable) must
+	// refuse to boot, not fail at the first epoch snapshot hours later.
+	if err := cfg.validateStorage(); err != nil {
+		return nil, err
+	}
 	topo := cfg.Topology
 	if topo == nil {
 		var err error
@@ -295,9 +314,12 @@ func New(cfg Config) (*Server, error) {
 		stopping: make(chan struct{}),
 		killing:  make(chan struct{}),
 		done:     make(chan struct{}),
-		reg:      metrics.NewRegistry(),
+		reg:      cfg.Metrics,
 		log:      cfg.Logger,
 		ring:     obs.NewRing(cfg.TraceDepth),
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
 	}
 	if s.log == nil {
 		s.log = obs.NopLogger()
@@ -325,53 +347,79 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// labels extends an instrument's label pairs with the daemon's tenant
+// label when one is configured, so every series a multi-tenant registry
+// hosts is keyed by tenant while a bare daemon keeps its unlabeled names.
+func (s *Server) labels(kv ...string) []string {
+	if s.cfg.Tenant == "" {
+		return kv
+	}
+	return append(kv, "tenant", s.cfg.Tenant)
+}
+
 func (s *Server) registerMetrics() {
-	s.mAccepted = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", "result", "accepted")
-	s.mRejected = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", "result", "rejected")
-	s.mDeparted = s.reg.Counter("mecd_departures_total", "Providers retired via DELETE.")
-	s.mOutages = s.reg.Counter("mecd_outages_total", "Cloudlet failures injected.")
-	s.mRepairs = s.reg.Counter("mecd_repairs_total", "Cloudlet repairs applied.")
-	s.mFailovers = s.reg.Counter("mecd_failovers_total", "Providers displaced by cloudlet failures.")
-	s.mFailbacks = s.reg.Counter("mecd_failbacks_total", "Providers returned to a repaired cloudlet.")
-	s.mEpochs = s.reg.Counter("mecd_epochs_total", "Re-equilibration epochs run.")
-	s.mReconfigs = s.reg.Counter("mecd_reconfigurations_total", "Placement changes applied by epochs.")
-	s.mEpochErrs = s.reg.Counter("mecd_epoch_errors_total", "Background and snapshot-time epoch failures.")
-	s.mSnapErrs = s.reg.Counter("mecd_snapshot_errors_total", "Snapshot write failures.")
-	s.mLatency = s.reg.Histogram("mecd_admission_seconds", "End-to-end admission latency.", stats.LatencyBuckets())
+	s.mAccepted = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", s.labels("result", "accepted")...)
+	s.mRejected = s.reg.Counter("mecd_admissions_total", "Provider admission outcomes.", s.labels("result", "rejected")...)
+	s.mDeparted = s.reg.Counter("mecd_departures_total", "Providers retired via DELETE.", s.labels()...)
+	s.mOutages = s.reg.Counter("mecd_outages_total", "Cloudlet failures injected.", s.labels()...)
+	s.mRepairs = s.reg.Counter("mecd_repairs_total", "Cloudlet repairs applied.", s.labels()...)
+	s.mFailovers = s.reg.Counter("mecd_failovers_total", "Providers displaced by cloudlet failures.", s.labels()...)
+	s.mFailbacks = s.reg.Counter("mecd_failbacks_total", "Providers returned to a repaired cloudlet.", s.labels()...)
+	s.mEpochs = s.reg.Counter("mecd_epochs_total", "Re-equilibration epochs run.", s.labels()...)
+	s.mReconfigs = s.reg.Counter("mecd_reconfigurations_total", "Placement changes applied by epochs.", s.labels()...)
+	s.mEpochErrs = s.reg.Counter("mecd_epoch_errors_total", "Background and snapshot-time epoch failures.", s.labels()...)
+	s.mSnapErrs = s.reg.Counter("mecd_snapshot_errors_total", "Snapshot write failures.", s.labels()...)
+	s.mLatency = s.reg.Histogram("mecd_admission_seconds", "End-to-end admission latency.", stats.LatencyBuckets(), s.labels()...)
 	s.hLCFRounds = s.reg.Histogram("mecd_epoch_lcf_rounds", "Best-response convergence rounds per epoch.",
-		[]float64{1, 2, 3, 5, 8, 13, 21, 34, 55})
+		[]float64{1, 2, 3, 5, 8, 13, 21, 34, 55}, s.labels()...)
 	s.hEpochMigr = s.reg.Histogram("mecd_epoch_reconfigurations", "Placement changes per epoch.",
-		[]float64{0, 1, 2, 5, 10, 20, 50, 100, 200})
-	s.gActive = s.reg.Gauge("mecd_active_providers", "Currently active providers.")
-	s.gSocial = s.reg.Gauge("mecd_social_cost", "Social cost of the current placement.")
-	s.mShed = s.reg.Counter("mecd_cmds_shed_total", "Commands shed with 429 because the queue was full.")
+		[]float64{0, 1, 2, 5, 10, 20, 50, 100, 200}, s.labels()...)
+	s.gActive = s.reg.Gauge("mecd_active_providers", "Currently active providers.", s.labels()...)
+	s.gSocial = s.reg.Gauge("mecd_social_cost", "Social cost of the current placement.", s.labels()...)
+	s.mShed = s.reg.Counter("mecd_cmds_shed_total", "Commands shed with 429 because the queue was full.", s.labels()...)
+	// Rehydration re-registers this series and the closure is replaced, so
+	// the scrape always reads the live instance's queue, never an evicted
+	// one's.
 	s.reg.GaugeFunc("mecd_cmd_queue_depth", "Commands waiting in the event-loop queue.",
-		func() float64 { return float64(len(s.cmds)) })
-	s.mWALErrs = s.reg.Counter("mecd_wal_errors_total", "WAL append, fsync, and compaction failures.")
-	s.mWALTruncations = s.reg.Counter("mecd_wal_truncations_total", "Torn WAL tails truncated during recovery.")
-	s.hWALAppend = s.reg.Histogram("mecd_wal_append_seconds", "WAL record append (write) latency.", stats.LatencyBuckets())
-	s.hWALSync = s.reg.Histogram("mecd_wal_fsync_seconds", "WAL fsync latency.", stats.LatencyBuckets())
-	s.gRecoverySec = s.reg.Gauge("mecd_wal_recovery_seconds", "Duration of the last startup WAL replay.")
-	s.gRecoveredRecs = s.reg.Gauge("mecd_wal_recovered_records", "Commands replayed by the last startup WAL recovery.")
+		func() float64 { return float64(len(s.cmds)) }, s.labels()...)
+	s.mWALErrs = s.reg.Counter("mecd_wal_errors_total", "WAL append, fsync, and compaction failures.", s.labels()...)
+	s.mWALTruncations = s.reg.Counter("mecd_wal_truncations_total", "Torn WAL tails truncated during recovery.", s.labels()...)
+	s.hWALAppend = s.reg.Histogram("mecd_wal_append_seconds", "WAL record append (write) latency.", stats.LatencyBuckets(), s.labels()...)
+	s.hWALSync = s.reg.Histogram("mecd_wal_fsync_seconds", "WAL fsync latency.", stats.LatencyBuckets(), s.labels()...)
+	s.gRecoverySec = s.reg.Gauge("mecd_wal_recovery_seconds", "Duration of the last startup WAL replay.", s.labels()...)
+	s.gRecoveredRecs = s.reg.Gauge("mecd_wal_recovered_records", "Commands replayed by the last startup WAL recovery.", s.labels()...)
 	s.gLoads = make([]*metrics.Gauge, s.net.NumCloudlets())
 	for i := range s.gLoads {
-		s.gLoads[i] = s.reg.Gauge("mecd_cloudlet_load", "Services cached per cloudlet.", "cloudlet", strconv.Itoa(i))
+		s.gLoads[i] = s.reg.Gauge("mecd_cloudlet_load", "Services cached per cloudlet.", s.labels("cloudlet", strconv.Itoa(i))...)
 	}
 	// Prime the counters from restored state so a restart does not zero the
-	// exported series.
-	s.mAccepted.Add(float64(s.st.accepted))
-	s.mRejected.Add(float64(s.st.rejected))
-	s.mDeparted.Add(float64(s.st.departed))
-	s.mOutages.Add(float64(s.st.outages))
-	s.mRepairs.Add(float64(s.st.repairs))
-	s.mFailovers.Add(float64(s.st.failovers))
-	s.mFailbacks.Add(float64(s.st.failbacks))
-	s.mEpochs.Add(float64(s.st.epochs))
-	s.mReconfigs.Add(float64(s.st.reconfigs))
-	metrics.RegisterRuntime(s.reg)
-	b := obs.Build()
-	s.reg.Gauge("mecache_build_info", "Build identity of the running binary; value is always 1.",
-		"version", b.Version, "goversion", b.GoVersion, "revision", b.Revision).Set(1)
+	// exported series. The priming is delta-based: on a shared registry the
+	// instrument may already carry the tenant's lifetime count (eviction
+	// followed by rehydration), and since snapshot counters and instruments
+	// increment in lockstep, adding only the shortfall never double-counts.
+	prime := func(c *metrics.Counter, v uint64) {
+		if d := float64(v) - c.Value(); d > 0 {
+			c.Add(d)
+		}
+	}
+	prime(s.mAccepted, s.st.accepted)
+	prime(s.mRejected, s.st.rejected)
+	prime(s.mDeparted, s.st.departed)
+	prime(s.mOutages, s.st.outages)
+	prime(s.mRepairs, s.st.repairs)
+	prime(s.mFailovers, s.st.failovers)
+	prime(s.mFailbacks, s.st.failbacks)
+	prime(s.mEpochs, s.st.epochs)
+	prime(s.mReconfigs, s.st.reconfigs)
+	if s.cfg.Metrics == nil {
+		// Process-wide series belong to whoever owns the registry: a bare
+		// daemon owns its own, a multi-tenant registry registers them once
+		// for all tenants.
+		metrics.RegisterRuntime(s.reg)
+		b := obs.Build()
+		s.reg.Gauge("mecache_build_info", "Build identity of the running binary; value is always 1.",
+			"version", b.Version, "goversion", b.GoVersion, "revision", b.Revision).Set(1)
+	}
 }
 
 // publish rebuilds the read View from loop-owned state and stores it
@@ -513,11 +561,11 @@ func (w *statusWriter) WriteHeader(code int) {
 // fixed at the route table, never influenced by request paths.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.reg.Histogram("mecd_http_request_seconds", "HTTP request latency by route.",
-		stats.LatencyBuckets(), "route", pattern)
+		stats.LatencyBuckets(), s.labels("route", pattern)...)
 	// Register the common-case series eagerly so every route is visible on
 	// the first scrape, before it has served anything.
 	ok := s.reg.Counter("mecd_http_requests_total", "HTTP requests by route and status code.",
-		"route", pattern, "code", "200")
+		s.labels("route", pattern, "code", "200")...)
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
 		start := time.Now()
@@ -529,7 +577,7 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 			ok.Inc()
 		} else {
 			s.reg.Counter("mecd_http_requests_total", "HTTP requests by route and status code.",
-				"route", pattern, "code", strconv.Itoa(sw.status)).Inc()
+				s.labels("route", pattern, "code", strconv.Itoa(sw.status))...).Inc()
 		}
 		lvl := slog.LevelDebug
 		switch {

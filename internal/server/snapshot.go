@@ -15,6 +15,67 @@ import (
 // snapshotVersion guards the on-disk format.
 const snapshotVersion = 1
 
+// StorageError reports a persistence path (snapshot directory or WAL
+// directory) that cannot be used, detected at construction time. Failing
+// at New keeps a misconfigured -snapshot or -wal-dir from surfacing only
+// at the first write — by which point acknowledged mutations would already
+// be at risk.
+type StorageError struct {
+	Role string // "snapshot" or "wal"
+	Path string
+	Err  error
+}
+
+func (e *StorageError) Error() string {
+	return fmt.Sprintf("server: %s path %s unusable: %v", e.Role, e.Path, e.Err)
+}
+
+func (e *StorageError) Unwrap() error { return e.Err }
+
+// ensureWritableDir creates dir (and any missing parents) and proves it is
+// writable by creating and removing a probe file. writeSnapshot and
+// wal.Append then cannot fail for directory reasons mid-flight.
+func ensureWritableDir(role, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return &StorageError{Role: role, Path: dir, Err: err}
+	}
+	probe, err := os.CreateTemp(dir, ".mecd-probe-*")
+	if err != nil {
+		return &StorageError{Role: role, Path: dir, Err: fmt.Errorf("not writable: %w", err)}
+	}
+	name := probe.Name()
+	if err := probe.Close(); err != nil {
+		os.Remove(name)
+		return &StorageError{Role: role, Path: dir, Err: err}
+	}
+	if err := os.Remove(name); err != nil {
+		return &StorageError{Role: role, Path: dir, Err: err}
+	}
+	return nil
+}
+
+// validateStorage fails fast on unusable persistence paths: the snapshot's
+// parent directory and the WAL directory are created if missing and
+// probed for writability, and a SnapshotPath that names an existing
+// directory is rejected before restore would misread it.
+func (cfg Config) validateStorage() error {
+	if cfg.SnapshotPath != "" {
+		if fi, err := os.Stat(cfg.SnapshotPath); err == nil && fi.IsDir() {
+			return &StorageError{Role: "snapshot", Path: cfg.SnapshotPath,
+				Err: errors.New("is a directory, want a file path")}
+		}
+		if err := ensureWritableDir("snapshot", filepath.Dir(cfg.SnapshotPath)); err != nil {
+			return err
+		}
+	}
+	if cfg.WALDir != "" {
+		if err := ensureWritableDir("wal", cfg.WALDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // snapCounters carries the monotone counters across restarts.
 type snapCounters struct {
 	Accepted   uint64  `json:"accepted"`
@@ -42,7 +103,7 @@ type snapshotFile struct {
 	// snapshot contains. Recovery skips WAL records at or below it, which
 	// makes snapshot-then-compact safe against a crash at any point in
 	// between. Absent (0) in pre-WAL snapshots.
-	LSN uint64 `json:"lsn,omitempty"`
+	LSN        uint64        `json:"lsn,omitempty"`
 	Counters   snapCounters  `json:"counters"`
 	Network    *mec.Network  `json:"network,omitempty"` // only when the market is empty
 	Market     *mec.Market   `json:"market,omitempty"`

@@ -172,6 +172,17 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
+	// Prove the directory is writable now, while failing is still cheap: a
+	// log that opens fine but cannot append would poison itself on the
+	// first mutating command instead of at startup. Multi-tenant daemons
+	// open one log per tenant directory, so the probe also catches a
+	// tenant subdirectory that exists but is unusable.
+	probe, err := os.CreateTemp(dir, ".wal-probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("wal: dir %s not writable: %w", dir, err)
+	}
+	probe.Close()
+	os.Remove(probe.Name())
 	l := &Log{dir: dir, opt: opt}
 	seqs, err := l.segments()
 	if err != nil {

@@ -2,6 +2,7 @@ package mecache
 
 import (
 	"mecache/internal/server"
+	"mecache/internal/tenant"
 )
 
 // Serving-layer types: the online dimension of the market, where providers
@@ -18,7 +19,18 @@ type (
 	MarketView = server.View
 	// PlacedProvider is one provider's entry in a MarketView.
 	PlacedProvider = server.ProviderView
+	// TenantRegistry shards the daemon: many independent markets in one
+	// process, keyed by tenant ID and routed by a /v1/t/{tenant}/ prefix,
+	// with LRU eviction and lazy rehydration under a resident cap.
+	TenantRegistry = tenant.Registry
+	// TenantConfig parameterizes a TenantRegistry: the per-tenant daemon
+	// template, the default tenant the bare /v1/ API aliases, and the
+	// resident cap.
+	TenantConfig = tenant.Config
 )
+
+// DefaultTenant is the tenant the bare /v1/ routes alias.
+const DefaultTenant = tenant.DefaultTenant
 
 // DefaultServerConfig returns a daemon over the paper's Section IV setup
 // with manual epochs and no persistence.
@@ -27,3 +39,7 @@ func DefaultServerConfig(seed uint64) ServerConfig { return server.DefaultConfig
 // NewMarketServer builds a market daemon; call Start, serve Handler, and
 // Stop it when done.
 func NewMarketServer(cfg ServerConfig) (*MarketServer, error) { return server.New(cfg) }
+
+// NewTenantRegistry builds a multi-tenant daemon; serve Handler and Stop
+// it when done. Tenants hydrate lazily on first request.
+func NewTenantRegistry(cfg TenantConfig) (*TenantRegistry, error) { return tenant.NewRegistry(cfg) }
