@@ -16,6 +16,12 @@
 // tenant is snapshotted and evicted, to be rebuilt from disk on its next
 // request.
 //
+// Readiness: with -port-file the daemon writes its bound address to the
+// file only after the listener is serving and a real /healthz probe has
+// returned 200 — so a supervisor that waits for the file (the mecexp
+// experiment runner, the CI smoke scripts) can hit any endpoint the moment
+// the file exists, without retry loops racing boot.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // drain, every resident tenant's loop stops, and (with -snapshot) its
 // market is persisted for the next start. With -wal-dir every mutating
@@ -42,6 +48,45 @@ import (
 
 	"mecache"
 )
+
+// awaitReady polls GET /healthz on the bound address until it returns 200,
+// failing fast if the serve loop exits first. An unspecified listen host
+// (0.0.0.0 / ::) is probed via loopback.
+func awaitReady(addr net.Addr, serveErr <-chan error, timeout time.Duration) error {
+	host, port, err := net.SplitHostPort(addr.String())
+	if err != nil {
+		return fmt.Errorf("parse listen address %q: %w", addr, err)
+	}
+	if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+		host = "127.0.0.1"
+	}
+	url := "http://" + net.JoinHostPort(host, port) + "/healthz"
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(timeout)
+	var lastStatus string
+	for {
+		resp, err := client.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			lastStatus = resp.Status
+		} else {
+			lastStatus = err.Error()
+		}
+		select {
+		case err := <-serveErr:
+			return fmt.Errorf("daemon exited before becoming ready: %w", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon not ready within %v (last probe: %s)", timeout, lastStatus)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:], nil); err != nil {
@@ -139,12 +184,6 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 	if err != nil {
 		return err
 	}
-	if *portFile != "" {
-		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			ln.Close()
-			return fmt.Errorf("write port file: %w", err)
-		}
-	}
 
 	hs := &http.Server{
 		Handler:           reg.Handler(),
@@ -163,6 +202,24 @@ func run(w io.Writer, args []string, stop <-chan struct{}) error {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
+
+	// Readiness contract: -port-file appears only after the HTTP stack has
+	// answered a real /healthz probe with 200 over TCP. By the time a
+	// supervisor (the mecexp runner, the CI smokes) can read the file, every
+	// preloaded tenant is resident and any endpoint is safe to hit — there
+	// is no window where the address is known but requests still race boot.
+	if err := awaitReady(ln.Addr(), serveErr, 30*time.Second); err != nil {
+		hs.Close()
+		reg.Stop(context.Background())
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			hs.Close()
+			reg.Stop(context.Background())
+			return fmt.Errorf("write port file: %w", err)
+		}
+	}
 
 	if stop == nil {
 		sig := make(chan os.Signal, 1)

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -108,6 +110,31 @@ func TestDaemonServesAndStopsCleanly(t *testing.T) {
 	}
 	if !strings.Contains(out, "mecd: serving on http://") {
 		t.Fatalf("no serving banner in:\n%s", out)
+	}
+}
+
+// TestDaemonPortFileReadiness pins the readiness contract the mecexp
+// runner and the CI smokes rely on: the instant -port-file exists, the
+// daemon must answer — the very first probe of every endpoint, with no
+// retry loop, must succeed. Before the contract, the file was written
+// after Listen but before Serve started, so an immediate probe raced boot.
+func TestDaemonPortFileReadiness(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		url, shutdown := startDaemon(t, "-seed", fmt.Sprint(10+i))
+		// startDaemon returns as soon as the port file has content: probe
+		// once, immediately, and require 200 on the first attempt.
+		for _, path := range []string{"/healthz", "/metrics", "/v1/market"} {
+			resp, err := http.Get(url + path)
+			if err != nil {
+				t.Fatalf("boot %d: first GET %s failed: %v", i, path, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("boot %d: first GET %s = %d, want 200", i, path, resp.StatusCode)
+			}
+		}
+		shutdown()
 	}
 }
 

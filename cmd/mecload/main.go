@@ -15,10 +15,16 @@
 // -stream-base $((k<<32)) and the same seed reproduces tenant k's exact
 // admission prefix.
 //
+// The run's JSON summary goes to stdout by default; -out <file> writes it
+// atomically (temp+rename in the target directory) instead, keeping stdout
+// empty and logs on stderr — the contract the mecexp experiment runner
+// relies on to collect summaries without parsing interleaved streams.
+//
 // Usage:
 //
 //	mecload -url http://127.0.0.1:8080 -n 10000 -c 8 -seed 1 -churn
 //	mecload -url http://127.0.0.1:8080 -n 9000 -c 8 -tenants 3
+//	mecload -url http://127.0.0.1:8080 -n 500 -out summary.json
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mecache"
@@ -171,6 +178,7 @@ func run(w io.Writer, args []string) error {
 	tenantPrefix := fs.String("tenant-prefix", "t", "tenant ID prefix: tenant k is <prefix><k>")
 	streamBase := fs.Uint64("stream-base", 0, "offset added to every substream index; -stream-base $((k<<32)) replays tenant k's stream single-tenant")
 	retries := fs.Int("retries", 6, "retries with capped exponential backoff when the daemon sheds load (429 + Retry-After, or 503); exhausted requests count as shed, not errors")
+	outPath := fs.String("out", "", "write the JSON summary to this file (atomic temp+rename) instead of stdout; logs stay on stderr")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn, or error")
@@ -360,9 +368,42 @@ func run(w io.Writer, args []string) error {
 		"retries", out.Retries, "shed", out.Shed,
 		"errors", out.Errors, "elapsedSeconds", elapsed, "admissionsPerSecond", out.Throughput,
 		"p50Seconds", out.Latency.P50, "p99Seconds", out.Latency.P99)
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	if *pretty {
 		enc.SetIndent("", "  ")
 	}
-	return enc.Encode(out)
+	if err := enc.Encode(out); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		_, err := w.Write(buf.Bytes())
+		return err
+	}
+	return writeFileAtomic(*outPath, buf.Bytes())
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so a consumer polling the path (the mecexp
+// runner) never observes a partially written summary. Non-regular
+// destinations (e.g. /dev/null, a FIFO) are written directly: renaming
+// over them would replace the special file with a regular one.
+func writeFileAtomic(path string, data []byte) error {
+	if fi, err := os.Stat(path); err == nil && !fi.Mode().IsRegular() {
+		return os.WriteFile(path, data, 0o644)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -68,6 +70,46 @@ func TestLoadBasic(t *testing.T) {
 	}
 	if out.Throughput <= 0 {
 		t.Fatalf("throughput %v", out.Throughput)
+	}
+}
+
+// TestLoadOutFile pins the -out contract: the summary lands in the file
+// (atomically, so no .tmp litter), stdout stays empty, and the document is
+// the same shape the stdout path emits.
+func TestLoadOutFile(t *testing.T) {
+	url := startMarket(t, nil)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "summary.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []string{"-url", url, "-n", "10", "-c", "2", "-seed", "4", "-out", path}); err != nil {
+		t.Fatalf("mecload -out: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("-out run wrote %d bytes to stdout: %s", buf.Len(), buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out output
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid summary JSON: %v\n%s", err, data)
+	}
+	if out.Accepted != 10 || out.Errors != 0 {
+		t.Fatalf("summary file: %+v", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "summary.json" {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+
+	// An unwritable target must surface as an error, not a silent drop.
+	if err := run(&buf, []string{"-url", url, "-n", "1", "-c", "1",
+		"-out", filepath.Join(dir, "no", "such", "dir", "s.json")}); err == nil {
+		t.Fatal("unwritable -out path accepted")
 	}
 }
 

@@ -1,0 +1,243 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Combo statuses recorded in index.json.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// PhaseCounts is the deterministic outcome of one load phase.
+type PhaseCounts struct {
+	Name     string `json:"name"`
+	N        int    `json:"n"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Deterministic is the reproducible section of a combo summary: re-running
+// the same matrix cell with the same seed must reproduce it byte for byte,
+// at any -parallel width, on any machine.
+type Deterministic struct {
+	Accepted uint64        `json:"accepted"`
+	Rejected uint64        `json:"rejected"`
+	Phases   []PhaseCounts `json:"phases"`
+	// Metrics holds the post-run values of the allowlisted deterministic
+	// families, summed across tenants (the result label kept as a suffix).
+	Metrics map[string]float64 `json:"metrics"`
+	Tenants []TenantSummary    `json:"tenants"`
+}
+
+// PhaseWallClock is the timing-dependent residue of one load phase.
+type PhaseWallClock struct {
+	Name           string  `json:"name"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	Throughput     float64 `json:"admissionsPerSecond"`
+	P50Seconds     float64 `json:"p50Seconds"`
+	P95Seconds     float64 `json:"p95Seconds"`
+	P99Seconds     float64 `json:"p99Seconds"`
+	Retries        uint64  `json:"retries"`
+	Shed           uint64  `json:"shed"`
+}
+
+// WallClock gathers every timing-dependent observation of a combo. It is
+// the summary's single explicitly excluded field set: CanonicalSummary
+// drops exactly this object, and nothing else, before comparing runs.
+type WallClock struct {
+	TotalSeconds  float64          `json:"totalSeconds"`
+	ScrapeSeconds float64          `json:"scrapeSeconds"`
+	Phases        []PhaseWallClock `json:"phases,omitempty"`
+}
+
+// Summary is the per-combo summary.json document.
+type Summary struct {
+	Slug          string        `json:"slug"`
+	Status        string        `json:"status"`
+	Error         string        `json:"error,omitempty"`
+	Config        Plan          `json:"config,omitempty"`
+	Deterministic Deterministic `json:"deterministic,omitempty"`
+	WallClock     WallClock     `json:"wallClock"`
+}
+
+// ComboResult is one combo's outcome as the runner hands it to the index.
+type ComboResult struct {
+	Slug          string        `json:"slug"`
+	Combo         Combo         `json:"combo"`
+	Status        string        `json:"status"`
+	Error         string        `json:"error,omitempty"`
+	Deterministic Deterministic `json:"deterministic,omitempty"`
+	WallClock     WallClock     `json:"wallClock"`
+}
+
+// IndexEntry is one combo's row in index.json.
+type IndexEntry struct {
+	Slug       string  `json:"slug"`
+	Dir        string  `json:"dir"`
+	Status     string  `json:"status"`
+	Error      string  `json:"error,omitempty"`
+	Accepted   uint64  `json:"accepted"`
+	Rejected   uint64  `json:"rejected"`
+	SocialCost float64 `json:"socialCost"`
+}
+
+// Index is the top-level index.json document of one matrix run.
+type Index struct {
+	Stamp  string       `json:"stamp"`
+	Matrix Matrix       `json:"matrix"`
+	OK     int          `json:"ok"`
+	Failed int          `json:"failed"`
+	Combos []IndexEntry `json:"combos"`
+}
+
+func buildDeterministic(p Plan, loads []phaseRun, scrape scrapeResult) Deterministic {
+	det := Deterministic{Metrics: scrape.metricSums, Tenants: scrape.tenants}
+	for _, ph := range loads {
+		det.Accepted += ph.out.Accepted
+		det.Rejected += ph.out.Rejected
+		det.Phases = append(det.Phases, PhaseCounts{
+			Name: ph.name, N: ph.n, Accepted: ph.out.Accepted, Rejected: ph.out.Rejected,
+		})
+	}
+	return det
+}
+
+func buildWallClock(started time.Time, loads []phaseRun, scrape scrapeResult) WallClock {
+	wc := WallClock{
+		TotalSeconds:  time.Since(started).Seconds(),
+		ScrapeSeconds: scrape.elapsed,
+	}
+	for _, ph := range loads {
+		wc.Phases = append(wc.Phases, PhaseWallClock{
+			Name:           ph.name,
+			ElapsedSeconds: ph.out.Elapsed,
+			Throughput:     ph.out.Throughput,
+			P50Seconds:     ph.out.Latency.P50,
+			P95Seconds:     ph.out.Latency.P95,
+			P99Seconds:     ph.out.Latency.P99,
+			Retries:        ph.out.Retries,
+			Shed:           ph.out.Shed,
+		})
+	}
+	return wc
+}
+
+func buildIndex(m Matrix, stamp string, results []ComboResult) *Index {
+	idx := &Index{Stamp: stamp, Matrix: m}
+	for _, res := range results {
+		e := IndexEntry{
+			Slug:     res.Slug,
+			Dir:      res.Slug,
+			Status:   res.Status,
+			Error:    res.Error,
+			Accepted: res.Deterministic.Accepted,
+			Rejected: res.Deterministic.Rejected,
+		}
+		for _, tn := range res.Deterministic.Tenants {
+			e.SocialCost += tn.SocialCost
+		}
+		if res.Status == StatusOK {
+			idx.OK++
+		} else {
+			idx.Failed++
+		}
+		idx.Combos = append(idx.Combos, e)
+	}
+	return idx
+}
+
+// renderTable renders the aggregate table (table.txt): one aligned row per
+// combo with its headline deterministic numbers.
+func renderTable(idx *Index) []byte {
+	rows := [][]string{{"COMBO", "STATUS", "ACCEPTED", "REJECTED", "SOCIAL-COST"}}
+	for _, e := range idx.Combos {
+		cost := "-"
+		if e.Status == StatusOK {
+			cost = fmt.Sprintf("%.4f", e.SocialCost)
+		}
+		rows = append(rows, []string{
+			e.Slug, e.Status, fmt.Sprint(e.Accepted), fmt.Sprint(e.Rejected), cost,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(row)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// writeJSONAtomic marshals v (indented, stable field order) and writes it
+// atomically.
+func writeJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// writeFileAtomic writes data via a temp file in the target directory plus
+// rename, so partially written artifacts are never observable.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// WallClockExcludedFields is the explicit field set CanonicalSummary
+// removes before byte comparison: exactly the top-level "wallClock" object
+// every timing-dependent observation is confined to.
+var WallClockExcludedFields = []string{"wallClock"}
+
+// CanonicalSummary strips the wall-clock field set from a summary.json
+// document and re-marshals it canonically (indented, keys sorted), so two
+// runs of the same combo compare byte for byte.
+func CanonicalSummary(data []byte) ([]byte, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("exp: canonicalize summary: %w", err)
+	}
+	for _, f := range WallClockExcludedFields {
+		delete(doc, f)
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

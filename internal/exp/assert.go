@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mecache/internal/metrics"
+)
+
+// Metric assertions are the structured replacement for CI's
+// `curl /metrics | grep` smoke checks: the exposition is parsed with the
+// strict text-format parser, then each expression is evaluated against the
+// structured samples. Supported forms:
+//
+//	name                      the family exists with at least one sample
+//	counter:name              the family exists with the given type
+//	gauge:name                (counter, gauge, or histogram; histogram
+//	histogram:name            additionally checks the scrape invariants)
+//	name{k="v",...}           a sample carrying the label subset exists
+//	name{k="v"}==N            the SUM of matching samples compares to N
+//	name{k="v"}>=N            (==, >=, <=); name may be a family name or a
+//	name{k="v"}<=N            histogram's _bucket/_sum/_count series
+//
+// Matching is label-subset, so an assertion written against
+// result="accepted" keeps holding when new labels (a tenant, a shard) are
+// added to the series.
+
+// CheckAssertions evaluates every expression against parsed families and
+// returns the join of all failures, one error per failed expression.
+func CheckAssertions(fams []metrics.Family, exprs []string) error {
+	var errs []error
+	for _, expr := range exprs {
+		if err := checkAssertion(fams, expr); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", expr, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AssertMetrics scrapes url's /metrics and evaluates the expressions.
+func AssertMetrics(url string, exprs []string) error {
+	raw, err := fetchRaw(strings.TrimSuffix(url, "/") + "/metrics")
+	if err != nil {
+		return err
+	}
+	fams, err := metrics.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	return CheckAssertions(fams, exprs)
+}
+
+func checkAssertion(fams []metrics.Family, expr string) error {
+	expr = strings.TrimSpace(expr)
+	if expr == "" {
+		return fmt.Errorf("empty assertion")
+	}
+
+	// Typed-family form: counter:/gauge:/histogram: prefix.
+	for _, typ := range []string{"counter", "gauge", "histogram"} {
+		if rest, ok := strings.CutPrefix(expr, typ+":"); ok {
+			f, found := metrics.FindFamily(fams, rest)
+			if !found {
+				return fmt.Errorf("family %q not exposed", rest)
+			}
+			if f.Type != typ {
+				return fmt.Errorf("family %q has type %s, want %s", rest, f.Type, typ)
+			}
+			if typ == "histogram" {
+				if _, _, err := metrics.CheckHistogram(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	// Comparison suffix, if any. == before the single-char forms.
+	sel, op, want := expr, "", 0.0
+	for _, cand := range []string{"==", ">=", "<="} {
+		if i := strings.LastIndex(expr, cand); i >= 0 {
+			v, err := strconv.ParseFloat(strings.TrimSpace(expr[i+len(cand):]), 64)
+			if err != nil {
+				return fmt.Errorf("bad comparison value: %v", err)
+			}
+			sel, op, want = strings.TrimSpace(expr[:i]), cand, v
+			break
+		}
+	}
+
+	name, labels, err := parseSelector(sel)
+	if err != nil {
+		return err
+	}
+	sum, matched := 0.0, 0
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			if s.Name != name || !labelsMatch(s.Labels, labels) {
+				continue
+			}
+			matched++
+			sum += s.Value
+		}
+	}
+	if matched == 0 {
+		// A bare family name also matches a family that exists but has
+		// no samples of its own name (pure histogram families expose only
+		// suffixed series).
+		if op == "" && len(labels) == 0 {
+			if _, ok := metrics.FindFamily(fams, name); ok {
+				return nil
+			}
+		}
+		return fmt.Errorf("no sample matches %q", sel)
+	}
+	switch op {
+	case "":
+		return nil
+	case "==":
+		if sum != want {
+			return fmt.Errorf("sum %v != %v (%d samples)", sum, want, matched)
+		}
+	case ">=":
+		if sum < want {
+			return fmt.Errorf("sum %v < %v (%d samples)", sum, want, matched)
+		}
+	case "<=":
+		if sum > want {
+			return fmt.Errorf("sum %v > %v (%d samples)", sum, want, matched)
+		}
+	}
+	return nil
+}
+
+// parseSelector splits `name{k="v",...}` into its name and label pairs.
+// Label values are plain quoted strings (no escape processing — assertion
+// literals live in CI scripts, not arbitrary data).
+func parseSelector(sel string) (string, map[string]string, error) {
+	brace := strings.IndexByte(sel, '{')
+	if brace < 0 {
+		return sel, nil, nil
+	}
+	if !strings.HasSuffix(sel, "}") {
+		return "", nil, fmt.Errorf("unterminated label block in %q", sel)
+	}
+	name := sel[:brace]
+	labels := map[string]string{}
+	body := sel[brace+1 : len(sel)-1]
+	if strings.TrimSpace(body) == "" {
+		return name, labels, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("label without = in %q", pair)
+		}
+		v = strings.TrimSpace(v)
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", nil, fmt.Errorf("label value not quoted in %q", pair)
+		}
+		labels[strings.TrimSpace(k)] = v[1 : len(v)-1]
+	}
+	return name, labels, nil
+}
+
+func labelsMatch(have, want map[string]string) bool {
+	for k, v := range want {
+		if have[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"mecache/internal/metrics"
+)
+
+const assertExposition = `# HELP mecd_admissions_total Admission decisions.
+# TYPE mecd_admissions_total counter
+mecd_admissions_total{result="accepted",tenant="default"} 30
+mecd_admissions_total{result="accepted",tenant="t1"} 12
+mecd_admissions_total{result="rejected",tenant="default"} 2
+# HELP mecd_social_cost Social cost of the current placement.
+# TYPE mecd_social_cost gauge
+mecd_social_cost{tenant="default"} 101.5
+# HELP mecd_admission_seconds Admission latency.
+# TYPE mecd_admission_seconds histogram
+mecd_admission_seconds_bucket{le="0.1"} 4
+mecd_admission_seconds_bucket{le="+Inf"} 5
+mecd_admission_seconds_sum 0.7
+mecd_admission_seconds_count 5
+`
+
+func parsedAssertFams(t *testing.T) []metrics.Family {
+	t.Helper()
+	fams, err := metrics.ParseText(strings.NewReader(assertExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+func TestAssertionsHold(t *testing.T) {
+	fams := parsedAssertFams(t)
+	hold := []string{
+		"mecd_admissions_total",
+		"counter:mecd_admissions_total",
+		"gauge:mecd_social_cost",
+		"histogram:mecd_admission_seconds",
+		`mecd_admissions_total{result="accepted"}`,
+		`mecd_admissions_total{result="accepted"}==42`, // summed across tenants
+		`mecd_admissions_total{result="accepted",tenant="t1"}==12`,
+		`mecd_admissions_total{result="rejected"}<=2`,
+		"mecd_social_cost>=100",
+		"mecd_admission_seconds_count==5",
+		`mecd_admission_seconds_bucket{le="+Inf"}==5`,
+	}
+	for _, expr := range hold {
+		if err := CheckAssertions(fams, []string{expr}); err != nil {
+			t.Errorf("assertion %q failed: %v", expr, err)
+		}
+	}
+}
+
+func TestAssertionsFail(t *testing.T) {
+	fams := parsedAssertFams(t)
+	fail := []string{
+		"mecd_nope_total",
+		"gauge:mecd_admissions_total", // wrong type
+		"histogram:mecd_social_cost",
+		`mecd_admissions_total{result="shed"}`,
+		`mecd_admissions_total{result="accepted"}==30`, // forgets tenant t1
+		"mecd_social_cost<=100",
+		"mecd_admissions_total==oops",
+		"",
+	}
+	for _, expr := range fail {
+		if err := CheckAssertions(fams, []string{expr}); err == nil {
+			t.Errorf("assertion %q held, want failure", expr)
+		}
+	}
+
+	// Every failed expression surfaces in the joined error.
+	err := CheckAssertions(fams, []string{"mecd_nope_total", "mecd_social_cost<=100", "mecd_admissions_total"})
+	if err == nil {
+		t.Fatal("joined assertions held")
+	}
+	for _, want := range []string{"mecd_nope_total", "mecd_social_cost"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error misses %q: %v", want, err)
+		}
+	}
+}
+
+func TestAssertionHistogramInvariants(t *testing.T) {
+	broken := `# TYPE mecd_admission_seconds histogram
+mecd_admission_seconds_bucket{le="0.1"} 9
+mecd_admission_seconds_bucket{le="+Inf"} 5
+mecd_admission_seconds_sum 0.7
+mecd_admission_seconds_count 5
+`
+	fams, err := metrics.ParseText(strings.NewReader(broken))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAssertions(fams, []string{"histogram:mecd_admission_seconds"}); err == nil {
+		t.Fatal("histogram assertion accepted decreasing cumulative counts")
+	}
+}

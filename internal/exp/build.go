@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// BuildBinaries compiles cmd/mecd and cmd/mecload from the enclosing
+// module into dir and returns their paths. The experiment driver calls it
+// when no prebuilt binaries are passed, so `go run ./cmd/mecexp` works on
+// a clean checkout; CI passes its race-built binaries instead.
+func BuildBinaries(dir string, race bool) (mecd, mecload string, err error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", "", err
+	}
+	mecd = filepath.Join(dir, "mecd")
+	mecload = filepath.Join(dir, "mecload")
+	for bin, pkg := range map[string]string{mecd: "./cmd/mecd", mecload: "./cmd/mecload"} {
+		args := []string{"build"}
+		if race {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", bin, pkg)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return "", "", fmt.Errorf("exp: go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return mecd, mecload, nil
+}
+
+// moduleRoot locates the enclosing Go module by walking up from the
+// working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("exp: no go.mod above the working directory (pass -mecd/-mecload explicitly)")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,144 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+)
+
+// loadOutput mirrors cmd/mecload's JSON summary document.
+type loadOutput struct {
+	Accepted   uint64  `json:"accepted"`
+	Rejected   uint64  `json:"rejected"`
+	Retries    uint64  `json:"retries"`
+	Shed       uint64  `json:"shed"`
+	Errors     uint64  `json:"errors"`
+	Seed       uint64  `json:"seed"`
+	StreamBase uint64  `json:"streamBase"`
+	Elapsed    float64 `json:"elapsedSeconds"`
+	Throughput float64 `json:"admissionsPerSecond"`
+	Latency    struct {
+		Count uint64  `json:"count"`
+		Mean  float64 `json:"meanSeconds"`
+		P50   float64 `json:"p50Seconds"`
+		P95   float64 `json:"p95Seconds"`
+		P99   float64 `json:"p99Seconds"`
+	} `json:"latency"`
+}
+
+// phaseRun is one executed load phase: its name ("wave0", "fault"), the
+// admission budget, and the parsed mecload summary.
+type phaseRun struct {
+	name string
+	n    int
+	out  loadOutput
+}
+
+// drive executes the plan's load schedule against a booted daemon: each
+// wave is one serial mecload child (its summary collected via -out, its
+// logs appended to mecload.log), followed by a manual re-equilibration
+// epoch where the plan says so; with a fault phase planned, the chosen
+// cloudlets are failed on every tenant and the follow-up budget is driven
+// through the degraded market on a disjoint substream range.
+func (r *Runner) drive(p Plan, d *daemon, comboDir string, deadline time.Time) ([]phaseRun, error) {
+	logFile, err := os.OpenFile(filepath.Join(comboDir, "mecload.log"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer logFile.Close()
+
+	var phases []phaseRun
+	offset := uint64(0)
+	for i, n := range p.Waves {
+		name := fmt.Sprintf("wave%d", i)
+		out, err := r.runLoad(p, d, comboDir, logFile, name, n, offset, deadline)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, phaseRun{name: name, n: n, out: out})
+		offset += uint64(n)
+		if p.EpochAfterWave[i] {
+			for k := 0; k < p.Combo.Tenants; k++ {
+				if err := postJSON(apiBase(d.url, p.Combo.Tenants, k)+"/admin/epoch", struct{}{}); err != nil {
+					return nil, fmt.Errorf("epoch after %s: %w", name, err)
+				}
+			}
+		}
+	}
+
+	if len(p.FailCloudlets) > 0 {
+		for k := 0; k < p.Combo.Tenants; k++ {
+			for _, cl := range p.FailCloudlets {
+				if err := postJSON(apiBase(d.url, p.Combo.Tenants, k)+"/admin/fail",
+					map[string]int{"cloudlet": cl}); err != nil {
+					return nil, fmt.Errorf("fail cloudlet %d: %w", cl, err)
+				}
+			}
+		}
+		out, err := r.runLoad(p, d, comboDir, logFile, "fault", p.FaultAdmissions, offset, deadline)
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, phaseRun{name: "fault", n: p.FaultAdmissions, out: out})
+	}
+	return phases, nil
+}
+
+// runLoad executes one mecload child for n admissions at the given
+// substream offset and returns its parsed summary. The child writes its
+// summary with -out (atomic temp+rename), so stdout never needs parsing;
+// a child whose summary reports hard errors fails the phase, keeping the
+// deterministic section of the combo summary trustworthy.
+func (r *Runner) runLoad(p Plan, d *daemon, comboDir string, logFile *os.File, name string, n int, offset uint64, deadline time.Time) (loadOutput, error) {
+	var out loadOutput
+	outPath := filepath.Join(comboDir, "load-"+name+".json")
+	args := []string{
+		"-url", d.url,
+		"-n", strconv.Itoa(n),
+		"-c", strconv.Itoa(r.loadWorkers()),
+		"-seed", strconv.FormatUint(p.LoadSeed, 10),
+		"-stream-base", strconv.FormatUint(offset, 10),
+		"-out", outPath,
+		"-log-format", "json",
+	}
+	if p.Combo.Load == LoadChurn {
+		args = append(args, "-churn")
+	}
+	if p.Combo.Tenants > 1 {
+		args = append(args, "-tenants", strconv.Itoa(p.Combo.Tenants))
+	}
+	cmd := exec.Command(r.Mecload, args...)
+	cmd.Stdout = logFile
+	cmd.Stderr = logFile
+	if err := cmd.Start(); err != nil {
+		return out, fmt.Errorf("start mecload %s: %w", name, err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err := <-waitc:
+		if err != nil {
+			return out, fmt.Errorf("mecload %s: %w (see mecload.log)", name, err)
+		}
+	case <-time.After(time.Until(deadline)):
+		cmd.Process.Kill()
+		<-waitc
+		return out, fmt.Errorf("mecload %s exceeded the combo deadline", name)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return out, fmt.Errorf("mecload %s summary: %w", name, err)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("mecload %s summary: %w", name, err)
+	}
+	if out.Errors > 0 {
+		return out, fmt.Errorf("mecload %s reported %d hard errors", name, out.Errors)
+	}
+	return out, nil
+}

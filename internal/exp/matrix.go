@@ -1,0 +1,265 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"mecache/internal/rng"
+)
+
+// Matrix is a named-axis scenario grid. Expand turns it into the cross
+// product of every axis, in row-major order (policies outermost, reps
+// innermost), so combo order — and therefore index.json order — is a pure
+// function of the matrix.
+type Matrix struct {
+	Policies   []string  `json:"policies"`
+	Sizes      []int     `json:"sizes"`
+	Loads      []string  `json:"loads"`
+	FaultRates []float64 `json:"faultRates"`
+	Tenants    []int     `json:"tenants"`
+	Reps       int       `json:"reps"`
+
+	// Seed is the matrix seed every combo derives its randomness from.
+	Seed uint64 `json:"seed"`
+	// Admissions is the per-combo admission budget.
+	Admissions int `json:"admissions"`
+}
+
+// Defaults fills the axes a caller left empty with the single-cell
+// defaults, so a Matrix zero value plus one axis is a valid sweep.
+func (m *Matrix) Defaults() {
+	if len(m.Policies) == 0 {
+		m.Policies = []string{"lcf"}
+	}
+	if len(m.Sizes) == 0 {
+		m.Sizes = []int{50}
+	}
+	if len(m.Loads) == 0 {
+		m.Loads = []string{LoadSteady}
+	}
+	if len(m.FaultRates) == 0 {
+		m.FaultRates = []float64{0}
+	}
+	if len(m.Tenants) == 0 {
+		m.Tenants = []int{1}
+	}
+	if m.Reps <= 0 {
+		m.Reps = 1
+	}
+	if m.Admissions <= 0 {
+		m.Admissions = 100
+	}
+}
+
+// Validate rejects axes the runner cannot execute.
+func (m *Matrix) Validate() error {
+	for _, p := range m.Policies {
+		if _, err := ParsePolicy(p); err != nil {
+			return err
+		}
+	}
+	for _, s := range m.Sizes {
+		if s < 10 {
+			return fmt.Errorf("exp: topology size %d too small (need >= 10)", s)
+		}
+	}
+	for _, l := range m.Loads {
+		if _, err := ParseLoad(l); err != nil {
+			return err
+		}
+	}
+	for _, f := range m.FaultRates {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("exp: fault rate %v outside [0, 1)", f)
+		}
+	}
+	for _, tn := range m.Tenants {
+		if tn < 1 {
+			return fmt.Errorf("exp: tenant count %d < 1", tn)
+		}
+	}
+	if m.Reps < 1 {
+		return fmt.Errorf("exp: reps %d < 1", m.Reps)
+	}
+	if m.Admissions < 1 {
+		return fmt.Errorf("exp: admissions %d < 1", m.Admissions)
+	}
+	return nil
+}
+
+// Combo is one cell of the expanded matrix.
+type Combo struct {
+	Index     int     `json:"index"`
+	Policy    Policy  `json:"policy"`
+	Size      int     `json:"size"`
+	Load      string  `json:"load"`
+	FaultRate float64 `json:"faultRate"`
+	Tenants   int     `json:"tenants"`
+	Rep       int     `json:"rep"`
+
+	// Seed is the matrix seed; the combo's own streams derive from it and
+	// the slug, never from Index, so the same cell draws the same numbers
+	// in any matrix that contains it.
+	Seed uint64 `json:"seed"`
+	// Admissions is this combo's admission budget.
+	Admissions int `json:"admissions"`
+}
+
+// Expand returns every combo of the matrix in row-major axis order.
+func (m *Matrix) Expand() ([]Combo, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var combos []Combo
+	for _, pname := range m.Policies {
+		p, err := ParsePolicy(pname)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range m.Sizes {
+			for _, load := range m.Loads {
+				for _, fr := range m.FaultRates {
+					for _, tn := range m.Tenants {
+						for rep := 0; rep < m.Reps; rep++ {
+							combos = append(combos, Combo{
+								Index:      len(combos),
+								Policy:     p,
+								Size:       size,
+								Load:       load,
+								FaultRate:  fr,
+								Tenants:    tn,
+								Rep:        rep,
+								Seed:       m.Seed,
+								Admissions: m.Admissions,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return combos, nil
+}
+
+// Slug is the combo's directory name and identity:
+// <policy>-s<size>-<load>-f<rate>-t<tenants>-r<rep>. It omits nothing that
+// distinguishes cells, so two combos collide only if they are the same cell.
+func (c Combo) Slug() string {
+	var b strings.Builder
+	b.WriteString(c.Policy.Name)
+	b.WriteString("-s")
+	b.WriteString(strconv.Itoa(c.Size))
+	b.WriteByte('-')
+	b.WriteString(c.Load)
+	b.WriteString("-f")
+	b.WriteString(strconv.FormatFloat(c.FaultRate, 'g', -1, 64))
+	b.WriteString("-t")
+	b.WriteString(strconv.Itoa(c.Tenants))
+	b.WriteString("-r")
+	b.WriteString(strconv.Itoa(c.Rep))
+	return b.String()
+}
+
+// Stream returns the combo's private random source: a substream of the
+// matrix seed keyed by the slug hash. Cell-keyed (not index-keyed)
+// derivation means shrinking or reordering the matrix never changes the
+// numbers a surviving cell draws.
+func (c Combo) Stream() *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(c.Slug()))
+	return rng.Substream(c.Seed, h.Sum64())
+}
+
+// Seeds returns the pre-boot draws of the combo stream — the daemon seed
+// and the load seed — in the exact order NewPlan re-derives them. The
+// runner needs the daemon seed before the DC count (and therefore the full
+// plan) is knowable.
+func (c Combo) Seeds() (daemonSeed, loadSeed uint64) {
+	src := c.Stream()
+	return src.Uint64(), src.Uint64()
+}
+
+// Plan is the fully derived execution plan for a combo: every seed and
+// choice the runner needs, computed up front so the run itself makes no
+// draws. The plan, not the runner, is the determinism boundary.
+type Plan struct {
+	Combo      Combo  `json:"combo"`
+	Slug       string `json:"slug"`
+	DaemonSeed uint64 `json:"daemonSeed"`
+	LoadSeed   uint64 `json:"loadSeed"`
+	// Waves is the admission budget split into serial load phases; a
+	// manual epoch runs after each phase except under LoadSteady/LoadChurn
+	// (single phase, no epoch).
+	Waves []int `json:"waves"`
+	// EpochAfterWave records whether a re-equilibration epoch follows each
+	// wave (parallel to Waves).
+	EpochAfterWave []bool `json:"epochAfterWave"`
+	// FailCloudlets are the DC indices failed after the last wave, chosen
+	// from the combo stream; empty when FaultRate is 0. The fault phase
+	// then drives FaultAdmissions extra admissions through the degraded
+	// market.
+	FailCloudlets   []int `json:"failCloudlets,omitempty"`
+	FaultAdmissions int   `json:"faultAdmissions,omitempty"`
+}
+
+// NewPlan derives the combo's plan. numDCs is the daemon's DC count (the
+// fault axis fails DCs, which are always valid cloudlet indices).
+func NewPlan(c Combo, numDCs int) (Plan, error) {
+	if numDCs < 1 {
+		return Plan{}, fmt.Errorf("exp: plan for %s: implausible DC count %d", c.Slug(), numDCs)
+	}
+	src := c.Stream()
+	p := Plan{
+		Combo:      c,
+		Slug:       c.Slug(),
+		DaemonSeed: src.Uint64(),
+		LoadSeed:   src.Uint64(),
+	}
+	switch c.Load {
+	case LoadWaves:
+		// Four near-equal waves, each followed by a manual epoch: the
+		// sweep exercises re-equilibration under growing population.
+		waves := 4
+		if c.Admissions < waves {
+			waves = c.Admissions
+		}
+		base := c.Admissions / waves
+		rem := c.Admissions % waves
+		for i := 0; i < waves; i++ {
+			n := base
+			if i < rem {
+				n++
+			}
+			p.Waves = append(p.Waves, n)
+			p.EpochAfterWave = append(p.EpochAfterWave, true)
+		}
+	default: // steady, churn
+		p.Waves = []int{c.Admissions}
+		p.EpochAfterWave = []bool{false}
+	}
+	if c.FaultRate > 0 {
+		k := int(c.FaultRate*float64(numDCs) + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > numDCs {
+			k = numDCs
+		}
+		picks := src.Choose(numDCs, k)
+		// Sorted for a canonical config echo; the choice set, not its
+		// order, is what the market sees.
+		for i := 1; i < len(picks); i++ {
+			for j := i; j > 0 && picks[j] < picks[j-1]; j-- {
+				picks[j], picks[j-1] = picks[j-1], picks[j]
+			}
+		}
+		p.FailCloudlets = picks
+		p.FaultAdmissions = c.Admissions / 4
+		if p.FaultAdmissions < 1 {
+			p.FaultAdmissions = 1
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixExpandRowMajor(t *testing.T) {
+	m := Matrix{
+		Policies: []string{"lcf", "selfish"},
+		Sizes:    []int{50},
+		Loads:    []string{LoadSteady, LoadWaves},
+		Reps:     2,
+		Seed:     7,
+	}
+	m.Defaults()
+	combos, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(combos) != 2*1*2*1*1*2 {
+		t.Fatalf("expanded %d combos, want 8", len(combos))
+	}
+	wantOrder := []string{
+		"lcf-s50-steady-f0-t1-r0",
+		"lcf-s50-steady-f0-t1-r1",
+		"lcf-s50-waves-f0-t1-r0",
+		"lcf-s50-waves-f0-t1-r1",
+		"selfish-s50-steady-f0-t1-r0",
+		"selfish-s50-steady-f0-t1-r1",
+		"selfish-s50-waves-f0-t1-r0",
+		"selfish-s50-waves-f0-t1-r1",
+	}
+	for i, c := range combos {
+		if c.Index != i {
+			t.Errorf("combo %d carries index %d", i, c.Index)
+		}
+		if c.Slug() != wantOrder[i] {
+			t.Errorf("combo %d slug %q, want %q", i, c.Slug(), wantOrder[i])
+		}
+	}
+}
+
+func TestMatrixValidate(t *testing.T) {
+	bad := []Matrix{
+		{Policies: []string{"nope"}, Sizes: []int{50}, Loads: []string{"steady"}, FaultRates: []float64{0}, Tenants: []int{1}, Reps: 1, Admissions: 1},
+		{Policies: []string{"lcf"}, Sizes: []int{5}, Loads: []string{"steady"}, FaultRates: []float64{0}, Tenants: []int{1}, Reps: 1, Admissions: 1},
+		{Policies: []string{"lcf"}, Sizes: []int{50}, Loads: []string{"bursty"}, FaultRates: []float64{0}, Tenants: []int{1}, Reps: 1, Admissions: 1},
+		{Policies: []string{"lcf"}, Sizes: []int{50}, Loads: []string{"steady"}, FaultRates: []float64{1.5}, Tenants: []int{1}, Reps: 1, Admissions: 1},
+		{Policies: []string{"lcf"}, Sizes: []int{50}, Loads: []string{"steady"}, FaultRates: []float64{0}, Tenants: []int{0}, Reps: 1, Admissions: 1},
+		{Policies: []string{"lcf"}, Sizes: []int{50}, Loads: []string{"steady"}, FaultRates: []float64{0}, Tenants: []int{1}, Reps: 0, Admissions: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("matrix %d validated, want error", i)
+		}
+	}
+}
+
+// The combo stream is keyed by the cell, not the index: the same cell must
+// draw the same numbers in any matrix that contains it.
+func TestComboStreamCellKeyed(t *testing.T) {
+	small := Matrix{Policies: []string{"selfish"}, Seed: 3}
+	small.Defaults()
+	big := Matrix{Policies: []string{"lcf", "selfish", "coordinated"}, Loads: []string{LoadChurn, LoadSteady}, Seed: 3}
+	big.Defaults()
+	smallCombos, _ := small.Expand()
+	bigCombos, _ := big.Expand()
+
+	want := smallCombos[0]
+	var got *Combo
+	for i := range bigCombos {
+		if bigCombos[i].Slug() == want.Slug() {
+			got = &bigCombos[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("cell %s missing from the bigger matrix", want.Slug())
+	}
+	wd, wl := want.Seeds()
+	gd, gl := got.Seeds()
+	if wd != gd || wl != gl {
+		t.Fatalf("same cell drew different seeds across matrices: (%d,%d) vs (%d,%d)", wd, wl, gd, gl)
+	}
+
+	other := Combo{Policy: want.Policy, Size: want.Size, Load: want.Load, Tenants: 1, Seed: 4, Admissions: want.Admissions}
+	od, _ := other.Seeds()
+	if od == wd {
+		t.Fatal("different matrix seeds drew the same daemon seed")
+	}
+}
+
+// Seeds must pre-draw exactly what NewPlan re-derives, in the same order.
+func TestSeedsMatchPlan(t *testing.T) {
+	m := Matrix{Policies: []string{"lcf"}, Loads: []string{LoadWaves}, FaultRates: []float64{0.3}, Seed: 11}
+	m.Defaults()
+	combos, _ := m.Expand()
+	c := combos[0]
+	d, l := c.Seeds()
+	p, err := NewPlan(c, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DaemonSeed != d || p.LoadSeed != l {
+		t.Fatalf("Seeds()=(%d,%d) but plan derived (%d,%d)", d, l, p.DaemonSeed, p.LoadSeed)
+	}
+}
+
+func TestNewPlanShape(t *testing.T) {
+	m := Matrix{Loads: []string{LoadWaves}, FaultRates: []float64{0.25}, Seed: 5, Admissions: 100}
+	m.Defaults()
+	combos, _ := m.Expand()
+	p, err := NewPlan(combos[0], 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Waves) != 4 {
+		t.Fatalf("waves = %v, want 4 phases", p.Waves)
+	}
+	total := 0
+	for i, n := range p.Waves {
+		total += n
+		if !p.EpochAfterWave[i] {
+			t.Errorf("wave %d has no epoch under the waves load", i)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("waves sum to %d, want the full budget 100", total)
+	}
+	if len(p.FailCloudlets) != 2 { // round(0.25 * 8)
+		t.Fatalf("fail picks %v, want 2 of 8 DCs", p.FailCloudlets)
+	}
+	for i, cl := range p.FailCloudlets {
+		if cl < 0 || cl >= 8 {
+			t.Errorf("fail pick %d out of DC range", cl)
+		}
+		if i > 0 && p.FailCloudlets[i] <= p.FailCloudlets[i-1] {
+			t.Errorf("fail picks not sorted unique: %v", p.FailCloudlets)
+		}
+	}
+	if p.FaultAdmissions != 25 {
+		t.Fatalf("fault admissions %d, want a quarter of the budget", p.FaultAdmissions)
+	}
+
+	// Same combo, same DC count: the plan is a pure function.
+	p2, _ := NewPlan(combos[0], 8)
+	if p.DaemonSeed != p2.DaemonSeed || p.LoadSeed != p2.LoadSeed {
+		t.Fatal("plan seeds not reproducible")
+	}
+	for i := range p.FailCloudlets {
+		if p.FailCloudlets[i] != p2.FailCloudlets[i] {
+			t.Fatal("fault picks not reproducible")
+		}
+	}
+
+	steady := combos[0]
+	steady.Load = LoadSteady
+	steady.FaultRate = 0
+	ps, _ := NewPlan(steady, 8)
+	if len(ps.Waves) != 1 || ps.Waves[0] != 100 || ps.EpochAfterWave[0] {
+		t.Fatalf("steady plan %v/%v, want one epoch-free wave", ps.Waves, ps.EpochAfterWave)
+	}
+	if len(ps.FailCloudlets) != 0 {
+		t.Fatal("fault-free combo planned cloudlet failures")
+	}
+}
+
+func TestPolicyAxis(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("builtin policy %q does not parse: %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("policy %q parsed as %q", name, p.Name)
+		}
+	}
+	if _, err := ParsePolicy("warmest-cache"); err == nil {
+		t.Fatal("unknown policy parsed")
+	}
+	if _, err := ParseLoad("bursty"); err == nil {
+		t.Fatal("unknown load parsed")
+	}
+}
+
+func TestCanonicalSummary(t *testing.T) {
+	a := []byte(`{"slug":"x","status":"ok","deterministic":{"accepted":3},"wallClock":{"totalSeconds":1.23}}`)
+	b := []byte(`{"wallClock":{"totalSeconds":9.87,"phases":[{"name":"wave0"}]},"deterministic":{"accepted":3},"status":"ok","slug":"x"}`)
+	ca, err := CanonicalSummary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := CanonicalSummary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ca) != string(cb) {
+		t.Fatalf("canonical forms differ:\n%s\nvs\n%s", ca, cb)
+	}
+	if strings.Contains(string(ca), "wallClock") {
+		t.Fatal("canonical summary still carries the wall-clock fields")
+	}
+	if !strings.Contains(string(ca), `"accepted": 3`) {
+		t.Fatal("canonical summary lost deterministic content")
+	}
+}

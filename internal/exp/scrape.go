@@ -1,0 +1,177 @@
+package exp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"time"
+
+	"mecache/internal/metrics"
+)
+
+// deterministicCounters is the explicit allowlist of metric families whose
+// post-run values are pure functions of the combo (serial load, fixed
+// seeds). Families outside the list — HTTP request counts inflated by
+// readiness probes, latency histograms, runtime gauges — are archived raw
+// in metrics.prom but never enter the deterministic summary.
+var deterministicCounters = []string{
+	"mecd_admissions_total",
+	"mecd_departures_total",
+	"mecd_epochs_total",
+	"mecd_outages_total",
+	"mecd_failovers_total",
+	"mecd_failbacks_total",
+	"mecd_reconfigurations_total",
+	"mecd_social_cost",
+	"mecd_active_providers",
+	"mecd_wal_errors_total",
+	"mecd_cmds_shed_total",
+}
+
+// TenantSummary is the deterministic end-state of one tenant's market.
+type TenantSummary struct {
+	Tenant          string  `json:"tenant"`
+	Active          int     `json:"active"`
+	SocialCost      float64 `json:"socialCost"`
+	Accepted        uint64  `json:"accepted"`
+	Rejected        uint64  `json:"rejected"`
+	Departed        uint64  `json:"departed"`
+	Epochs          uint64  `json:"epochs"`
+	Failovers       uint64  `json:"failovers"`
+	FailedCloudlets []int   `json:"failedCloudlets,omitempty"`
+	// MarketSHA256 hashes the full /v1/market document — placements
+	// included — so two runs agree on every decision or the digests split.
+	MarketSHA256 string `json:"marketSHA256"`
+}
+
+// scrapeResult is everything pulled off a daemon after its load completed.
+type scrapeResult struct {
+	metricSums map[string]float64
+	tenants    []TenantSummary
+	elapsed    float64
+}
+
+// marketView mirrors the deterministic slice of GET /v1/market.
+type marketView struct {
+	Active          int     `json:"active"`
+	SocialCost      float64 `json:"socialCost"`
+	Accepted        uint64  `json:"accepted"`
+	Rejected        uint64  `json:"rejected"`
+	Departed        uint64  `json:"departed"`
+	Epochs          uint64  `json:"epochs"`
+	Failovers       uint64  `json:"failovers"`
+	FailedCloudlets []int   `json:"failedCloudlets"`
+}
+
+// scrapeDaemon archives the daemon's observable state: the raw /metrics
+// exposition (validated by the strict parser, histogram invariants
+// included) to metrics.prom, the last decision traces to trace.json, and
+// the per-tenant market documents — hashed, so the deterministic summary
+// pins every placement without storing them all.
+func scrapeDaemon(url string, p Plan, comboDir string) (scrapeResult, error) {
+	var res scrapeResult
+	start := time.Now()
+
+	raw, err := fetchRaw(url + "/metrics")
+	if err != nil {
+		return res, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(comboDir, "metrics.prom"), raw); err != nil {
+		return res, err
+	}
+	fams, err := metrics.ParseText(bytes.NewReader(raw))
+	if err != nil {
+		return res, fmt.Errorf("parse /metrics: %w", err)
+	}
+	// Every exported histogram must satisfy the scrape contract on the
+	// live daemon, not just in renderer unit tests.
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if _, _, err := metrics.CheckHistogram(f); err != nil {
+				return res, fmt.Errorf("histogram invariants: %w", err)
+			}
+		}
+	}
+	res.metricSums = map[string]float64{}
+	for _, name := range deterministicCounters {
+		f, ok := metrics.FindFamily(fams, name)
+		if !ok {
+			continue
+		}
+		for _, s := range f.Samples {
+			// Sum across tenants; keep the result label split so the
+			// accepted/rejected breakdown survives aggregation.
+			key := name
+			if r := s.Labels["result"]; r != "" {
+				key = name + ":" + r
+			}
+			res.metricSums[key] += s.Value
+		}
+	}
+
+	traces := map[string]json.RawMessage{}
+	for k := 0; k < p.Combo.Tenants; k++ {
+		doc, err := fetchRaw(apiBase(url, p.Combo.Tenants, k) + "/debug/trace?n=64")
+		if err != nil {
+			return res, fmt.Errorf("scrape trace: %w", err)
+		}
+		traces[tenantID(p.Combo.Tenants, k)] = json.RawMessage(doc)
+	}
+	if err := writeJSONAtomic(filepath.Join(comboDir, "trace.json"), traces); err != nil {
+		return res, err
+	}
+
+	for k := 0; k < p.Combo.Tenants; k++ {
+		doc, err := fetchRaw(apiBase(url, p.Combo.Tenants, k) + "/market")
+		if err != nil {
+			return res, fmt.Errorf("scrape market: %w", err)
+		}
+		var view marketView
+		if err := json.Unmarshal(doc, &view); err != nil {
+			return res, fmt.Errorf("decode market: %w", err)
+		}
+		sum := sha256.Sum256(doc)
+		res.tenants = append(res.tenants, TenantSummary{
+			Tenant:          tenantID(p.Combo.Tenants, k),
+			Active:          view.Active,
+			SocialCost:      view.SocialCost,
+			Accepted:        view.Accepted,
+			Rejected:        view.Rejected,
+			Departed:        view.Departed,
+			Epochs:          view.Epochs,
+			Failovers:       view.Failovers,
+			FailedCloudlets: view.FailedCloudlets,
+			MarketSHA256:    hex.EncodeToString(sum[:]),
+		})
+	}
+	res.elapsed = time.Since(start).Seconds()
+	return res, nil
+}
+
+// tenantID names tenant k the way mecload's round-robin fan-out does;
+// single-tenant combos use the daemon's default tenant via the bare API.
+func tenantID(tenants, k int) string {
+	if tenants <= 1 {
+		return "default"
+	}
+	return fmt.Sprintf("t%d", k)
+}
+
+func fetchRaw(url string) ([]byte, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return io.ReadAll(resp.Body)
+}

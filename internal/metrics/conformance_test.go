@@ -4,186 +4,21 @@ import (
 	"bytes"
 	"fmt"
 	"math"
-	"strconv"
 	"strings"
 	"testing"
 )
 
-// promSample is one parsed sample line of the 0.0.4 text format.
-type promSample struct {
-	name   string
-	labels map[string]string
-	value  float64
-}
-
-// promFamily is one parsed metric family: HELP/TYPE metadata plus samples.
-type promFamily struct {
-	name    string
-	help    string
-	typ     string
-	samples []promSample
-}
-
-// parseExposition is a strict line-oriented parser of the Prometheus text
-// exposition format — strict in that it rejects everything the spec does
-// not allow, so the renderer cannot drift into "works with our parser"
-// laxness: HELP (optional) must immediately precede TYPE, TYPE must precede
-// the family's samples, sample names must be the family name (plus
-// _bucket/_sum/_count for histograms), label blocks must parse with
-// escaping, values must be valid floats, and no family may repeat.
-func parseExposition(t *testing.T, text string) []promFamily {
+// parseExposition runs ParseText — the exported strict parser — over a
+// rendered exposition, failing the test on any spec violation. The
+// renderer conformance suite below therefore exercises exactly the parser
+// mecexp and the CI assertions consume.
+func parseExposition(t *testing.T, text string) []Family {
 	t.Helper()
-	var fams []promFamily
-	seen := map[string]bool{}
-	var cur *promFamily
-	pendingHelp := "" // HELP seen, TYPE not yet
-	pendingName := ""
-	for ln, line := range strings.Split(text, "\n") {
-		lineNo := ln + 1
-		if line == "" {
-			continue
-		}
-		switch {
-		case strings.HasPrefix(line, "# HELP "):
-			if pendingHelp != "" {
-				t.Fatalf("line %d: HELP not followed by TYPE", lineNo)
-			}
-			rest := strings.TrimPrefix(line, "# HELP ")
-			sp := strings.IndexByte(rest, ' ')
-			if sp < 0 {
-				t.Fatalf("line %d: HELP without docstring: %q", lineNo, line)
-			}
-			pendingName, pendingHelp = rest[:sp], rest[sp+1:]
-		case strings.HasPrefix(line, "# TYPE "):
-			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(fields) != 2 {
-				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
-			}
-			name, typ := fields[0], fields[1]
-			switch typ {
-			case "counter", "gauge", "histogram", "summary", "untyped":
-			default:
-				t.Fatalf("line %d: invalid type %q", lineNo, typ)
-			}
-			if pendingHelp != "" && pendingName != name {
-				t.Fatalf("line %d: HELP for %q followed by TYPE for %q", lineNo, pendingName, name)
-			}
-			if seen[name] {
-				t.Fatalf("line %d: family %q appears twice", lineNo, name)
-			}
-			seen[name] = true
-			fams = append(fams, promFamily{name: name, help: pendingHelp, typ: typ})
-			cur = &fams[len(fams)-1]
-			pendingHelp, pendingName = "", ""
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
-		default:
-			if cur == nil {
-				t.Fatalf("line %d: sample before any TYPE: %q", lineNo, line)
-			}
-			s := parseSampleLine(t, lineNo, line)
-			base := cur.name
-			ok := s.name == base
-			if cur.typ == "histogram" {
-				ok = ok || s.name == base+"_bucket" || s.name == base+"_sum" || s.name == base+"_count"
-			}
-			if !ok {
-				t.Fatalf("line %d: sample %q under family %q", lineNo, s.name, base)
-			}
-			cur.samples = append(cur.samples, s)
-		}
-	}
-	if pendingHelp != "" {
-		t.Fatalf("trailing HELP for %q without TYPE", pendingName)
+	fams, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
 	}
 	return fams
-}
-
-// parseSampleLine parses `name{k="v",...} value` with full escape handling.
-func parseSampleLine(t *testing.T, lineNo int, line string) promSample {
-	t.Helper()
-	s := promSample{labels: map[string]string{}}
-	i := 0
-	for i < len(line) {
-		c := line[i]
-		alpha := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-			(i > 0 && c >= '0' && c <= '9')
-		if !alpha {
-			break
-		}
-		i++
-	}
-	if i == 0 {
-		t.Fatalf("line %d: no metric name in %q", lineNo, line)
-	}
-	s.name = line[:i]
-	if i < len(line) && line[i] == '{' {
-		i++
-		for {
-			if i >= len(line) {
-				t.Fatalf("line %d: unterminated label block", lineNo)
-			}
-			if line[i] == '}' {
-				i++
-				break
-			}
-			eq := strings.IndexByte(line[i:], '=')
-			if eq < 0 {
-				t.Fatalf("line %d: label without =", lineNo)
-			}
-			key := line[i : i+eq]
-			i += eq + 1
-			if i >= len(line) || line[i] != '"' {
-				t.Fatalf("line %d: unquoted label value", lineNo)
-			}
-			i++
-			var val strings.Builder
-			for {
-				if i >= len(line) {
-					t.Fatalf("line %d: unterminated label value", lineNo)
-				}
-				if line[i] == '\\' {
-					if i+1 >= len(line) {
-						t.Fatalf("line %d: dangling escape", lineNo)
-					}
-					switch line[i+1] {
-					case '\\':
-						val.WriteByte('\\')
-					case '"':
-						val.WriteByte('"')
-					case 'n':
-						val.WriteByte('\n')
-					default:
-						t.Fatalf("line %d: invalid escape \\%c", lineNo, line[i+1])
-					}
-					i += 2
-					continue
-				}
-				if line[i] == '"' {
-					i++
-					break
-				}
-				val.WriteByte(line[i])
-				i++
-			}
-			if _, dup := s.labels[key]; dup {
-				t.Fatalf("line %d: duplicate label %q", lineNo, key)
-			}
-			s.labels[key] = val.String()
-			if i < len(line) && line[i] == ',' {
-				i++
-			}
-		}
-	}
-	if i >= len(line) || line[i] != ' ' {
-		t.Fatalf("line %d: no space before value in %q", lineNo, line)
-	}
-	v, err := strconv.ParseFloat(strings.TrimSpace(line[i:]), 64)
-	if err != nil {
-		t.Fatalf("line %d: bad value in %q: %v", lineNo, line, err)
-	}
-	s.value = v
-	return s
 }
 
 // TestConformanceFullRegistry renders a registry exercising every
@@ -206,34 +41,34 @@ func TestConformanceFullRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	fams := parseExposition(t, buf.String())
-	byName := map[string]promFamily{}
+	byName := map[string]Family{}
 	for _, f := range fams {
-		byName[f.name] = f
+		byName[f.Name] = f
 	}
 
 	req, ok := byName["conf_requests_total"]
-	if !ok || req.typ != "counter" || len(req.samples) != 2 {
+	if !ok || req.Type != "counter" || len(req.Samples) != 2 {
 		t.Fatalf("bad counter family: %+v", req)
 	}
-	if req.samples[0].labels["code"] != "200" || req.samples[0].value != 7 {
-		t.Fatalf("bad first counter sample: %+v", req.samples[0])
+	if req.Samples[0].Labels["code"] != "200" || req.Samples[0].Value != 7 {
+		t.Fatalf("bad first counter sample: %+v", req.Samples[0])
 	}
 
 	temp := byName["conf_temperature"]
-	if temp.typ != "gauge" || len(temp.samples) != 1 {
+	if temp.Type != "gauge" || len(temp.Samples) != 1 {
 		t.Fatalf("bad gauge family: %+v", temp)
 	}
-	if got := temp.samples[0].labels["site"]; got != "a\\b \"quoted\"\nnl" {
+	if got := temp.Samples[0].Labels["site"]; got != "a\\b \"quoted\"\nnl" {
 		t.Fatalf("label escaping round-trip failed: %q", got)
 	}
-	if temp.samples[0].value != -3.25 {
-		t.Fatalf("gauge value %v", temp.samples[0].value)
+	if temp.Samples[0].Value != -3.25 {
+		t.Fatalf("gauge value %v", temp.Samples[0].Value)
 	}
 
-	if byName["conf_func_gauge"].samples[0].value != 12.5 {
+	if byName["conf_func_gauge"].Samples[0].Value != 12.5 {
 		t.Fatal("GaugeFunc value not rendered")
 	}
-	if f := byName["conf_func_counter"]; f.typ != "counter" || f.samples[0].value != 99 {
+	if f := byName["conf_func_counter"]; f.Type != "counter" || f.Samples[0].Value != 99 {
 		t.Fatalf("CounterFunc family wrong: %+v", f)
 	}
 
@@ -241,63 +76,18 @@ func TestConformanceFullRegistry(t *testing.T) {
 }
 
 // checkHistogramInvariants asserts the scrape contract of one histogram
-// family: cumulative non-decreasing buckets, a final +Inf bucket equal to
-// _count, and a matching _sum.
-func checkHistogramInvariants(t *testing.T, f promFamily, wantCount uint64, wantSum float64) {
+// family via the exported CheckHistogram, plus the expected count and sum.
+func checkHistogramInvariants(t *testing.T, f Family, wantCount uint64, wantSum float64) {
 	t.Helper()
-	if f.typ != "histogram" {
-		t.Fatalf("%s: type %q, want histogram", f.name, f.typ)
-	}
-	var count, infBucket float64
-	var sum float64
-	haveInf, haveSum, haveCount := false, false, false
-	prev := -1.0
-	prevBound := math.Inf(-1)
-	for _, s := range f.samples {
-		switch s.name {
-		case f.name + "_bucket":
-			le, ok := s.labels["le"]
-			if !ok {
-				t.Fatalf("%s: bucket without le label", f.name)
-			}
-			var bound float64
-			if le == "+Inf" {
-				bound = math.Inf(1)
-				infBucket = s.value
-				haveInf = true
-			} else {
-				b, err := strconv.ParseFloat(le, 64)
-				if err != nil {
-					t.Fatalf("%s: bad le %q", f.name, le)
-				}
-				bound = b
-			}
-			if bound <= prevBound {
-				t.Fatalf("%s: bucket bounds not increasing (%v after %v)", f.name, bound, prevBound)
-			}
-			if s.value < prev {
-				t.Fatalf("%s: cumulative counts decreased (%v after %v)", f.name, s.value, prev)
-			}
-			prev, prevBound = s.value, bound
-		case f.name + "_sum":
-			sum, haveSum = s.value, true
-		case f.name + "_count":
-			count, haveCount = s.value, true
-		default:
-			t.Fatalf("%s: unexpected sample %q", f.name, s.name)
-		}
-	}
-	if !haveInf || !haveSum || !haveCount {
-		t.Fatalf("%s: missing +Inf/_sum/_count (%v %v %v)", f.name, haveInf, haveSum, haveCount)
-	}
-	if infBucket != count {
-		t.Fatalf("%s: +Inf bucket %v != count %v", f.name, infBucket, count)
+	count, sum, err := CheckHistogram(f)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if count != float64(wantCount) {
-		t.Fatalf("%s: count %v, want %d", f.name, count, wantCount)
+		t.Fatalf("%s: count %v, want %d", f.Name, count, wantCount)
 	}
 	if math.Abs(sum-wantSum) > 1e-9 {
-		t.Fatalf("%s: sum %v, want %v", f.name, sum, wantSum)
+		t.Fatalf("%s: sum %v, want %v", f.Name, sum, wantSum)
 	}
 }
 
@@ -313,10 +103,10 @@ func TestConformanceRuntimeCollectors(t *testing.T) {
 	fams := parseExposition(t, buf.String())
 	got := map[string]float64{}
 	for _, f := range fams {
-		if len(f.samples) != 1 {
-			t.Fatalf("%s: %d samples, want 1", f.name, len(f.samples))
+		if len(f.Samples) != 1 {
+			t.Fatalf("%s: %d samples, want 1", f.Name, len(f.Samples))
 		}
-		got[f.name] = f.samples[0].value
+		got[f.Name] = f.Samples[0].Value
 	}
 	if got["go_goroutines"] < 1 {
 		t.Fatalf("go_goroutines = %v", got["go_goroutines"])
@@ -371,7 +161,7 @@ func TestConformanceEveryExistingSeries(t *testing.T) {
 		t.Fatalf("parsed %d families, want 3", len(fams))
 	}
 	for _, f := range fams {
-		if f.name == "mecd_admission_seconds" {
+		if f.Name == "mecd_admission_seconds" {
 			checkHistogramInvariants(t, f, 1, 3e-4)
 		}
 	}
