@@ -33,9 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"mecache"
@@ -63,6 +65,19 @@ type latencySummary struct {
 	Max   float64 `json:"maxSeconds"`
 }
 
+// stageSummary is the per-stage slice of the span breakdown: exact
+// percentiles over every scraped span of one lifecycle stage, so a p99
+// spike in the latency report can be attributed to queue wait, WAL fsync,
+// the equilibrium scan, or view publish.
+type stageSummary struct {
+	Count int     `json:"count"`
+	Total float64 `json:"totalSeconds"`
+	P50   float64 `json:"p50Seconds"`
+	P95   float64 `json:"p95Seconds"`
+	P99   float64 `json:"p99Seconds"`
+	Max   float64 `json:"maxSeconds"`
+}
+
 // output is the JSON document mecload emits. Retries counts overload
 // responses (429 + Retry-After, or 503) that were retried with backoff;
 // Shed counts requests abandoned after exhausting their retries. Neither
@@ -83,6 +98,70 @@ type output struct {
 	Elapsed     float64        `json:"elapsedSeconds"`
 	Throughput  float64        `json:"admissionsPerSecond"`
 	Latency     latencySummary `json:"latency"`
+	// TraceSample echoes -trace-sample; Spans is the per-stage breakdown
+	// scraped from every tenant's /debug/spans after the run (absent when
+	// sampling is off or the daemon has spans disabled).
+	TraceSample int                     `json:"traceSample,omitempty"`
+	Spans       map[string]stageSummary `json:"spans,omitempty"`
+}
+
+// quantile reads the q-quantile from ascending-sorted durations (exact,
+// nearest-rank); zero-length input returns 0.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// scrapeSpans pulls every tenant's retained spans (n=0 means all) and
+// groups their durations by stage into exact-percentile summaries. A
+// daemon with span tracing disabled yields an empty map, never an error:
+// span scraping is an observability bonus, not a run requirement.
+func scrapeSpans(client *http.Client, bases []string) (map[string]stageSummary, error) {
+	byStage := map[string][]float64{}
+	for _, base := range bases {
+		resp, err := client.Get(base + "/debug/spans?n=0")
+		if err != nil {
+			return nil, err
+		}
+		var body struct {
+			Enabled bool           `json:"enabled"`
+			Spans   []mecache.Span `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decode %s/debug/spans: %w", base, err)
+		}
+		for _, sp := range body.Spans {
+			byStage[sp.Stage] = append(byStage[sp.Stage], sp.Duration)
+		}
+	}
+	out := make(map[string]stageSummary, len(byStage))
+	for stage, durs := range byStage {
+		sort.Float64s(durs)
+		sum := 0.0
+		for _, d := range durs {
+			sum += d
+		}
+		out[stage] = stageSummary{
+			Count: len(durs),
+			Total: sum,
+			P50:   quantile(durs, 0.50),
+			P95:   quantile(durs, 0.95),
+			P99:   quantile(durs, 0.99),
+			Max:   durs[len(durs)-1],
+		}
+	}
+	return out, nil
 }
 
 // workerStats accumulates one worker's share of the run; workers never
@@ -178,6 +257,7 @@ func run(w io.Writer, args []string) error {
 	tenantPrefix := fs.String("tenant-prefix", "t", "tenant ID prefix: tenant k is <prefix><k>")
 	streamBase := fs.Uint64("stream-base", 0, "offset added to every substream index; -stream-base $((k<<32)) replays tenant k's stream single-tenant")
 	retries := fs.Int("retries", 6, "retries with capped exponential backoff when the daemon sheds load (429 + Retry-After, or 503); exhausted requests count as shed, not errors")
+	traceSample := fs.Int("trace-sample", 0, "stamp every Nth admission with a W3C traceparent header minted from (seed, substream index), then scrape /debug/spans into a per-stage latency breakdown (0 = off)")
 	outPath := fs.String("out", "", "write the JSON summary to this file (atomic temp+rename) instead of stdout; logs stay on stderr")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	pretty := fs.Bool("pretty", true, "indent the JSON output")
@@ -201,6 +281,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *tenants < 1 {
 		return fmt.Errorf("need at least one tenant: -tenants %d", *tenants)
+	}
+	if *traceSample < 0 {
+		return fmt.Errorf("negative -trace-sample %d", *traceSample)
 	}
 	if *tenants > 1 && *tenantPrefix == "" {
 		return fmt.Errorf("-tenants %d needs a non-empty -tenant-prefix", *tenants)
@@ -268,6 +351,16 @@ func run(w io.Writer, args []string) error {
 			if err != nil {
 				return err
 			}
+			// Sampled admissions carry a traceparent whose trace ID is a pure
+			// function of (seed, substream index): the same flags mint the
+			// same trace IDs every run, so a trace seen in the daemon's span
+			// ring names exactly one reproducible admission. The header rides
+			// inside the build closure, so retried attempts re-carry it.
+			var traceparent string
+			if *traceSample > 0 && i%*traceSample == 0 {
+				traceparent = mecache.FormatTraceparent(
+					mecache.MintTraceID(*seed, substreamIndex(i)), uint64(i)+1)
+			}
 			t0 := time.Now()
 			resp, err := sendWithBackoff(client, func() (*http.Request, error) {
 				req, err := http.NewRequest(http.MethodPost, base+"/providers", bytes.NewReader(body))
@@ -275,6 +368,9 @@ func run(w io.Writer, args []string) error {
 					return nil, err
 				}
 				req.Header.Set("Content-Type", "application/json")
+				if traceparent != "" {
+					req.Header.Set("traceparent", traceparent)
+				}
 				return req, nil
 			}, jit, *retries, ws)
 			if err != nil {
@@ -363,6 +459,24 @@ func run(w io.Writer, args []string) error {
 		P99:   merged.P99(),
 		Min:   merged.Min(),
 		Max:   merged.Max(),
+	}
+	if *traceSample > 0 {
+		out.TraceSample = *traceSample
+		bases := []string{apiBase(0)}
+		for k := 1; k < *tenants; k++ {
+			bases = append(bases, apiBase(k)) // admission k hits tenant k%T = k
+		}
+		spans, err := scrapeSpans(probe, bases)
+		if err != nil {
+			return fmt.Errorf("scrape spans: %w", err)
+		}
+		out.Spans = spans
+		for _, stage := range []string{"request", "queue_wait", "wal_append", "wal_fsync", "apply", "best_response", "publish"} {
+			if s, ok := spans[stage]; ok {
+				logger.Info("span stage", "stage", stage, "count", s.Count,
+					"p50Seconds", s.P50, "p99Seconds", s.P99, "maxSeconds", s.Max)
+			}
+		}
 	}
 	logger.Info("load complete", "accepted", out.Accepted, "rejected", out.Rejected,
 		"retries", out.Retries, "shed", out.Shed,

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -387,4 +388,118 @@ func serialPlacements(t *testing.T) []byte {
 		t.Fatal(err)
 	}
 	return view
+}
+
+// TestQuantileNearestRank pins the exact-sample quantile the span summary
+// uses (nearest-rank, not interpolated).
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.5, 5}, {0.95, 10}, {1, 10}}
+	for _, c := range cases {
+		if got := quantile(sorted, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("quantile of empty = %v, want 0", got)
+	}
+}
+
+// TestLoadTraceSample drives a sampled run end to end: every Nth admission
+// carries a minted traceparent, the daemon decomposes it, and the summary
+// gains a per-stage breakdown whose request count matches the sampling
+// rate.
+func TestLoadTraceSample(t *testing.T) {
+	url := startMarket(t, nil)
+	out := loadRun(t, []string{"-url", url, "-n", "40", "-c", "4", "-seed", "6", "-trace-sample", "4"})
+	if out.Accepted != 40 || out.Errors != 0 {
+		t.Fatalf("sampled run: %+v", out)
+	}
+	if out.TraceSample != 4 {
+		t.Fatalf("summary traceSample %d, want 4", out.TraceSample)
+	}
+	req, ok := out.Spans["request"]
+	if !ok {
+		t.Fatalf("no request stage in span summary: %v", out.Spans)
+	}
+	// 40 admissions sampled every 4th: 10 root spans (retries could add
+	// more, but a clean run has none).
+	if req.Count != 10 {
+		t.Fatalf("request span count %d, want 10", req.Count)
+	}
+	for _, stage := range []string{"queue_wait", "apply", "best_response", "publish"} {
+		ss, ok := out.Spans[stage]
+		if !ok {
+			t.Fatalf("stage %s missing from span summary: %v", stage, out.Spans)
+		}
+		if ss.Count != 10 {
+			t.Fatalf("stage %s count %d, want 10", stage, ss.Count)
+		}
+		if ss.P50 < 0 || ss.P99 < ss.P50 || ss.Max < ss.P99 {
+			t.Fatalf("stage %s has implausible quantiles %+v", stage, ss)
+		}
+	}
+	// No WAL on this daemon, so no WAL stages may appear.
+	if _, ok := out.Spans["wal_append"]; ok {
+		t.Fatal("wal_append stage reported by a WAL-less daemon")
+	}
+
+	// An unsampled run must not carry the section at all.
+	plain := loadRun(t, []string{"-url", url, "-n", "5", "-c", "1", "-seed", "7"})
+	if plain.TraceSample != 0 || plain.Spans != nil {
+		t.Fatalf("unsampled summary carries span section: %+v", plain.Spans)
+	}
+}
+
+// TestLoadTraceSampleAgainstDisabledSpans checks graceful degradation: a
+// daemon with span tracing off accepts the traceparent headers, ignores
+// them, and the scrape yields an empty breakdown instead of an error.
+func TestLoadTraceSampleAgainstDisabledSpans(t *testing.T) {
+	url := startMarket(t, func(cfg *mecache.ServerConfig) { cfg.SpanDepth = 0 })
+	out := loadRun(t, []string{"-url", url, "-n", "12", "-c", "2", "-seed", "8", "-trace-sample", "3"})
+	if out.Accepted != 12 || out.Errors != 0 {
+		t.Fatalf("run against spans-off daemon: %+v", out)
+	}
+	if len(out.Spans) != 0 {
+		t.Fatalf("spans-off daemon produced a breakdown: %v", out.Spans)
+	}
+}
+
+// TestLoadTraceSampleValidation rejects a negative rate.
+func TestLoadTraceSampleValidation(t *testing.T) {
+	if err := run(io.Discard, []string{"-url", "http://localhost:1", "-n", "1", "-trace-sample", "-1"}); err == nil {
+		t.Fatal("negative -trace-sample accepted")
+	}
+}
+
+// TestLoadTraceSampleMultiTenant fans sampled admissions across tenants
+// and checks every tenant's ring contributes to the aggregate breakdown.
+func TestLoadTraceSampleMultiTenant(t *testing.T) {
+	tpl := mecache.DefaultServerConfig(5)
+	tpl.Size = 50
+	reg, err := mecache.NewTenantRegistry(mecache.TenantConfig{Template: tpl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := reg.Stop(ctx); err != nil {
+			t.Errorf("registry stop: %v", err)
+		}
+	})
+	out := loadRun(t, []string{"-url", ts.URL, "-n", "24", "-c", "3", "-seed", "9",
+		"-tenants", "3", "-trace-sample", "2"})
+	if out.Accepted != 24 || out.Errors != 0 {
+		t.Fatalf("multi-tenant sampled run: %+v", out)
+	}
+	req, ok := out.Spans["request"]
+	if !ok || req.Count != 12 {
+		t.Fatalf("request span count %d across 3 tenants, want 12 (%v)", req.Count, out.Spans)
+	}
 }

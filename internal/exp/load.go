@@ -103,6 +103,12 @@ func (r *Runner) runLoad(p Plan, d *daemon, comboDir string, logFile *os.File, n
 		"-c", strconv.Itoa(r.loadWorkers()),
 		"-seed", strconv.FormatUint(p.LoadSeed, 10),
 		"-stream-base", strconv.FormatUint(offset, 10),
+		// Every 8th admission carries a traceparent, so each combo archive
+		// gets real lifecycle spans. Safe for determinism: trace IDs are pure
+		// functions of (seed, substream index), tracing never changes a
+		// placement, and span timings are wall clock — which the summary
+		// canonicalization already excludes.
+		"-trace-sample", "8",
 		"-out", outPath,
 		"-log-format", "json",
 	}

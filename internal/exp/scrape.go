@@ -126,6 +126,22 @@ func scrapeDaemon(url string, p Plan, comboDir string) (scrapeResult, error) {
 		return res, err
 	}
 
+	// Lifecycle spans, one document per tenant. Span timings are wall clock
+	// and span counts vary with retries, so spans.json is archive-only: none
+	// of it feeds the deterministic summary, mirroring how metrics.prom
+	// carries raw latency histograms the summary never reads.
+	spans := map[string]json.RawMessage{}
+	for k := 0; k < p.Combo.Tenants; k++ {
+		doc, err := fetchRaw(apiBase(url, p.Combo.Tenants, k) + "/debug/spans?n=0")
+		if err != nil {
+			return res, fmt.Errorf("scrape spans: %w", err)
+		}
+		spans[tenantID(p.Combo.Tenants, k)] = json.RawMessage(doc)
+	}
+	if err := writeJSONAtomic(filepath.Join(comboDir, "spans.json"), spans); err != nil {
+		return res, err
+	}
+
 	for k := 0; k < p.Combo.Tenants; k++ {
 		doc, err := fetchRaw(apiBase(url, p.Combo.Tenants, k) + "/market")
 		if err != nil {

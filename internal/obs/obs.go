@@ -12,6 +12,12 @@
 //
 // Completed decisions are packaged as Trace values and retained in a
 // bounded Ring, which the serving daemon exposes as GET /v1/debug/trace.
+//
+// The lifecycle dimension is the Span/SpanRing pair (span.go): where the
+// decision trace answers "why this cloudlet", spans answer "where the time
+// went" — queue wait, WAL append and fsync, the equilibrium scan, view
+// publish — correlated across processes by W3C traceparent trace IDs and
+// served as GET /v1/debug/spans.
 package obs
 
 import (
@@ -205,6 +211,15 @@ func NewRing(capacity int) *Ring {
 
 // Enabled reports whether the ring retains traces.
 func (r *Ring) Enabled() bool { return r != nil && r.cap > 0 }
+
+// Cap returns the ring's retention capacity (0 when disabled), so callers
+// can report how many traces a snapshot could at most return.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
 
 // Total returns how many traces have ever been added (retained or not).
 func (r *Ring) Total() uint64 {

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,10 @@ type command struct {
 	run     func(st *state) cmdResult
 	reply   chan cmdResult
 	claimed *atomic.Bool
+	// tc is the sampled request's trace context (nil for untraced
+	// commands): the loop decomposes the command into queue-wait, WAL,
+	// apply, and publish child spans under tc.root.
+	tc *traceCtx
 }
 
 // abandoned reports whether the caller gave up on this command before the
@@ -128,10 +133,12 @@ func (s *Server) loop() {
 		tick = t.C
 	}
 	// pending holds one batch's deferred replies; reused across wake-ups so
-	// the steady state allocates nothing.
+	// the steady state allocates nothing. tc rides along so traced commands
+	// can attribute the batch's shared publish cost after it happens.
 	type reply struct {
 		ch  chan cmdResult
 		res cmdResult
+		tc  *traceCtx
 	}
 	pending := make([]reply, 0, cap(s.cmds)+1)
 	for {
@@ -175,24 +182,52 @@ func (s *Server) loop() {
 			// queue capacity so stop, kill, and the epoch ticker are never
 			// starved by a continuous stream.
 			pending = pending[:0]
-			pending = append(pending, reply{c.reply, s.execCommand(c)})
+			pending = append(pending, reply{c.reply, s.execCommand(c), c.tc})
 		drain:
 			for len(pending) <= cap(s.cmds) {
 				select {
 				case c2 := <-s.cmds:
-					pending = append(pending, reply{c2.reply, s.execCommand(c2)})
+					pending = append(pending, reply{c2.reply, s.execCommand(c2), c2.tc})
 				default:
 					break drain
 				}
 			}
+			pubStart := time.Now()
 			s.publish(&s.st)
+			pubDur := time.Since(pubStart).Seconds()
 			for _, p := range pending {
+				if p.tc != nil {
+					// The View rebuild is batched, so every traced command in
+					// the batch carries the same publish child span: that IS
+					// the cost attribution — N commands shared one rebuild.
+					s.recordSpan(obs.Span{
+						Parent: p.tc.root, Trace: p.tc.trace, Stage: obs.StagePublish,
+						Start: pubStart, Duration: pubDur,
+					})
+				}
 				p.ch <- p.res
 			}
 		case <-tick:
 			// Background epochs mutate state like any command, so they are
 			// WAL-logged like any command; their position in the log fixes
 			// their position in the deterministic replay order.
+			//
+			// No HTTP request carries a trace into a ticker epoch, so the
+			// loop mints one: the trace ID derives from the seed and a local
+			// counter (reproducible identity, like mecload's minting), the
+			// root span is the whole epoch, and curTrace/curParent let
+			// epochCmd attach its solve and snapshot children.
+			var (
+				epochTrace string
+				epochRoot  uint64
+				epochStart time.Time
+			)
+			if s.spans.Enabled() {
+				epochTrace = obs.MintTraceID(s.cfg.Seed^0x5ead, s.spanSeq.Add(1))
+				epochRoot = s.spans.StartID()
+				s.curTrace, s.curParent = epochTrace, epochRoot
+				epochStart = time.Now()
+			}
 			if err := s.logCommand(&walRecord{Op: opEpoch}); err != nil {
 				s.st.lastEpochErr = err.Error()
 				s.mEpochErrs.Inc()
@@ -205,6 +240,14 @@ func (s *Server) loop() {
 				s.mEpochErrs.Inc()
 				s.log.Error("background epoch failed", "epoch", s.st.epochs, "err", res.err)
 			}
+			if epochRoot != 0 {
+				s.curTrace, s.curParent = "", 0
+				s.recordSpan(obs.Span{
+					ID: epochRoot, Trace: epochTrace, Stage: obs.StageEpoch,
+					Start: epochStart, Duration: time.Since(epochStart).Seconds(),
+					Attrs: []obs.Attr{obs.Int64("epoch", int64(s.st.epochs))},
+				})
+			}
 			s.publish(&s.st)
 		}
 	}
@@ -213,6 +256,14 @@ func (s *Server) loop() {
 // execCommand applies one dequeued command — claim, deadline check, WAL
 // append, run — and returns the reply to send after the batch publishes.
 // It never publishes the View itself; the loop does that once per batch.
+//
+// For a traced command (c.tc non-nil) each phase becomes a child span of
+// the request root: queue wait from the enqueue timestamp, the WAL write
+// and fsync from the durations the OnAppend/OnSync hooks captured, and the
+// command function as the apply span. curTrace/curParent are set around
+// c.run so the command function can hang its own children (best-response,
+// epoch solve) off the apply span without a signature change — safe
+// because only the loop goroutine reads or writes them.
 func (s *Server) execCommand(c command) cmdResult {
 	if !c.loopClaims() {
 		// The caller already gave up (deadline expired while queued) and
@@ -227,12 +278,54 @@ func (s *Server) execCommand(c command) cmdResult {
 		return errorf(http.StatusServiceUnavailable,
 			"server: deadline expired before execution (not applied): %v", c.ctx.Err())
 	}
+	tc := c.tc
+	if tc != nil {
+		now := time.Now()
+		s.recordSpan(obs.Span{
+			Parent: tc.root, Trace: tc.trace, Stage: obs.StageQueueWait,
+			Start: tc.enq, Duration: now.Sub(tc.enq).Seconds(),
+		})
+		// Sentinel the hook outputs so only the phases this append actually
+		// performed (a "off"-policy append never fsyncs) become spans.
+		s.lastAppendSec, s.lastSyncSec = -1, -1
+	}
 	if err := s.logCommand(c.rec); err != nil {
 		// The mutation is not durable, so it must not apply.
 		s.log.Error("wal append failed", "op", c.rec.Op, "err", err)
 		return errorf(http.StatusServiceUnavailable, "server: write-ahead log: %v", err)
 	}
-	return c.run(&s.st)
+	if tc == nil {
+		return c.run(&s.st)
+	}
+	if walDone := time.Now(); s.lastAppendSec >= 0 || s.lastSyncSec >= 0 {
+		// The hooks measured durations, not timestamps; reconstruct the
+		// starts by walking back from the append's end (write then fsync,
+		// back to back inside wal.Append).
+		if s.lastAppendSec >= 0 {
+			start := walDone.Add(-time.Duration((s.lastAppendSec + math.Max(s.lastSyncSec, 0)) * float64(time.Second)))
+			s.recordSpan(obs.Span{
+				Parent: tc.root, Trace: tc.trace, Stage: obs.StageWALAppend,
+				Start: start, Duration: s.lastAppendSec,
+			})
+		}
+		if s.lastSyncSec >= 0 {
+			start := walDone.Add(-time.Duration(s.lastSyncSec * float64(time.Second)))
+			s.recordSpan(obs.Span{
+				Parent: tc.root, Trace: tc.trace, Stage: obs.StageWALFsync,
+				Start: start, Duration: s.lastSyncSec,
+			})
+		}
+	}
+	applyID := s.spans.StartID()
+	s.curTrace, s.curParent = tc.trace, applyID
+	applyStart := time.Now()
+	res := c.run(&s.st)
+	s.curTrace, s.curParent = "", 0
+	s.recordSpan(obs.Span{
+		ID: applyID, Parent: tc.root, Trace: tc.trace, Stage: obs.StageApply,
+		Start: applyStart, Duration: time.Since(applyStart).Seconds(),
+	})
+	return res
 }
 
 // do submits a command and waits for its result, the caller's deadline, or
@@ -253,6 +346,14 @@ func (s *Server) do(ctx context.Context, rec *walRecord, run func(st *state) cmd
 		defer cancel()
 	}
 	c := command{ctx: ctx, rec: rec, run: run, reply: make(chan cmdResult, 1), claimed: new(atomic.Bool)}
+	if tc := traceCtxFrom(ctx); tc != nil {
+		// Stamp the enqueue time here, not in the middleware: queue wait
+		// starts when the command can first be dequeued, after decode and
+		// validation, so the queue_wait span measures the queue, not the
+		// handler's preamble.
+		tc.enq = time.Now()
+		c.tc = tc
+	}
 	select {
 	case s.cmds <- c:
 	case <-s.done:
@@ -345,7 +446,23 @@ func (s *Server) admitCmd(st *state, p mec.Provider) cmdResult {
 	if s.ring.Enabled() && !s.recovering {
 		rec = obs.NewRecorder(0)
 	}
+	// The equilibrium scan is the admission's hot core; a traced command
+	// (curTrace set by execCommand) gets it as a child of the apply span.
+	// Untraced admissions pay one string comparison — nothing is allocated,
+	// which is what the alloc benchmarks assert.
+	spanOn := s.curTrace != ""
+	var brStart time.Time
+	if spanOn {
+		brStart = time.Now()
+	}
 	st.setPl(idx, dynamic.BestResponseWithLoads(st.ls, st.pl, idx, st.failed, tracer(rec)))
+	if spanOn {
+		s.recordSpan(obs.Span{
+			Parent: s.curParent, Trace: s.curTrace, Stage: obs.StageBestResponse,
+			Start: brStart, Duration: time.Since(brStart).Seconds(),
+			Attrs: []obs.Attr{obs.Int64("placement", int64(st.pl[idx]))},
+		})
+	}
 	id := st.nextID
 	st.nextID++
 	st.ids = append(st.ids, id)
@@ -513,6 +630,11 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	if s.ring.Enabled() && !s.recovering {
 		rec = obs.NewRecorder(0)
 	}
+	spanOn := s.curTrace != ""
+	var solveStart time.Time
+	if spanOn {
+		solveStart = time.Now()
+	}
 	next, est, err := dynamic.Reequilibrate(st.m, st.pl, dynamic.EpochOptions{
 		Xi:             s.cfg.Xi,
 		Seed:           s.cfg.Seed + st.epochs,
@@ -523,6 +645,16 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	})
 	if err != nil {
 		return errorf(http.StatusInternalServerError, "server: epoch %d: %v", st.epochs, err)
+	}
+	if spanOn {
+		s.recordSpan(obs.Span{
+			Parent: s.curParent, Trace: s.curTrace, Stage: obs.StageEpochSolve,
+			Start: solveStart, Duration: time.Since(solveStart).Seconds(),
+			Attrs: []obs.Attr{
+				obs.Int64("rounds", int64(est.Rounds)),
+				obs.Int64("reconfigurations", int64(est.Reconfigurations)),
+			},
+		})
 	}
 	for i := range next {
 		st.setPl(i, next[i])
@@ -559,12 +691,22 @@ func (s *Server) epochCmd(st *state) cmdResult {
 	// Replayed epochs never write snapshots: recovery is a read of history,
 	// not new history.
 	if s.cfg.SnapshotPath != "" && !s.recovering {
+		var snapStart time.Time
+		if spanOn {
+			snapStart = time.Now()
+		}
 		if err := s.writeSnapshot(st); err != nil {
 			s.mSnapErrs.Inc()
 			s.log.Error("epoch snapshot failed", "epoch", st.epochs, "path", s.cfg.SnapshotPath, "err", err)
 			return errorf(http.StatusInternalServerError, "server: epoch snapshot: %v", err)
 		}
 		s.compactWAL()
+		if spanOn {
+			s.recordSpan(obs.Span{
+				Parent: s.curParent, Trace: s.curTrace, Stage: obs.StageSnapshot,
+				Start: snapStart, Duration: time.Since(snapStart).Seconds(),
+			})
+		}
 	}
 	return cmdResult{status: http.StatusOK, body: map[string]any{
 		"epoch":            st.epochs,

@@ -80,6 +80,14 @@ type Config struct {
 	// decision tracing entirely — admissions then run the untraced
 	// best-response scan. Negative is invalid.
 	TraceDepth int
+	// SpanDepth is how many completed lifecycle spans the daemon retains
+	// for GET /v1/debug/spans. A request carrying a W3C traceparent header
+	// is decomposed into queue-wait, WAL-append, WAL-fsync, apply, and
+	// view-publish child spans under one root, all sharing the header's
+	// trace ID. 0 disables span tracing entirely — traceparent headers are
+	// then ignored and the command path stays allocation-free. Negative is
+	// invalid.
+	SpanDepth int
 	// WALDir, when non-empty, enables the write-ahead log: every mutating
 	// command is logged (and fsynced per WALSync) before it applies, and
 	// startup replays the log tail over the restored snapshot, so a crash
@@ -134,6 +142,7 @@ func DefaultConfig(seed uint64) Config {
 		Xi:         0.7,
 		Policy:     fault.PolicyRemoteFallback,
 		TraceDepth: 64,
+		SpanDepth:  256,
 	}
 }
 
@@ -153,6 +162,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.TraceDepth < 0 {
 		return fmt.Errorf("server: negative TraceDepth %d", cfg.TraceDepth)
+	}
+	if cfg.SpanDepth < 0 {
+		return fmt.Errorf("server: negative SpanDepth %d", cfg.SpanDepth)
 	}
 	if cfg.QueueDepth < 0 {
 		return fmt.Errorf("server: negative QueueDepth %d", cfg.QueueDepth)
@@ -246,6 +258,25 @@ type Server struct {
 	ring  *obs.Ring
 	reqID atomic.Uint64
 
+	// spans is the lifecycle-span ring behind GET /v1/debug/spans; spanSeq
+	// mints trace IDs for spans with no client traceparent (background
+	// epochs). The cur/last fields below are loop-owned scratch: execCommand
+	// sets curTrace/curParent around a command function so admitCmd/epochCmd
+	// can attach nested spans without widening every signature, and the WAL
+	// OnAppend/OnSync hooks (which fire inside logCommand, on the loop
+	// goroutine) drop their measured seconds into lastAppendSec/lastSyncSec
+	// for the loop to read back as span durations.
+	spans         *obs.SpanRing
+	spanSeq       atomic.Uint64
+	curTrace      string
+	curParent     uint64
+	lastAppendSec float64
+	lastSyncSec   float64
+	// hStage maps span stage -> the mecd_span_seconds{stage=...} histogram
+	// it feeds. recordSpan observes it from the same Span value it retains,
+	// so the metric and the trace can never disagree.
+	hStage map[string]*metrics.Histogram
+
 	reg        *metrics.Registry
 	mAccepted  *metrics.Counter
 	mRejected  *metrics.Counter
@@ -317,6 +348,7 @@ func New(cfg Config) (*Server, error) {
 		reg:      cfg.Metrics,
 		log:      cfg.Logger,
 		ring:     obs.NewRing(cfg.TraceDepth),
+		spans:    obs.NewSpanRing(cfg.SpanDepth),
 	}
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry()
@@ -388,6 +420,36 @@ func (s *Server) registerMetrics() {
 	s.hWALSync = s.reg.Histogram("mecd_wal_fsync_seconds", "WAL fsync latency.", stats.LatencyBuckets(), s.labels()...)
 	s.gRecoverySec = s.reg.Gauge("mecd_wal_recovery_seconds", "Duration of the last startup WAL replay.", s.labels()...)
 	s.gRecoveredRecs = s.reg.Gauge("mecd_wal_recovered_records", "Commands replayed by the last startup WAL recovery.", s.labels()...)
+	if s.cfg.WALDir != "" {
+		// Segment visibility: rotation and compaction are otherwise invisible
+		// until someone lists the directory. registerMetrics runs before
+		// recoverWAL opens the log, so the closures nil-check; rehydration on
+		// a shared registry replaces them, like the queue-depth gauge above.
+		s.reg.GaugeFunc("mecd_wal_segment_count", "Write-ahead log segment files on disk.",
+			func() float64 {
+				if s.wal == nil {
+					return 0
+				}
+				return float64(s.wal.SegmentCount())
+			}, s.labels()...)
+		s.reg.GaugeFunc("mecd_wal_active_segment_bytes", "Bytes written to the active write-ahead log segment.",
+			func() float64 {
+				if s.wal == nil {
+					return 0
+				}
+				return float64(s.wal.ActiveSegmentBytes())
+			}, s.labels()...)
+	}
+	if s.spans.Enabled() {
+		// One histogram per lifecycle stage, registered eagerly so the whole
+		// family is visible on the first scrape. The stage set is the closed
+		// list in internal/obs, so label cardinality is fixed at compile time.
+		s.hStage = make(map[string]*metrics.Histogram, len(serverSpanStages))
+		for _, stage := range serverSpanStages {
+			s.hStage[stage] = s.reg.Histogram("mecd_span_seconds", SpanSecondsHelp,
+				stats.LatencyBuckets(), s.labels("stage", stage)...)
+		}
+	}
 	s.gLoads = make([]*metrics.Gauge, s.net.NumCloudlets())
 	for i := range s.gLoads {
 		s.gLoads[i] = s.reg.Gauge("mecd_cloudlet_load", "Services cached per cloudlet.", s.labels("cloudlet", strconv.Itoa(i))...)
@@ -526,6 +588,7 @@ func (s *Server) buildMux() {
 	route("GET /v1/placements", s.handlePlacements)
 	route("GET /v1/market", s.handleMarket)
 	route("GET /v1/debug/trace", s.handleTrace)
+	route("GET /v1/debug/spans", s.handleSpans)
 	route("POST /v1/admin/fail", s.handleFail)
 	route("POST /v1/admin/epoch", s.handleEpoch)
 	route("POST /v1/admin/snapshot", s.handleSnapshot)
@@ -541,6 +604,57 @@ func (s *Server) buildMux() {
 	route("GET /debug/pprof/symbol", pprof.Symbol)
 	route("GET /debug/pprof/trace", pprof.Trace)
 	s.mux = mux
+}
+
+// SpanSecondsHelp documents the mecd_span_seconds histogram family. The
+// tenant registry registers its hydration/eviction stages into the same
+// family, so the help text lives in one exported constant.
+const SpanSecondsHelp = "Request lifecycle stage timings derived from completed spans."
+
+// serverSpanStages is every stage this daemon's own span sites emit; the
+// tenant lifecycle stages belong to the tenant registry.
+var serverSpanStages = []string{
+	obs.StageRequest, obs.StageQueueWait, obs.StageWALAppend, obs.StageWALFsync,
+	obs.StageApply, obs.StagePublish, obs.StageBestResponse,
+	obs.StageEpochSolve, obs.StageSnapshot, obs.StageEpoch,
+}
+
+// recordSpan retains a completed span and feeds its duration to the
+// stage's mecd_span_seconds histogram in the same call — the metric and
+// the trace are two views of one measurement, so they cannot disagree.
+func (s *Server) recordSpan(sp obs.Span) {
+	if !s.spans.Enabled() {
+		return
+	}
+	s.spans.Record(sp)
+	if h := s.hStage[sp.Stage]; h != nil {
+		h.Observe(sp.Duration)
+	}
+}
+
+// traceCtx carries one sampled request's trace identity from the HTTP
+// middleware into the event loop. It exists only when span tracing is on
+// AND the client sent a valid W3C traceparent header; every other request
+// runs the span-free path (a nil *traceCtx everywhere), which is what
+// keeps the untraced hot path at zero allocations.
+type traceCtx struct {
+	trace  string    // 32-hex trace ID adopted from the client's traceparent
+	remote string    // the client's span ID (16 hex), kept as a root attr
+	root   uint64    // daemon-side root span ID; parent of every child span
+	enq    time.Time // when the command entered the queue (queue_wait start)
+}
+
+// traceCtxKey keys the traceCtx in a request context.
+type traceCtxKey struct{}
+
+// traceCtxFrom extracts the sampled-request trace context (nil when the
+// request is untraced).
+func traceCtxFrom(ctx context.Context) *traceCtx {
+	if ctx == nil {
+		return nil
+	}
+	tc, _ := ctx.Value(traceCtxKey{}).(*traceCtx)
+	return tc
 }
 
 // statusWriter captures the response code for the access log and metrics.
@@ -559,6 +673,13 @@ func (w *statusWriter) WriteHeader(code int) {
 // structured access-log line per request (warn on 4xx, error on 5xx).
 // The route label is the registration pattern, so label cardinality is
 // fixed at the route table, never influenced by request paths.
+//
+// When span tracing is on and the request carries a valid W3C traceparent
+// header, the middleware adopts the header's trace ID, opens the root
+// request span (closed when the handler returns), and plants a traceCtx in
+// the request context for the command path to decompose the lifecycle into
+// child spans. The access-log line then carries the same trace ID, which
+// is the log↔trace correlation contract.
 func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
 	lat := s.reg.Histogram("mecd_http_request_seconds", "HTTP request latency by route.",
 		stats.LatencyBuckets(), s.labels("route", pattern)...)
@@ -569,6 +690,13 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 	return func(w http.ResponseWriter, r *http.Request) {
 		id := s.reqID.Add(1)
 		start := time.Now()
+		var tc *traceCtx
+		if s.spans.Enabled() {
+			if trace, remote, okTP := obs.ParseTraceparent(r.Header.Get("traceparent")); okTP {
+				tc = &traceCtx{trace: trace, remote: remote, root: s.spans.StartID()}
+				r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tc))
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		h(sw, r)
 		elapsed := time.Since(start)
@@ -579,6 +707,17 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 			s.reg.Counter("mecd_http_requests_total", "HTTP requests by route and status code.",
 				s.labels("route", pattern, "code", strconv.Itoa(sw.status))...).Inc()
 		}
+		if tc != nil {
+			s.recordSpan(obs.Span{
+				ID: tc.root, Trace: tc.trace, Stage: obs.StageRequest,
+				Start: start, Duration: elapsed.Seconds(),
+				Attrs: []obs.Attr{
+					obs.String("route", pattern),
+					obs.String("clientSpan", tc.remote),
+					obs.Int64("status", int64(sw.status)),
+				},
+			})
+		}
 		lvl := slog.LevelDebug
 		switch {
 		case sw.status >= 500:
@@ -586,9 +725,14 @@ func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc
 		case sw.status >= 400:
 			lvl = slog.LevelWarn
 		}
-		s.log.Log(r.Context(), lvl, "http request",
+		args := []any{
 			"reqID", id, "route", pattern, "method", r.Method, "path", r.URL.Path,
-			"status", sw.status, "durationMs", float64(elapsed.Microseconds())/1000)
+			"status", sw.status, "durationMs", float64(elapsed.Microseconds())/1000,
+		}
+		if tc != nil {
+			args = append(args, "trace", tc.trace)
+		}
+		s.log.Log(r.Context(), lvl, "http request", args...)
 	}
 }
 
@@ -620,10 +764,60 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	if traces == nil {
 		traces = []obs.Trace{}
 	}
+	// count and capacity expose the clamp: asking for n beyond the ring's
+	// retention silently returns fewer traces, so the envelope states how
+	// many actually came back and how many the ring could at most hold,
+	// while total is the high-water sequence (traces ever added).
 	writeJSON(w, http.StatusOK, map[string]any{
-		"enabled": true,
-		"total":   s.ring.Total(),
-		"traces":  traces,
+		"enabled":  true,
+		"count":    len(traces),
+		"capacity": s.ring.Cap(),
+		"total":    s.ring.Total(),
+		"traces":   traces,
+	})
+}
+
+// handleSpans serves the last-N completed lifecycle spans, newest-started
+// first. Query parameters: n caps the count (default 64; 0 means every
+// retained span), trace keeps only one trace ID, min_dur keeps spans at
+// least that many seconds long. The envelope mirrors /v1/debug/trace:
+// count is the effective size after clamping and filtering, capacity the
+// ring's retention, highWater the last span ID ever started, recorded the
+// completed-span total.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if !s.spans.Enabled() {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false, "spans": []obs.Span{}})
+		return
+	}
+	n := 64
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad n: " + q})
+			return
+		}
+		n = v
+	}
+	minDur := 0.0
+	if q := r.URL.Query().Get("min_dur"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || math.IsNaN(v) || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad min_dur: " + q})
+			return
+		}
+		minDur = v
+	}
+	spans := s.spans.Snapshot(n, r.URL.Query().Get("trace"), minDur)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":   true,
+		"count":     len(spans),
+		"capacity":  s.spans.Cap(),
+		"highWater": s.spans.HighWater(),
+		"recorded":  s.spans.Recorded(),
+		"spans":     spans,
 	})
 }
 

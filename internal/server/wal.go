@@ -99,8 +99,12 @@ func (s *Server) recoverWAL() error {
 		Policy:       pol,
 		SyncEvery:    s.cfg.WALSyncInterval,
 		SegmentBytes: s.cfg.WALSegmentBytes,
-		OnAppend:     func(sec float64) { s.hWALAppend.Observe(sec) },
-		OnSync:       func(sec float64) { s.hWALSync.Observe(sec) },
+		// The hooks fire inside Append, on the event-loop goroutine; the
+		// last* fields let execCommand read the measured durations back as
+		// wal_append/wal_fsync child spans of a traced command (they are
+		// loop-owned scratch, so no lock is needed).
+		OnAppend: func(sec float64) { s.hWALAppend.Observe(sec); s.lastAppendSec = sec },
+		OnSync:   func(sec float64) { s.hWALSync.Observe(sec); s.lastSyncSec = sec },
 	})
 	if err != nil {
 		return err

@@ -23,8 +23,10 @@ import (
 	"net/http/pprof"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mecache/internal/metrics"
@@ -140,6 +142,13 @@ type Registry struct {
 	mEvicted   *metrics.Counter
 	mEvictErrs *metrics.Counter
 	hHydrate   *metrics.Histogram
+
+	// spans retains the registry's own lifecycle spans (tenant hydration
+	// and eviction), sized by the template's SpanDepth and served at the
+	// process-level GET /debug/spans; per-tenant request spans live in each
+	// tenant daemon and are served under /v1/t/{tenant}/debug/spans.
+	spans   *obs.SpanRing
+	spanSeq atomic.Uint64
 }
 
 // NewRegistry builds the registry. No tenant is hydrated yet: the first
@@ -165,10 +174,11 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		return nil, err
 	}
 	r := &Registry{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		reg:  metrics.NewRegistry(),
-		ents: make(map[string]*entry),
+		cfg:   cfg,
+		log:   cfg.Logger,
+		reg:   metrics.NewRegistry(),
+		ents:  make(map[string]*entry),
+		spans: obs.NewSpanRing(cfg.Template.SpanDepth),
 	}
 	if r.log == nil {
 		r.log = obs.NopLogger()
@@ -204,6 +214,27 @@ func (r *Registry) tenantConfig(id string) server.Config {
 		cfg.SnapshotPath = filepath.Join(filepath.Dir(base), id, filepath.Base(base))
 	}
 	return cfg
+}
+
+// recordSpan retains a registry lifecycle span and observes its duration
+// into the shared mecd_span_seconds family under the tenant's label, the
+// same single-measurement contract the server's recordSpan keeps. The
+// histogram lookup is idempotent (the registry returns existing
+// instruments), so lazy per-tenant registration here is safe.
+func (r *Registry) recordSpan(sp obs.Span, tenant string) {
+	if !r.spans.Enabled() {
+		return
+	}
+	sp.Attrs = append(sp.Attrs, obs.String("tenant", tenant))
+	r.spans.Record(sp)
+	r.reg.Histogram("mecd_span_seconds", server.SpanSecondsHelp,
+		stats.LatencyBuckets(), "stage", sp.Stage, "tenant", tenant).Observe(sp.Duration)
+}
+
+// mintTrace builds a reproducible-identity trace ID for a registry
+// lifecycle event (no HTTP request carries one in).
+func (r *Registry) mintTrace() string {
+	return obs.MintTraceID(r.cfg.Template.Seed^0x7e4a47, r.spanSeq.Add(1))
 }
 
 // tick advances the LRU clock. Callers hold r.mu.
@@ -280,6 +311,7 @@ func (r *Registry) release(e *entry) {
 // enforces the resident cap by evicting LRU idle tenants.
 func (r *Registry) hydrate(e *entry) {
 	start := time.Now()
+	trace := r.mintTrace()
 	srv, err := server.New(r.tenantConfig(e.id))
 	if err == nil {
 		srv.Start()
@@ -290,7 +322,12 @@ func (r *Registry) hydrate(e *entry) {
 		delete(r.ents, e.id)
 		r.mu.Unlock()
 		close(e.ready)
-		r.log.Error("tenant hydration failed", "tenant", e.id, "err", err)
+		r.recordSpan(obs.Span{
+			Trace: trace, Stage: obs.StageTenantHydrate,
+			Start: start, Duration: time.Since(start).Seconds(),
+			Attrs: []obs.Attr{obs.String("result", "error")},
+		}, e.id)
+		r.log.Error("tenant hydration failed", "tenant", e.id, "trace", trace, "err", err)
 		return
 	}
 	e.srv = srv
@@ -302,7 +339,12 @@ func (r *Registry) hydrate(e *entry) {
 	r.mu.Unlock()
 	close(e.ready)
 	r.hHydrate.Observe(time.Since(start).Seconds())
-	r.log.Info("tenant resident", "tenant", e.id, "hydrateMs",
+	r.recordSpan(obs.Span{
+		Trace: trace, Stage: obs.StageTenantHydrate,
+		Start: start, Duration: time.Since(start).Seconds(),
+		Attrs: []obs.Attr{obs.String("result", "resident")},
+	}, e.id)
+	r.log.Info("tenant resident", "tenant", e.id, "trace", trace, "hydrateMs",
 		float64(time.Since(start).Microseconds())/1000)
 	r.evict(victims)
 }
@@ -347,12 +389,16 @@ func (r *Registry) overflowLocked(just *entry) []*entry {
 // WAL the un-snapshotted tail replays on rehydration.
 func (r *Registry) evict(victims []*entry) {
 	for _, e := range victims {
+		start := time.Now()
+		trace := r.mintTrace()
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		err := e.srv.Stop(ctx)
 		cancel()
+		result := "evicted"
 		if err != nil {
+			result = "stop_error"
 			r.mEvictErrs.Inc()
-			r.log.Error("tenant eviction stop failed", "tenant", e.id, "err", err)
+			r.log.Error("tenant eviction stop failed", "tenant", e.id, "trace", trace, "err", err)
 		}
 		r.mu.Lock()
 		delete(r.ents, e.id)
@@ -360,7 +406,12 @@ func (r *Registry) evict(victims []*entry) {
 		r.gResident.Set(float64(r.residentCount()))
 		r.mu.Unlock()
 		close(e.gone)
-		r.log.Info("tenant evicted", "tenant", e.id)
+		r.recordSpan(obs.Span{
+			Trace: trace, Stage: obs.StageTenantEvict,
+			Start: start, Duration: time.Since(start).Seconds(),
+			Attrs: []obs.Attr{obs.String("result", result)},
+		}, e.id)
+		r.log.Info("tenant evicted", "tenant", e.id, "trace", trace)
 	}
 }
 
@@ -443,12 +494,57 @@ func (r *Registry) buildMux() {
 			"status": "ok", "residentTenants": n, "build": obs.Build(),
 		})
 	})
+	// Registry-level lifecycle spans (hydrations, evictions). Like /metrics
+	// and /healthz this never pins or rehydrates a tenant — observing the
+	// registry must not change which tenants are resident.
+	mux.HandleFunc("GET /debug/spans", r.handleSpans)
 	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	r.mux = mux
+}
+
+// handleSpans serves the registry's own lifecycle spans (tenant hydration
+// and eviction), newest-started first, with the same query parameters and
+// envelope as the per-tenant /v1/debug/spans endpoint.
+func (r *Registry) handleSpans(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if !r.spans.Enabled() {
+		_ = json.NewEncoder(w).Encode(map[string]any{"enabled": false, "spans": []obs.Span{}})
+		return
+	}
+	n := 64
+	if q := req.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad n: "+q)
+			return
+		}
+		n = v
+	}
+	minDur := 0.0
+	if q := req.URL.Query().Get("min_dur"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "bad min_dur: "+q)
+			return
+		}
+		minDur = v
+	}
+	spans := r.spans.Snapshot(n, req.URL.Query().Get("trace"), minDur)
+	if spans == nil {
+		spans = []obs.Span{}
+	}
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"enabled":   true,
+		"count":     len(spans),
+		"capacity":  r.spans.Cap(),
+		"highWater": r.spans.HighWater(),
+		"recorded":  r.spans.Recorded(),
+		"spans":     spans,
+	})
 }
 
 // serveTenant pins tenant id for the duration of one request and forwards

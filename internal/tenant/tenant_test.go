@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"mecache/internal/mec"
+	"mecache/internal/obs"
 	"mecache/internal/rng"
 	"mecache/internal/server"
 )
@@ -416,5 +417,129 @@ func TestStopRejectsNewWork(t *testing.T) {
 	}
 	if _, err := r.Tenant("y"); err == nil {
 		t.Error("Tenant after Stop should fail")
+	}
+}
+
+// TestRegistryLifecycleSpans drives hydrations past the resident cap and
+// checks the registry's own span ring records them: every hydration and
+// eviction lands as a span with a minted trace ID, a tenant attribute,
+// and a result, served by the process-level GET /debug/spans.
+func TestRegistryLifecycleSpans(t *testing.T) {
+	base := t.TempDir()
+	tpl := testTemplate(1)
+	tpl.WALDir = filepath.Join(base, "wal")
+	r, ts := startRegistry(t, Config{Template: tpl, MaxResident: 1})
+
+	for _, id := range []string{"alpha", "beta"} {
+		srv, err := r.Tenant(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, data := post(t, ts.URL+"/v1/t/"+id+"/providers", provider(t, tpl, srv, 9, 0))
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("admit %s: %d: %s", id, resp.StatusCode, data)
+		}
+	}
+	// beta's hydration overflowed the cap, so alpha must have been evicted.
+	if got := strings.Join(r.Resident(), ","); got != "beta" {
+		t.Fatalf("resident = %q, want \"beta\"", got)
+	}
+
+	var sr struct {
+		Enabled   bool       `json:"enabled"`
+		Count     int        `json:"count"`
+		Capacity  int        `json:"capacity"`
+		HighWater uint64     `json:"highWater"`
+		Recorded  uint64     `json:"recorded"`
+		Spans     []obs.Span `json:"spans"`
+	}
+	_, data := get(t, ts.URL+"/debug/spans?n=0")
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Enabled || sr.Count != len(sr.Spans) || sr.Capacity != tpl.SpanDepth {
+		t.Fatalf("bad envelope: %+v", sr)
+	}
+
+	type key struct{ stage, tenant, result string }
+	seen := map[key]string{}
+	for _, sp := range sr.Spans {
+		if sp.Trace == "" || len(sp.Trace) != 32 {
+			t.Fatalf("lifecycle span without a minted trace ID: %+v", sp)
+		}
+		var tenant, result string
+		for _, a := range sp.Attrs {
+			switch a.Key {
+			case "tenant":
+				tenant = a.Str
+			case "result":
+				result = a.Str
+			}
+		}
+		seen[key{sp.Stage, tenant, result}] = sp.Trace
+	}
+	for _, want := range []key{
+		{obs.StageTenantHydrate, "alpha", "resident"},
+		{obs.StageTenantHydrate, "beta", "resident"},
+		{obs.StageTenantEvict, "alpha", "evicted"},
+	} {
+		if _, ok := seen[want]; !ok {
+			t.Fatalf("missing lifecycle span %+v in %v", want, seen)
+		}
+	}
+	// Hydration and eviction are distinct lifecycle events: each minted its
+	// own trace ID.
+	if seen[key{obs.StageTenantHydrate, "alpha", "resident"}] == seen[key{obs.StageTenantEvict, "alpha", "evicted"}] {
+		t.Fatal("alpha's hydration and eviction share one trace ID")
+	}
+
+	// The per-tenant debug endpoint serves the tenant's request spans and
+	// stays isolated from the registry's lifecycle ring.
+	_, data = get(t, ts.URL+"/v1/t/beta/debug/spans?n=0")
+	var tenantSpans struct {
+		Enabled bool       `json:"enabled"`
+		Spans   []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &tenantSpans); err != nil {
+		t.Fatal(err)
+	}
+	if !tenantSpans.Enabled {
+		t.Fatal("per-tenant span endpoint disabled under the default template")
+	}
+	for _, sp := range tenantSpans.Spans {
+		if sp.Stage == obs.StageTenantHydrate || sp.Stage == obs.StageTenantEvict {
+			t.Fatalf("registry lifecycle span leaked into tenant ring: %+v", sp)
+		}
+	}
+
+	// The shared histogram family carries the per-tenant stage series.
+	_, promData := get(t, ts.URL+"/metrics")
+	text := string(promData)
+	for _, series := range []string{
+		`mecd_span_seconds_count{stage="tenant_hydrate",tenant="alpha"}`,
+		`mecd_span_seconds_count{stage="tenant_evict",tenant="alpha"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("series %s missing from /metrics", series)
+		}
+	}
+}
+
+// TestRegistrySpansDisabled checks SpanDepth 0 switches the registry ring
+// off along with every tenant's.
+func TestRegistrySpansDisabled(t *testing.T) {
+	tpl := testTemplate(2)
+	tpl.SpanDepth = 0
+	_, ts := startRegistry(t, Config{Template: tpl})
+	_, data := get(t, ts.URL+"/debug/spans")
+	var sr struct {
+		Enabled bool       `json:"enabled"`
+		Spans   []obs.Span `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Enabled || len(sr.Spans) != 0 {
+		t.Fatalf("disabled registry ring still serves spans: %+v", sr)
 	}
 }

@@ -138,6 +138,7 @@ type Log struct {
 	f        *os.File
 	seq      uint64 // current segment sequence number
 	size     int64  // current segment size in bytes
+	segs     int    // segment files on disk (rotation grows it, Reset collapses it)
 	lastSync time.Time
 	dirty    bool // bytes written since the last fsync
 	replayed bool
@@ -192,6 +193,7 @@ func Open(dir string, opt Options) (*Log, error) {
 		if err := l.openSegment(1, true); err != nil {
 			return nil, err
 		}
+		l.segs = 1
 		l.replayed = true // nothing to replay
 		return l, nil
 	}
@@ -200,6 +202,7 @@ func Open(dir string, opt Options) (*Log, error) {
 	if err := l.openSegment(seqs[len(seqs)-1], false); err != nil {
 		return nil, err
 	}
+	l.segs = len(seqs)
 	return l, nil
 }
 
@@ -327,7 +330,11 @@ func (l *Log) rotateLocked() error {
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("wal: close segment %d: %w", l.seq, err)
 	}
-	return l.openSegment(l.seq+1, true)
+	if err := l.openSegment(l.seq+1, true); err != nil {
+		return err
+	}
+	l.segs++
+	return nil
 }
 
 // Sync forces the current segment to stable storage.
@@ -393,7 +400,25 @@ func (l *Log) Reset() error {
 			}
 		}
 	}
+	l.segs = 1
 	return nil
+}
+
+// SegmentCount returns how many segment files the log currently spans —
+// the active segment plus every sealed one not yet compacted away.
+func (l *Log) SegmentCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs
+}
+
+// ActiveSegmentBytes returns the byte size of the segment currently being
+// appended to (header frame included). Together with SegmentCount it makes
+// rotation and compaction visible to metrics without listing the directory.
+func (l *Log) ActiveSegmentBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
 }
 
 // Close fsyncs outstanding bytes and closes the current segment.

@@ -518,3 +518,73 @@ func appendFrame(buf, payload []byte) []byte {
 	buf = append(buf, hdr[:]...)
 	return append(buf, payload...)
 }
+
+// TestSegmentVisibilityAccessors pins the gauges' data source: the segment
+// count follows rotation and Reset, and the active-segment byte count
+// grows with appends and collapses when a new segment starts.
+func TestSegmentVisibilityAccessors(t *testing.T) {
+	dir := t.TempDir()
+	l := openForTest(t, dir, Options{SegmentBytes: 256})
+	if got := l.SegmentCount(); got != 1 {
+		t.Fatalf("fresh log reports %d segments, want 1", got)
+	}
+	// A fresh segment is not empty: it starts with the version header frame.
+	base := l.ActiveSegmentBytes()
+	if base <= 0 {
+		t.Fatalf("fresh log reports %d active bytes, want the header frame", base)
+	}
+
+	if err := l.Append([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.ActiveSegmentBytes(); got <= base {
+		t.Fatalf("active bytes %d after one append, want above the %d-byte header", got, base)
+	}
+
+	rec := strings.Repeat("x", 40)
+	for i := 0; i < 30; i++ {
+		if err := l.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, _ := os.ReadDir(dir)
+	if got := l.SegmentCount(); got != len(ents) {
+		t.Fatalf("SegmentCount %d, dir holds %d segments", got, len(ents))
+	}
+	if got := l.SegmentCount(); got < 3 {
+		t.Fatalf("rotation left only %d segments under a 256-byte cap", got)
+	}
+	// Rotation happens when the active segment exceeds the cap, so the
+	// current one is always below cap plus one record's framing.
+	if got := l.ActiveSegmentBytes(); got > 256+int64(len(rec))+frameHeaderSize {
+		t.Fatalf("active segment %d bytes never rotated (cap 256)", got)
+	}
+
+	if err := l.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.SegmentCount(); got != 1 {
+		t.Fatalf("reset left SegmentCount at %d, want 1", got)
+	}
+	if got := l.ActiveSegmentBytes(); got != base {
+		t.Fatalf("reset left %d active bytes, want the bare header (%d)", got, base)
+	}
+	l.Close()
+
+	// Reopening an existing multi-segment dir counts what is on disk.
+	l2 := openForTest(t, dir, Options{SegmentBytes: 256})
+	replayAll(t, l2)
+	for i := 0; i < 30; i++ {
+		if err := l2.Append([]byte(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := l2.SegmentCount()
+	l2.Close()
+	l3 := openForTest(t, dir, Options{SegmentBytes: 256})
+	replayAll(t, l3)
+	if got := l3.SegmentCount(); got != want {
+		t.Fatalf("reopened SegmentCount %d, want %d", got, want)
+	}
+	l3.Close()
+}

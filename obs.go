@@ -25,6 +25,14 @@ type (
 	// BuildInfo identifies the running binary (module version, toolchain,
 	// VCS revision).
 	BuildInfo = obs.BuildInfo
+	// Span is one timed stage of a request lifecycle as served by the
+	// daemon's GET /v1/debug/spans: queue wait, WAL append/fsync, apply,
+	// best response, view publish, correlated by a W3C trace ID.
+	Span = obs.Span
+	// SpanAttr is one typed span attribute ({"key","value"} in JSON).
+	SpanAttr = obs.Attr
+	// SpanRing retains the last-N completed spans with lock-free reads.
+	SpanRing = obs.SpanRing
 )
 
 // NewTraceRecorder returns a recorder holding at most limit events (<= 0
@@ -39,3 +47,24 @@ func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
 
 // Build reads the binary's identity from the embedded module build info.
 func Build() BuildInfo { return obs.Build() }
+
+// NewSpanRing returns a span ring retaining the last `capacity` completed
+// spans (capacity <= 0 returns a disabled ring).
+func NewSpanRing(capacity int) *SpanRing { return obs.NewSpanRing(capacity) }
+
+// MintTraceID derives a 32-hex W3C trace ID from two words, as a pure
+// function — a load generator minting from (seed, admission index) gets
+// reproducible trace identity across runs.
+func MintTraceID(hi, lo uint64) string { return obs.MintTraceID(hi, lo) }
+
+// FormatTraceparent renders a W3C traceparent header value for the trace
+// ID and parent span ID, suitable for stamping outbound requests.
+func FormatTraceparent(trace string, parent uint64) string {
+	return obs.FormatTraceparent(trace, parent)
+}
+
+// ParseTraceparent extracts the trace and parent IDs of a version-00 W3C
+// traceparent header value; ok is false for anything malformed.
+func ParseTraceparent(h string) (trace, parent string, ok bool) {
+	return obs.ParseTraceparent(h)
+}
