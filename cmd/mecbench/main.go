@@ -214,6 +214,13 @@ const allocTolerance = 1.25
 // small absolute counts.
 const allocSlack = 16
 
+// warmEpochRatioCeiling bounds the ReequilibrateWarm/Reequilibrate time
+// ratio at the largest scale: an unchanged-reduction epoch served from the
+// warm state must stay at least 5x faster than the cold solve in the same
+// run. Like the dynamics ceiling, the same-process ratio is machine- and
+// race-detector-independent.
+const warmEpochRatioCeiling = 0.2
+
 // multiTenantCeiling bounds the MultiTenantAdmission 8-tenant/1-tenant
 // time ratio. One 8-tenant op performs 8 concurrent admissions, so
 // perfectly isolated tenant loops cost 8/min(8,GOMAXPROCS) single-tenant
@@ -270,6 +277,32 @@ func benchCompare(w io.Writer, path string, minDur time.Duration, maxIters int) 
 		if b, ok := base[r.Name]; ok && r.AllocsPerOp > b.AllocsPerOp*allocTolerance+allocSlack {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f",
 				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+		if fam == "ReequilibrateWarm" {
+			// The warm case pairs with the cold Reequilibrate twin at the
+			// same scale instead of a Naive one.
+			curR, okC := ratio(cur, r.Name, "Reequilibrate/"+sc)
+			if !okC {
+				continue
+			}
+			status := "ok"
+			if sc == "250x100" && curR > warmEpochRatioCeiling {
+				status = "REGRESSED"
+				failures = append(failures, fmt.Sprintf(
+					"%s: warm/cold time ratio %.3f above the %.0fx-speedup ceiling %.2f",
+					r.Name, curR, 1/warmEpochRatioCeiling, warmEpochRatioCeiling))
+			}
+			if baseR, okB := ratio(base, r.Name, "Reequilibrate/"+sc); okB {
+				if curR > baseR*ratioTolerance && curR > warmEpochRatioCeiling {
+					status = "REGRESSED"
+					failures = append(failures, fmt.Sprintf("%s: warm/cold time ratio %.3f vs baseline %.3f",
+						r.Name, curR, baseR))
+				}
+				fmt.Fprintf(w, "%-32s ratio %.3f (baseline %.3f) %s\n", r.Name, curR, baseR, status)
+			} else {
+				fmt.Fprintf(w, "%-32s ratio %.3f (no baseline) %s\n", r.Name, curR, status)
+			}
+			continue
 		}
 		naive := fam + "Naive/" + sc
 		curR, okC := ratio(cur, r.Name, naive)

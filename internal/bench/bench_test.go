@@ -47,6 +47,9 @@ func TestCasesWellFormed(t *testing.T) {
 				t.Fatalf("case %q has no naive twin", name)
 			}
 		}
+		if fam == "ReequilibrateWarm" && !seen["Reequilibrate/"+sc] {
+			t.Fatalf("case %q has no cold twin", name)
+		}
 	}
 	for _, c := range Cases() {
 		if !strings.HasSuffix(c.Name, "/50x25") && c.Name != "MultiTenantAdmission/1tenant" {

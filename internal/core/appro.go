@@ -74,6 +74,10 @@ type ApproOptions struct {
 	// choice event per provider with its assigned strategy's Eq. 3 cost
 	// broken out at the final loads. Nil disables tracing at zero cost.
 	Trace obs.Tracer
+	// State, when non-nil, carries the warm-start caches reused across
+	// epoch solves (see EpochSolveState). The result is byte-identical with
+	// or without it; warm paths only skip provably redundant work.
+	State *EpochSolveState
 }
 
 // ApproResult is the outcome of Algorithm 1.
@@ -123,6 +127,10 @@ func Appro(m *mec.Market, opts ApproOptions) (*ApproResult, error) {
 		}
 	}
 
+	var prevPatched uint64
+	if opts.State != nil {
+		prevPatched = opts.State.transport.Patched
+	}
 	var placement mec.Placement
 	var err error
 	switch solver {
@@ -135,6 +143,18 @@ func Appro(m *mec.Market, opts ApproOptions) (*ApproResult, error) {
 	}
 	if err != nil {
 		return nil, err
+	}
+	if st := opts.State; st != nil {
+		st.LastResultHit = false
+		st.LastSolver = solver
+		switch solver {
+		case SolverTransport:
+			// Warm = the reduction fingerprint matched exactly (solve
+			// skipped) or the cached network was repriced in place.
+			st.LastWarm = st.transport.LastWarm || st.transport.Patched > prevPatched
+		case SolverShmoysTardos:
+			st.LastWarm = st.rounding.LastWarm
+		}
 	}
 
 	reduced := 0.0
@@ -226,7 +246,11 @@ func approTransport(m *mec.Market, slots []int, opts ApproOptions) (mec.Placemen
 		}
 		return marginalCongestion(m, bin, k)
 	}
-	sol, err := gap.SolveCongestionTransport(base, binSlots, marginal)
+	var ts *gap.TransportState
+	if opts.State != nil {
+		ts = &opts.State.transport
+	}
+	sol, _, err := gap.SolveCongestionTransportWarm(base, binSlots, marginal, ts)
 	if err != nil {
 		return nil, fmt.Errorf("core: transport reduction: %w", err)
 	}
@@ -311,7 +335,11 @@ func approShmoysTardos(m *mec.Market, slots []int, opts ApproOptions) (mec.Place
 			}
 		}
 	}
-	sol, err := gap.SolveShmoysTardos(ins)
+	var rs *gap.RoundingState
+	if opts.State != nil {
+		rs = &opts.State.rounding
+	}
+	sol, _, err := gap.SolveShmoysTardosWarm(ins, rs)
 	if err != nil {
 		return nil, fmt.Errorf("core: Shmoys-Tardos reduction: %w", err)
 	}

@@ -48,6 +48,10 @@ type Config struct {
 	// MaxActive caps concurrent providers; arrivals beyond it are rejected
 	// (counted, not fatal). Zero means no cap.
 	MaxActive int
+	// EpochWorkers sets the worker width of the sharded best-response round
+	// inside each epoch's LCF call. Values <= 1 run serially; every width
+	// produces bit-identical results, so this is purely a wall-clock knob.
+	EpochWorkers int
 	// MigrationAware adds hysteresis to the epochs: a provider is migrated
 	// to its new LCF strategy only when the move reduces its own cost by
 	// more than its re-instantiation cost c_l^ins. This trades a slightly
@@ -98,6 +102,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.MaxActive < 0 {
 		return fmt.Errorf("dynamic: MaxActive must be non-negative, got %d", cfg.MaxActive)
+	}
+	if cfg.EpochWorkers < 0 {
+		return fmt.Errorf("dynamic: EpochWorkers must be non-negative, got %d", cfg.EpochWorkers)
 	}
 	if err := cfg.Workload.Validate(); err != nil {
 		return err
@@ -224,6 +231,12 @@ type Simulator struct {
 	m  *mec.Market
 	pl mec.Placement
 	ls *game.LoadState
+
+	// solve carries the warm-start caches across epochs: GAP reduction
+	// fingerprints, the cached transport network, rounding components, and
+	// the full LCF result of the previous epoch. Epoch outcomes are
+	// byte-identical with or without it.
+	solve EpochSolveState
 
 	metrics      Metrics
 	lastT        float64
@@ -453,6 +466,8 @@ func (s *Simulator) epoch() error {
 		Xi:             s.cfg.Xi,
 		Seed:           s.cfg.Seed + uint64(s.metrics.Epochs),
 		MigrationAware: s.cfg.MigrationAware,
+		State:          &s.solve,
+		Workers:        s.cfg.EpochWorkers,
 	}
 	if s.cfg.Fault.Enabled() {
 		// LCF plans over the full network; hold providers that are mid-
@@ -505,7 +520,18 @@ type EpochOptions struct {
 	// engine against the historical implementation in the same run; results
 	// must be identical.
 	Reference bool
+	// State warm-starts the inner LCF solve from the previous epoch (see
+	// core.EpochSolveState). Nil solves cold; results are byte-identical
+	// either way.
+	State *EpochSolveState
+	// Workers widens the selfish best-response round inside LCF; the
+	// sharded round is bit-identical at every width.
+	Workers int
 }
+
+// EpochSolveState is the warm-start cache one market stream carries across
+// Reequilibrate calls; see core.EpochSolveState.
+type EpochSolveState = core.EpochSolveState
 
 // EpochStats reports what one re-equilibration changed.
 type EpochStats struct {
@@ -524,6 +550,15 @@ type EpochStats struct {
 	Rounds    int
 	Moves     int
 	Converged bool
+	// Solver names the GAP engine the inner Appro call used.
+	Solver string
+	// WarmStart reports whether the solve reused cached work from the
+	// epoch state (full-result hit, transport fingerprint hit or patch, or
+	// reused rounding components). Always false without EpochOptions.State.
+	WarmStart bool
+	// Shards is the number of locality components the sharded best-response
+	// round ran in parallel (0 when the round ran serially). Telemetry only.
+	Shards int
 }
 
 // Reequilibrate is one epoch of the infrastructure provider's slow control
@@ -541,6 +576,8 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 		Appro:     core.ApproOptions{Solver: core.SolverTransport},
 		Trace:     opts.Trace,
 		Reference: opts.Reference,
+		State:     opts.State,
+		Workers:   opts.Workers,
 	})
 	if err != nil {
 		return nil, st, err
@@ -548,6 +585,11 @@ func Reequilibrate(m *mec.Market, pl mec.Placement, opts EpochOptions) (mec.Plac
 	st.Rounds = res.Dynamics.Rounds
 	st.Moves = res.Dynamics.Moves
 	st.Converged = res.Dynamics.Converged
+	st.Solver = res.Appro.SolverUsed.String()
+	st.Shards = res.Dynamics.Shards
+	if opts.State != nil {
+		st.WarmStart = opts.State.LastWarm
+	}
 	next := res.Placement
 	for i := range next {
 		if (opts.Frozen != nil && opts.Frozen[i]) ||

@@ -48,12 +48,25 @@ type PhaseWallClock struct {
 	Shed           uint64  `json:"shed"`
 }
 
+// EpochLatency is the wall-clock latency profile of whole-epoch solves,
+// interpolated at scrape time from the daemon's
+// mecd_span_seconds{stage="epoch"} histogram buckets (summed across
+// tenants). Present only when at least one traced epoch ran.
+type EpochLatency struct {
+	Count       float64 `json:"count"`
+	MeanSeconds float64 `json:"meanSeconds"`
+	P50Seconds  float64 `json:"p50Seconds"`
+	P95Seconds  float64 `json:"p95Seconds"`
+	P99Seconds  float64 `json:"p99Seconds"`
+}
+
 // WallClock gathers every timing-dependent observation of a combo. It is
 // the summary's single explicitly excluded field set: CanonicalSummary
 // drops exactly this object, and nothing else, before comparing runs.
 type WallClock struct {
 	TotalSeconds  float64          `json:"totalSeconds"`
 	ScrapeSeconds float64          `json:"scrapeSeconds"`
+	Epoch         *EpochLatency    `json:"epoch,omitempty"`
 	Phases        []PhaseWallClock `json:"phases,omitempty"`
 }
 
@@ -113,6 +126,7 @@ func buildWallClock(started time.Time, loads []phaseRun, scrape scrapeResult) Wa
 	wc := WallClock{
 		TotalSeconds:  time.Since(started).Seconds(),
 		ScrapeSeconds: scrape.elapsed,
+		Epoch:         scrape.epoch,
 	}
 	for _, ph := range loads {
 		wc.Phases = append(wc.Phases, PhaseWallClock{

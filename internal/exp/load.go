@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"time"
+
+	"mecache/internal/obs"
 )
 
 // loadOutput mirrors cmd/mecload's JSON summary document.
@@ -29,6 +31,11 @@ type loadOutput struct {
 		P99   float64 `json:"p99Seconds"`
 	} `json:"latency"`
 }
+
+// epochTraceSalt XORs into the hi word of manual-epoch trace IDs so they
+// can never collide with mecload's admission trace IDs, which are minted
+// from the unsalted load seed.
+const epochTraceSalt uint64 = 0x45504f4348 // "EPOCH"
 
 // phaseRun is one executed load phase: its name ("wave0", "fault"), the
 // admission budget, and the parsed mecload summary.
@@ -54,6 +61,7 @@ func (r *Runner) drive(p Plan, d *daemon, comboDir string, deadline time.Time) (
 
 	var phases []phaseRun
 	offset := uint64(0)
+	epochPosts := uint64(0)
 	for i, n := range p.Waves {
 		name := fmt.Sprintf("wave%d", i)
 		out, err := r.runLoad(p, d, comboDir, logFile, name, n, offset, deadline)
@@ -64,7 +72,16 @@ func (r *Runner) drive(p Plan, d *daemon, comboDir string, deadline time.Time) (
 		offset += uint64(n)
 		if p.EpochAfterWave[i] {
 			for k := 0; k < p.Combo.Tenants; k++ {
-				if err := postJSON(apiBase(d.url, p.Combo.Tenants, k)+"/admin/epoch", struct{}{}); err != nil {
+				// Each manual epoch carries a traceparent so the daemon
+				// records a whole-epoch span (the source of the wallClock
+				// epoch percentiles). Safe for determinism: the trace ID is
+				// a pure function of (LoadSeed, post index) — the seed's hi
+				// word is salted so IDs stay disjoint from mecload's
+				// admission traces — and tracing never changes a placement.
+				epochPosts++
+				tp := obs.FormatTraceparent(
+					obs.MintTraceID(p.LoadSeed^epochTraceSalt, epochPosts), epochPosts)
+				if err := postJSONTraced(apiBase(d.url, p.Combo.Tenants, k)+"/admin/epoch", struct{}{}, tp); err != nil {
 					return nil, fmt.Errorf("epoch after %s: %w", name, err)
 				}
 			}

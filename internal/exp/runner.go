@@ -39,6 +39,11 @@ type Runner struct {
 	// counts bit-reproducible; raise it only to trade determinism of
 	// placements for speed.
 	LoadWorkers int
+	// EpochWorkers is the -epoch-workers width passed to every booted
+	// daemon (<=1 = serial). Epoch results are bit-identical at every
+	// width, so this knob trades cores for epoch latency without touching
+	// the deterministic summary.
+	EpochWorkers int
 	// ComboTimeout bounds one combo end to end (default 5m).
 	ComboTimeout time.Duration
 	// Logf, when set, receives one progress line per combo.
@@ -139,6 +144,9 @@ func (r *Runner) bootDaemon(p Plan, scratch, comboDir string, deadline time.Time
 	}
 	if p.Combo.Policy.MigrationAware {
 		args = append(args, "-migration-aware")
+	}
+	if r.EpochWorkers > 1 {
+		args = append(args, "-epoch-workers", strconv.Itoa(r.EpochWorkers))
 	}
 	if p.Combo.Tenants > 1 {
 		// Multi-tenant combos hydrate lazily: tenant t<k> exists the
@@ -354,12 +362,28 @@ func getJSON(url string, v any) error {
 }
 
 func postJSON(url string, body any) error {
+	return postJSONTraced(url, body, "")
+}
+
+// postJSONTraced is postJSON carrying a W3C traceparent header. The manual
+// epoch posts use it so each re-equilibration records a whole-epoch span and
+// feeds the mecd_span_seconds{stage="epoch"} histogram the scrape
+// summarizes into wallClock.epoch.
+func postJSONTraced(url string, body any, traceparent string) error {
 	data, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
 	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(data))
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}

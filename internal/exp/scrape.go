@@ -7,8 +7,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"time"
 
 	"mecache/internal/metrics"
@@ -53,6 +56,7 @@ type TenantSummary struct {
 type scrapeResult struct {
 	metricSums map[string]float64
 	tenants    []TenantSummary
+	epoch      *EpochLatency
 	elapsed    float64
 }
 
@@ -97,6 +101,7 @@ func scrapeDaemon(url string, p Plan, comboDir string) (scrapeResult, error) {
 			}
 		}
 	}
+	res.epoch = epochLatencyFromFamilies(fams)
 	res.metricSums = map[string]float64{}
 	for _, name := range deterministicCounters {
 		f, ok := metrics.FindFamily(fams, name)
@@ -167,6 +172,74 @@ func scrapeDaemon(url string, p Plan, comboDir string) (scrapeResult, error) {
 	}
 	res.elapsed = time.Since(start).Seconds()
 	return res, nil
+}
+
+// epochLatencyFromFamilies derives the p50/p95/p99 of whole-epoch solves
+// from the scraped mecd_span_seconds{stage="epoch"} histogram. Buckets are
+// summed per upper bound across tenants — cumulativity survives addition
+// because every tenant exports the same bucket layout — and quantiles are
+// interpolated Prometheus-style (linear within the covering bucket; a rank
+// landing in the +Inf bucket reports the highest finite bound). The result
+// is wall clock, so it lives in wallClock.epoch and never touches the
+// deterministic summary. Nil when no epoch span was ever recorded.
+func epochLatencyFromFamilies(fams []metrics.Family) *EpochLatency {
+	f, ok := metrics.FindFamily(fams, "mecd_span_seconds")
+	if !ok {
+		return nil
+	}
+	cum := map[float64]float64{}
+	var bounds []float64
+	var count, sum float64
+	for _, s := range f.Samples {
+		if s.Labels["stage"] != "epoch" {
+			continue
+		}
+		switch s.Name {
+		case "mecd_span_seconds_bucket":
+			le, err := strconv.ParseFloat(s.Labels["le"], 64)
+			if err != nil {
+				continue
+			}
+			if _, seen := cum[le]; !seen {
+				bounds = append(bounds, le)
+			}
+			cum[le] += s.Value
+		case "mecd_span_seconds_count":
+			count += s.Value
+		case "mecd_span_seconds_sum":
+			sum += s.Value
+		}
+	}
+	if count == 0 || len(bounds) == 0 {
+		return nil
+	}
+	sort.Float64s(bounds)
+	quantile := func(p float64) float64 {
+		rank := p * count
+		prevCum, prevBound := 0.0, 0.0
+		for _, b := range bounds {
+			c := cum[b]
+			if c >= rank {
+				if math.IsInf(b, 1) {
+					return prevBound
+				}
+				inBucket := c - prevCum
+				if inBucket <= 0 {
+					return b
+				}
+				return prevBound + (b-prevBound)*(rank-prevCum)/inBucket
+			}
+			prevCum, prevBound = c, b
+		}
+		return prevBound
+	}
+	return &EpochLatency{
+		Count:       count,
+		MeanSeconds: sum / count,
+		P50Seconds:  quantile(0.50),
+		P95Seconds:  quantile(0.95),
+		P99Seconds:  quantile(0.99),
+	}
 }
 
 // tenantID names tenant k the way mecload's round-robin fan-out does;

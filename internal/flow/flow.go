@@ -9,7 +9,6 @@
 package flow
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -23,15 +22,43 @@ type arc struct {
 
 // Network is a flow network with integer capacities and float64 costs.
 // Nodes are dense integers [0, n).
+//
+// A Network owns its solver scratch (potentials, distances, predecessor
+// arcs, and the Dijkstra frontier heap), so repeated MinCostFlow runs on
+// the same Network — the epoch-solve warm path rebuilds the transport
+// network in place every epoch via Reset — allocate nothing once the
+// buffers have grown to size.
 type Network struct {
 	n     int
 	arcs  []arc
 	heads [][]int // heads[v] = indices into arcs leaving v
+
+	// Solver scratch, reused across MinCostFlow calls.
+	pot     []float64
+	dist    []float64
+	prevArc []int
+	pq      []fpqItem
 }
 
 // NewNetwork returns an empty network with n nodes.
 func NewNetwork(n int) *Network {
 	return &Network{n: n, heads: make([][]int, n)}
+}
+
+// Reset clears the network back to n nodes and no arcs while keeping every
+// underlying buffer, so a caller rebuilding the same-shaped network each
+// epoch reuses the arc, adjacency, and solver scratch allocations.
+func (g *Network) Reset(n int) {
+	g.n = n
+	g.arcs = g.arcs[:0]
+	if n <= cap(g.heads) {
+		g.heads = g.heads[:n]
+	} else {
+		g.heads = append(g.heads[:cap(g.heads)], make([][]int, n-cap(g.heads))...)
+	}
+	for i := range g.heads {
+		g.heads[i] = g.heads[i][:0]
+	}
 }
 
 // N returns the number of nodes.
@@ -70,10 +97,40 @@ func (g *Network) ArcFlow(id int) int {
 	return g.arcs[id^1].cap
 }
 
+// SetArcCost reprices the arc returned by AddArc (and its residual reverse)
+// without touching its capacity or routed flow.
+func (g *Network) SetArcCost(id int, cost float64) {
+	g.arcs[id].cost = cost
+	g.arcs[id^1].cost = -cost
+}
+
+// ResetUnitFlows drains all routed flow from a network whose every arc was
+// added with capacity 1 — the transportation shape the epoch solve builds —
+// restoring it to its just-built state so it can be re-solved without a
+// rebuild. It must not be called on networks with non-unit arcs.
+func (g *Network) ResetUnitFlows() {
+	for id := 0; id < len(g.arcs); id += 2 {
+		g.arcs[id].cap = 1
+		g.arcs[id+1].cap = 0
+	}
+}
+
 // Result summarizes a MinCostFlow run.
 type Result struct {
 	Flow int     // total units shipped source -> sink
 	Cost float64 // total cost of the shipped flow
+}
+
+// scratch sizes the reusable solver buffers to the current node count.
+func (g *Network) scratch() {
+	if cap(g.dist) < g.n {
+		g.dist = make([]float64, g.n)
+		g.prevArc = make([]int, g.n)
+		g.pot = make([]float64, g.n)
+	}
+	g.dist = g.dist[:g.n]
+	g.prevArc = g.prevArc[:g.n]
+	g.pot = g.pot[:g.n]
 }
 
 // MinCostFlow pushes up to maxFlow units (use math.MaxInt for max-flow) from
@@ -86,14 +143,14 @@ func (g *Network) MinCostFlow(s, t, maxFlow int) (Result, error) {
 	if s == t {
 		return Result{}, fmt.Errorf("flow: source equals sink (%d)", s)
 	}
-	pot, err := g.bellmanFordPotentials(s)
-	if err != nil {
+	g.scratch()
+	pot := g.pot
+	if err := g.bellmanFordPotentials(s, pot); err != nil {
 		return Result{}, err
 	}
 
 	var res Result
-	dist := make([]float64, g.n)
-	prevArc := make([]int, g.n)
+	dist, prevArc := g.dist, g.prevArc
 	for res.Flow < maxFlow {
 		if !g.dijkstra(s, t, pot, dist, prevArc) {
 			break // no augmenting path left
@@ -129,8 +186,7 @@ func (g *Network) MinCostFlow(s, t, maxFlow int) (Result, error) {
 // bellmanFordPotentials computes initial node potentials so that all reduced
 // costs become non-negative. It fails on a negative-capacity-reachable
 // negative cycle.
-func (g *Network) bellmanFordPotentials(s int) ([]float64, error) {
-	pot := make([]float64, g.n)
+func (g *Network) bellmanFordPotentials(s int, pot []float64) error {
 	for v := range pot {
 		pot[v] = math.Inf(1)
 	}
@@ -153,7 +209,7 @@ func (g *Network) bellmanFordPotentials(s int) ([]float64, error) {
 			break
 		}
 		if iter == g.n-1 {
-			return nil, fmt.Errorf("flow: negative-cost cycle detected")
+			return fmt.Errorf("flow: negative-cost cycle detected")
 		}
 	}
 	// Unreachable nodes keep potential 0 (they can never appear on an
@@ -163,7 +219,7 @@ func (g *Network) bellmanFordPotentials(s int) ([]float64, error) {
 			pot[v] = 0
 		}
 	}
-	return pot, nil
+	return nil
 }
 
 type fpqItem struct {
@@ -171,18 +227,39 @@ type fpqItem struct {
 	dist float64
 }
 
-type fpq []fpqItem
+// The frontier heap is a typed binary min-heap whose sift operations
+// perform the exact comparison/swap sequence of container/heap over the
+// old fpq (Less: strictly smaller dist), so the order equal-distance items
+// pop in — and therefore every tie-broken augmenting path — is unchanged,
+// while Push no longer boxes items through interface{}.
 
-func (q fpq) Len() int            { return len(q) }
-func (q fpq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q fpq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *fpq) Push(x interface{}) { *q = append(*q, x.(fpqItem)) }
-func (q *fpq) Pop() interface{} {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func fpqUp(q []fpqItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2 // parent
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
+
+func fpqDown(q []fpqItem, i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && q[j2].dist < q[j1].dist {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
 }
 
 // dijkstra fills dist/prevArc with reduced-cost shortest paths from s; it
@@ -193,9 +270,13 @@ func (g *Network) dijkstra(s, t int, pot, dist []float64, prevArc []int) bool {
 		prevArc[v] = -1
 	}
 	dist[s] = 0
-	q := &fpq{{node: s, dist: 0}}
-	for q.Len() > 0 {
-		it, _ := heap.Pop(q).(fpqItem)
+	q := append(g.pq[:0], fpqItem{node: s, dist: 0})
+	for len(q) > 0 {
+		n := len(q) - 1
+		q[0], q[n] = q[n], q[0]
+		fpqDown(q, 0, n)
+		it := q[n]
+		q = q[:n]
 		if it.dist > dist[it.node] {
 			continue
 		}
@@ -211,9 +292,11 @@ func (g *Network) dijkstra(s, t int, pot, dist []float64, prevArc []int) bool {
 			if nd := it.dist + rc; nd < dist[a.to]-1e-15 {
 				dist[a.to] = nd
 				prevArc[a.to] = id
-				heap.Push(q, fpqItem{node: a.to, dist: nd})
+				q = append(q, fpqItem{node: a.to, dist: nd})
+				fpqUp(q, len(q)-1)
 			}
 		}
 	}
+	g.pq = q[:0]
 	return !math.IsInf(dist[t], 1)
 }

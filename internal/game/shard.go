@@ -1,0 +1,200 @@
+// The sharded best-response round. Free providers are partitioned by the
+// connected components of a bipartite reachability graph — provider l is
+// adjacent to every cloudlet it could ever occupy during dynamics — and each
+// component runs its rounds on a private LoadState clone, in parallel. The
+// merged outcome is bit-for-bit identical to the serial run:
+//
+//   - Reach soundness. A scan can only adopt cloudlet i at cost
+//     c = BaseCost(l,i) + congestion, with congestion >= CongestionFloor()
+//     (non-negative coefficients and a non-decreasing Level; a negative
+//     coefficient forces the floor to -Inf and the dispatch stays serial).
+//     The incumbent bestC starts at RemoteCost(l) and only decreases, so any
+//     winning candidate satisfies BaseCost(l,i)+floor <= RemoteCost(l). The
+//     reach set {i : BaseCost(l,i)+floor <= RemoteCost(l)} ∪ {init[l]} is
+//     therefore a superset of every strategy l can ever hold, for both the
+//     pruned and the naive scan — out-of-reach cloudlets are never adopted
+//     no matter what load they carry, so their (possibly stale) counts in a
+//     shard's clone cannot change any decision.
+//
+//   - Independence. Components partition both the free providers and their
+//     reachable cloudlets, so a component's loads, capacity headroom, and
+//     scan outcomes depend only on the static load (pinned providers and
+//     empty-reach free providers, which provably never move) plus its own
+//     members. Round t of the serial run restricted to one component is
+//     exactly round t of that component's shard.
+//
+//   - Stream identity. Every shard clones the caller's rng and shuffles a
+//     full copy of the order slice each round, replicating the serial
+//     shuffle stream exactly; members are then visited in shuffled order,
+//     filtered to the component, which preserves the serial visiting order
+//     within the component. A component that reaches a zero-move round stays
+//     quiet forever (an unchanged state admits no improving move under any
+//     order), so it can stop while others continue — the serial round count
+//     is the max over components, and the caller's rng is advanced by that
+//     many shuffles afterwards so downstream draws match the serial run.
+package game
+
+import (
+	"fmt"
+
+	"mecache/internal/mec"
+	"mecache/internal/parallel"
+	"mecache/internal/rng"
+)
+
+// shardComponents partitions the free providers into connected components
+// of the reachability graph. Providers whose reach is empty and who start
+// remote can never move; they are omitted (their round participation
+// consumes no randomness). Returns nil or a single component when sharding
+// cannot help.
+func (g *Game) shardComponents(pl mec.Placement, free []int) [][]int {
+	m := g.Market
+	nc := m.Net.NumCloudlets()
+	if nc == 0 {
+		return nil
+	}
+	parent := make([]int, nc)
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(a int) int {
+		for parent[a] != a {
+			parent[a] = parent[parent[a]]
+			a = parent[a]
+		}
+		return a
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	floor := m.CongestionFloor()
+	anchor := make([]int, len(free))
+	for fi, l := range free {
+		a := -1
+		if s := pl[l]; s != mec.Remote {
+			a = s
+		}
+		remote := m.RemoteCost(l)
+		for _, i32 := range m.CandidateOrder(l) {
+			i := int(i32)
+			if m.BaseCost(l, i)+floor > remote {
+				break // base-sorted: everything later is out of reach too
+			}
+			if a < 0 {
+				a = i
+			} else {
+				union(a, i)
+			}
+		}
+		anchor[fi] = a
+	}
+
+	var comps [][]int
+	rootIdx := make(map[int]int)
+	for fi, l := range free {
+		if anchor[fi] < 0 {
+			continue // empty reach, starts remote: provably never moves
+		}
+		rt := find(anchor[fi])
+		ci, ok := rootIdx[rt]
+		if !ok {
+			ci = len(comps)
+			rootIdx[rt] = ci
+			comps = append(comps, nil)
+		}
+		comps[ci] = append(comps[ci], l)
+	}
+	return comps
+}
+
+// bestResponseSharded runs one dynamics round set with each component on
+// its own goroutine and merges the results. pl is the caller's working
+// placement (already cloned from init); it is updated in place with the
+// merged outcome.
+func (g *Game) bestResponseSharded(pl mec.Placement, r *rng.Source, maxRounds int, free []int, comps [][]int) (DynamicsResult, error) {
+	baseRl := g.newLoads(pl)
+
+	type shardRes struct {
+		pl        mec.Placement
+		rounds    int
+		moves     int
+		converged bool
+	}
+	outs := make([]shardRes, len(comps))
+	memberOf := make([][]bool, len(comps))
+	for ci, comp := range comps {
+		mb := make([]bool, len(pl))
+		for _, l := range comp {
+			mb[l] = true
+		}
+		memberOf[ci] = mb
+	}
+
+	workers := g.Workers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	// Shards are pure functions of their cloned inputs, so the outcome is
+	// independent of scheduling; tasks never return errors.
+	_ = parallel.Run(workers, len(comps), func(ci int) error {
+		mb := memberOf[ci]
+		rl := baseRl.Clone()
+		plc := pl.Clone()
+		rc := r.Clone()
+		order := append([]int(nil), free...)
+		out := &outs[ci]
+		for round := 0; round < maxRounds; round++ {
+			out.rounds++
+			rc.Shuffle(order)
+			moved := false
+			for _, l := range order {
+				if !mb[l] {
+					continue
+				}
+				cur := g.playerCost(rl, plc, l)
+				s, c := g.bestResponseLoads(rl, plc, l)
+				if c < cur-g.Epsilon && s != plc[l] {
+					rl.Move(l, plc[l], s)
+					plc[l] = s
+					out.moves++
+					moved = true
+				}
+			}
+			if !moved {
+				out.converged = true
+				break
+			}
+		}
+		out.pl = plc
+		return nil
+	})
+
+	res := DynamicsResult{Placement: pl, Converged: true, Shards: len(comps)}
+	for ci, comp := range comps {
+		o := &outs[ci]
+		for _, l := range comp {
+			pl[l] = o.pl[l]
+		}
+		res.Moves += o.moves
+		if o.rounds > res.Rounds {
+			res.Rounds = o.rounds
+		}
+		if !o.converged {
+			res.Converged = false
+		}
+	}
+	// Advance the caller's source exactly as the serial run would have: one
+	// shuffle of the (length-only-relevant) order slice per serial round.
+	scratch := make([]int, len(free))
+	for t := 0; t < res.Rounds; t++ {
+		r.Shuffle(scratch)
+	}
+	if !res.Converged {
+		return res, fmt.Errorf("game: best-response dynamics did not converge within %d rounds", maxRounds)
+	}
+	return res, nil
+}

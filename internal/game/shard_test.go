@@ -1,0 +1,185 @@
+package game
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"mecache/internal/graph"
+	"mecache/internal/mec"
+	"mecache/internal/rng"
+	"mecache/internal/topology"
+)
+
+// clusteredMarket builds a market whose reachability graph genuinely
+// fragments: k clusters hang off a central DC node through a relay node, so
+// a provider's own-cluster cloudlets are cheaper than staying remote while
+// every cross-cluster cloudlet is priced out by per-hop transmission. Each
+// cluster is then one shard component.
+//
+// Topology per cluster c: center(0) — x_c — a_c — b_c, cloudlets at a_c and
+// b_c, providers attached at a_c or b_c. Own-cluster base cost <= 1.0+,
+// remote ~1.4-1.6, cross-cluster base >= 2.4.
+func clusteredMarket(t testing.TB, clusters, n int, seed uint64) *mec.Market {
+	t.Helper()
+	nodes := 1 + 3*clusters
+	g := graph.New(nodes, false)
+	var cls []mec.Cloudlet
+	for c := 0; c < clusters; c++ {
+		x, a, b := 1+3*c, 2+3*c, 3+3*c
+		for _, e := range [][2]int{{0, x}, {x, a}, {a, b}} {
+			if err := g.AddEdge(e[0], e[1], 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, node := range []int{a, b} {
+			cls = append(cls, mec.Cloudlet{
+				Node: node, NumVMs: 20, ComputeCap: 50, BandwidthCap: 500,
+				Alpha: 0.05, Beta: 0.05,
+				FixedBandwidthCost: 0.1, ProcPricePerGB: 0.1, TransPricePerGBHop: 0.5,
+			})
+		}
+	}
+	top := &topology.Topology{Name: "clusters", Graph: g, Pos: make([]topology.Point, nodes)}
+	net, err := mec.NewNetwork(top, cls,
+		[]mec.DataCenter{{Node: 0, ProcPricePerGB: 1.0, TransPricePerGBHop: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	providers := make([]mec.Provider, n)
+	for l := range providers {
+		c := r.Intn(clusters)
+		attach := 2 + 3*c // a_c
+		if r.Bool(0.5) {
+			attach = 3 + 3*c // b_c
+		}
+		providers[l] = mec.Provider{
+			Requests:        10,
+			ComputePerReq:   r.FloatRange(0.01, 0.05),
+			BandwidthPerReq: r.FloatRange(0.5, 1.5),
+			InstCost:        r.FloatRange(0.15, 0.25),
+			TrafficGBPerReq: 0.1,
+			DataGB:          r.FloatRange(1, 3),
+			UpdateRatio:     0,
+			HomeDC:          0,
+			AttachNode:      attach,
+		}
+	}
+	m, err := mec.NewMarket(net, providers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestShardComponentsClustered pins that the clustered topology actually
+// fragments into one component per cluster — the precondition that makes
+// the remaining sharded tests exercise the parallel path at all.
+func TestShardComponentsClustered(t *testing.T) {
+	const clusters = 4
+	m := clusteredMarket(t, clusters, 32, 5)
+	g := New(m)
+	pl := allRemote(m)
+	free := make([]int, len(pl))
+	for l := range free {
+		free[l] = l
+	}
+	comps := g.shardComponents(pl, free)
+	if len(comps) != clusters {
+		t.Fatalf("got %d components, want %d (reach sets overlap?)", len(comps), clusters)
+	}
+	covered := 0
+	for _, c := range comps {
+		covered += len(c)
+	}
+	if covered != len(pl) {
+		t.Fatalf("components cover %d of %d providers", covered, len(pl))
+	}
+}
+
+// TestShardedClusteredDynamics is the tentpole byte-identity check at the
+// game level: serial vs sharded dynamics at several worker widths, on a
+// market that genuinely fragments, across congestion models and pinned
+// subsets — placements, costs, trajectories, and the caller rng stream must
+// all be bit-identical.
+func TestShardedClusteredDynamics(t *testing.T) {
+	models := []struct {
+		name string
+		cm   mec.CongestionModel
+	}{
+		{"linear", nil},
+		{"poly", mec.PolynomialCongestion{Degree: 1.5}},
+		{"exp", mec.ExponentialCongestion{Base: 1.08}},
+	}
+	for _, mod := range models {
+		for _, pinned := range []bool{false, true} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				m := clusteredMarket(t, 4, 36, seed*7+1)
+				if mod.cm != nil {
+					if err := m.SetCongestionModel(mod.cm); err != nil {
+						t.Fatal(err)
+					}
+				}
+				run := func(workers int) (mec.Placement, float64, DynamicsResult, uint64) {
+					g := New(m)
+					g.Workers = workers
+					init := allRemote(m)
+					if pinned {
+						for l := 0; l < len(init); l += 5 {
+							g.Pinned[l] = true
+							init[l] = int(seed+uint64(l)) % m.Net.NumCloudlets()
+						}
+					}
+					r := rng.New(seed * 31)
+					res, err := g.BestResponseDynamics(init, r, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res.Placement, m.SocialCost(res.Placement), res, r.Uint64()
+				}
+				plS, scS, resS, drawS := run(1)
+				if resS.Moves == 0 {
+					t.Fatalf("%s seed=%d: serial run never moved — test market degenerate", mod.name, seed)
+				}
+				for _, w := range []int{2, 4, max(2, runtime.NumCPU())} {
+					pl, sc, res, draw := run(w)
+					for l := range plS {
+						if pl[l] != plS[l] {
+							t.Fatalf("%s pinned=%v seed=%d workers=%d: provider %d at %d vs serial %d",
+								mod.name, pinned, seed, w, l, pl[l], plS[l])
+						}
+					}
+					if math.Float64bits(sc) != math.Float64bits(scS) {
+						t.Fatalf("%s pinned=%v seed=%d workers=%d: social cost diverged", mod.name, pinned, seed, w)
+					}
+					if res.Rounds != resS.Rounds || res.Moves != resS.Moves || res.Converged != resS.Converged {
+						t.Fatalf("%s pinned=%v seed=%d workers=%d: trajectory rounds %d/%d moves %d/%d",
+							mod.name, pinned, seed, w, res.Rounds, resS.Rounds, res.Moves, resS.Moves)
+					}
+					if draw != drawS {
+						t.Fatalf("%s pinned=%v seed=%d workers=%d: caller rng stream diverged", mod.name, pinned, seed, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedNashInvariant: the sharded run must land on an equilibrium just
+// like the serial one.
+func TestShardedNashInvariant(t *testing.T) {
+	m := clusteredMarket(t, 3, 24, 11)
+	g := New(m)
+	g.Workers = 4
+	res, err := g.BestResponseDynamics(allRemote(m), rng.New(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("sharded dynamics reported non-convergence")
+	}
+	if !g.IsNash(res.Placement) {
+		t.Fatal("sharded dynamics stopped short of a Nash equilibrium")
+	}
+}

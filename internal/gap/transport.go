@@ -110,93 +110,10 @@ func SolveTransport(cost [][]float64, slots []int) (*Assignment, error) {
 // pricing each virtual cloudlet of CL_i by the congestion it adds — the
 // paper's own observation that the derivation "relies only on the
 // non-decreasing of cost with congestion levels".
+//
+// The implementation lives in SolveCongestionTransportWarm (warm.go); this
+// entry point is the stateless cold solve.
 func SolveCongestionTransport(base [][]float64, slots []int, marginal func(bin, k int) float64) (*Assignment, error) {
-	n := len(base)
-	m := len(slots)
-	if n == 0 {
-		return &Assignment{}, nil
-	}
-	if marginal == nil {
-		marginal = func(int, int) float64 { return 0 }
-	}
-	for j, row := range base {
-		if len(row) != m {
-			return nil, fmt.Errorf("gap: item %d has %d costs, want %d", j, len(row), m)
-		}
-	}
-	totalSlots := 0
-	for i, s := range slots {
-		if s < 0 {
-			return nil, fmt.Errorf("gap: bin %d has negative slot count %d", i, s)
-		}
-		totalSlots += s
-	}
-	if totalSlots < n {
-		return nil, fmt.Errorf("gap: %d items exceed %d total slots", n, totalSlots)
-	}
-
-	// Node layout: [0,n) items, [n,n+m) bins, then source, sink.
-	g := flow.NewNetwork(n + m + 2)
-	src, sink := n+m, n+m+1
-	for j := 0; j < n; j++ {
-		if _, err := g.AddArc(src, j, 1, 0); err != nil {
-			return nil, err
-		}
-	}
-	// Convex congestion chain: one unit arc per slot with the marginal cost
-	// of that occupancy level. Marginal costs must be non-decreasing in k
-	// for the decomposition to be exact; validate defensively.
-	for i := 0; i < m; i++ {
-		prev := math.Inf(-1)
-		for k := 1; k <= slots[i]; k++ {
-			mc := marginal(i, k)
-			if mc < prev-1e-9 {
-				return nil, fmt.Errorf("gap: marginal cost of bin %d decreases at k=%d (%v < %v)", i, k, mc, prev)
-			}
-			prev = mc
-			if _, err := g.AddArc(n+i, sink, 1, mc); err != nil {
-				return nil, err
-			}
-		}
-	}
-	arcID := make([][]int, n)
-	for j := 0; j < n; j++ {
-		arcID[j] = make([]int, m)
-		for i := 0; i < m; i++ {
-			arcID[j][i] = -1
-			c := base[j][i]
-			if math.IsInf(c, 1) {
-				continue
-			}
-			if math.IsNaN(c) || math.IsInf(c, -1) {
-				return nil, fmt.Errorf("gap: invalid base cost at item %d bin %d: %v", j, i, c)
-			}
-			id, err := g.AddArc(j, n+i, 1, c)
-			if err != nil {
-				return nil, err
-			}
-			arcID[j][i] = id
-		}
-	}
-	res, err := g.MinCostFlow(src, sink, n)
-	if err != nil {
-		return nil, err
-	}
-	if res.Flow < n {
-		return nil, fmt.Errorf("gap: only %d of %d items are placeable", res.Flow, n)
-	}
-	bin := make([]int, n)
-	for j := 0; j < n; j++ {
-		bin[j] = -1
-		for i := 0; i < m; i++ {
-			if arcID[j][i] >= 0 && g.ArcFlow(arcID[j][i]) > 0 {
-				bin[j] = i
-				break
-			}
-		}
-		if bin[j] < 0 {
-			return nil, fmt.Errorf("gap: item %d unassigned despite full flow", j)
-		}
-	}
-	return &Assignment{Bin: bin, Cost: res.Cost}, nil
+	a, _, err := SolveCongestionTransportWarm(base, slots, marginal, nil)
+	return a, err
 }

@@ -1,0 +1,374 @@
+package gap
+
+import (
+	"fmt"
+	"math"
+
+	"mecache/internal/flow"
+)
+
+// This file is the warm-start layer of the epoch GAP solve. Both solver
+// states cache a fingerprint of the exact reduction they last solved plus
+// the solution; a re-solve of a byte-identical reduction returns the cached
+// assignment without touching the solver, and a small delta reuses every
+// part of the cached solve that provably cannot have changed (the built
+// flow network with only changed rows repriced, the rounding of untouched
+// matching components). Correctness leans on one invariant: every reuse
+// path either reproduces the exact operation sequence of the cold solve or
+// returns a result the cold solve is proven to reproduce, so warm output is
+// byte-identical to cold output — the differential suites enforce it.
+
+// fp128 is a 128-bit incremental fingerprint (FNV-1a paired with a rotated
+// multiply-accumulate) over 64-bit words. Two independent 64-bit mixes make
+// an accidental collision — which would silently revive a stale solution —
+// astronomically unlikely rather than merely improbable.
+type fp128 struct{ a, b uint64 }
+
+func newFP() fp128 {
+	return fp128{a: 14695981039346656037, b: 0x9e3779b97f4a7c15}
+}
+
+func (h *fp128) word(w uint64) {
+	h.a = (h.a ^ w) * 1099511628211
+	h.b = ((h.b ^ w) << 29) | ((h.b ^ w) >> 35)
+	h.b = h.b*0xbf58476d1ce4e5b9 + 1
+}
+
+func (h *fp128) float(f float64) { h.word(math.Float64bits(f)) }
+func (h *fp128) int(v int)       { h.word(uint64(v)) }
+
+func rowFingerprint(row []float64) uint64 {
+	h := newFP()
+	for _, v := range row {
+		h.float(v)
+	}
+	return h.a ^ (h.b * 1099511628211)
+}
+
+// TransportState carries the cached reduction and solver scratch of one
+// congestion-transport solve across epochs. The zero value is ready to use;
+// a nil *TransportState selects the plain cold solve.
+type TransportState struct {
+	net    *flow.Network
+	arcID  [][]int // arcID[j][i] = item j -> bin i arc, -1 when forbidden
+	arcRow []int   // backing array for arcID rows
+
+	rowFP    []uint64 // per-item fingerprint of its base-cost row
+	newRowFP []uint64 // scratch for the incoming epoch's row fingerprints
+	slotFP   uint64   // fingerprint over bin slots and marginal-cost chains
+	fpA, fpB uint64   // whole-reduction fingerprint (rows + slots + dims)
+
+	bin   []int   // cached optimal assignment
+	cost  float64 // cached optimal cost
+	n, m  int
+	built bool // network + arcID mirror the cached reduction
+	valid bool // bin/cost solve the cached reduction
+
+	// Counters, readable by callers for span attrs and tests.
+	Hits            uint64 // solves skipped entirely (identical reduction)
+	Misses          uint64 // solves that ran the min-cost flow
+	Patched         uint64 // misses served by repricing the cached network
+	LastWarm        bool   // last call was a Hit
+	LastChangedRows int    // rows repriced on the last patched solve
+}
+
+// Invalidate drops the cached solution and network, forcing the next solve
+// cold. Scratch buffers are kept.
+func (st *TransportState) Invalidate() {
+	if st == nil {
+		return
+	}
+	st.valid, st.built = false, false
+}
+
+// SolveCongestionTransportWarm is SolveCongestionTransport with a reusable
+// state: an unchanged reduction returns the cached assignment (warm=true),
+// a reduction differing only in some items' base-cost rows reprices those
+// rows on the cached network and re-runs the flow, and anything else falls
+// back to a full rebuild — all three paths byte-identical to the cold
+// solver by construction. st may be nil (always cold).
+func SolveCongestionTransportWarm(base [][]float64, slots []int, marginal func(bin, k int) float64, st *TransportState) (*Assignment, bool, error) {
+	n := len(base)
+	m := len(slots)
+	if n == 0 {
+		return &Assignment{}, false, nil
+	}
+	if marginal == nil {
+		marginal = func(int, int) float64 { return 0 }
+	}
+	for j, row := range base {
+		if len(row) != m {
+			return nil, false, fmt.Errorf("gap: item %d has %d costs, want %d", j, len(row), m)
+		}
+	}
+	totalSlots := 0
+	for i, s := range slots {
+		if s < 0 {
+			return nil, false, fmt.Errorf("gap: bin %d has negative slot count %d", i, s)
+		}
+		totalSlots += s
+	}
+	if totalSlots < n {
+		return nil, false, fmt.Errorf("gap: %d items exceed %d total slots", n, totalSlots)
+	}
+
+	if st == nil {
+		st = &TransportState{}
+	}
+
+	// Fingerprint the reduction: the slot/marginal chain, then every
+	// base-cost row. Hashing is O(instance) — microseconds against the
+	// milliseconds of a flow solve.
+	sh := newFP()
+	sh.int(m)
+	for i := 0; i < m; i++ {
+		sh.int(slots[i])
+		for k := 1; k <= slots[i]; k++ {
+			sh.float(marginal(i, k))
+		}
+	}
+	slotFP := sh.a ^ (sh.b * 1099511628211)
+	if cap(st.newRowFP) < n {
+		st.newRowFP = make([]uint64, n)
+	}
+	newRow := st.newRowFP[:n]
+	h := newFP()
+	h.int(n)
+	h.word(slotFP)
+	for j := 0; j < n; j++ {
+		newRow[j] = rowFingerprint(base[j])
+		h.word(newRow[j])
+	}
+
+	if st.valid && st.n == n && st.m == m && h.a == st.fpA && h.b == st.fpB {
+		st.Hits++
+		st.LastWarm = true
+		st.LastChangedRows = 0
+		return &Assignment{Bin: append([]int(nil), st.bin...), Cost: st.cost}, true, nil
+	}
+	st.Misses++
+	st.LastWarm = false
+	st.valid = false
+
+	src, sink := n+m, n+m+1
+	patched := false
+	if st.built && st.n == n && st.m == m && st.slotFP == slotFP {
+		// Same dimensions and identical slot/marginal chains: try repricing
+		// only the changed rows on the cached network. Valid only if each
+		// changed row keeps its forbidden (+Inf) pattern — otherwise the arc
+		// structure differs and we rebuild.
+		patched = true
+		changed := 0
+		for j := 0; j < n && patched; j++ {
+			if newRow[j] == st.rowFP[j] {
+				continue
+			}
+			changed++
+			for i := 0; i < m; i++ {
+				c := base[j][i]
+				if math.IsInf(c, 1) != (st.arcID[j][i] < 0) {
+					patched = false
+					break
+				}
+				if math.IsInf(c, 1) {
+					continue
+				}
+				if math.IsNaN(c) || math.IsInf(c, -1) {
+					return nil, false, fmt.Errorf("gap: invalid base cost at item %d bin %d: %v", j, i, c)
+				}
+			}
+		}
+		if patched {
+			st.net.ResetUnitFlows()
+			for j := 0; j < n; j++ {
+				if newRow[j] == st.rowFP[j] {
+					continue
+				}
+				for i := 0; i < m; i++ {
+					if id := st.arcID[j][i]; id >= 0 {
+						st.net.SetArcCost(id, base[j][i])
+					}
+				}
+			}
+			st.Patched++
+			st.LastChangedRows = changed
+		}
+	}
+	if !patched {
+		st.built = false
+		st.LastChangedRows = n
+		if st.net == nil {
+			st.net = flow.NewNetwork(n + m + 2)
+		} else {
+			st.net.Reset(n + m + 2)
+		}
+		g := st.net
+		for j := 0; j < n; j++ {
+			if _, err := g.AddArc(src, j, 1, 0); err != nil {
+				return nil, false, err
+			}
+		}
+		// Convex congestion chain: one unit arc per slot with the marginal
+		// cost of that occupancy level. Marginal costs must be non-decreasing
+		// in k for the decomposition to be exact; validate defensively.
+		for i := 0; i < m; i++ {
+			prev := math.Inf(-1)
+			for k := 1; k <= slots[i]; k++ {
+				mc := marginal(i, k)
+				if mc < prev-1e-9 {
+					return nil, false, fmt.Errorf("gap: marginal cost of bin %d decreases at k=%d (%v < %v)", i, k, mc, prev)
+				}
+				prev = mc
+				if _, err := g.AddArc(n+i, sink, 1, mc); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		if cap(st.arcRow) < n*m {
+			st.arcRow = make([]int, n*m)
+		}
+		if cap(st.arcID) < n {
+			st.arcID = make([][]int, n)
+		}
+		st.arcID = st.arcID[:n]
+		for j := 0; j < n; j++ {
+			st.arcID[j] = st.arcRow[j*m : (j+1)*m : (j+1)*m]
+			for i := 0; i < m; i++ {
+				st.arcID[j][i] = -1
+				c := base[j][i]
+				if math.IsInf(c, 1) {
+					continue
+				}
+				if math.IsNaN(c) || math.IsInf(c, -1) {
+					return nil, false, fmt.Errorf("gap: invalid base cost at item %d bin %d: %v", j, i, c)
+				}
+				id, err := g.AddArc(j, n+i, 1, c)
+				if err != nil {
+					return nil, false, err
+				}
+				st.arcID[j][i] = id
+			}
+		}
+		st.built = true
+	}
+
+	res, err := st.net.MinCostFlow(src, sink, n)
+	if err != nil {
+		st.built = false // flows half-applied; the network is not reusable
+		return nil, false, err
+	}
+	if res.Flow < n {
+		st.built = false
+		return nil, false, fmt.Errorf("gap: only %d of %d items are placeable", res.Flow, n)
+	}
+	bin := make([]int, n)
+	for j := 0; j < n; j++ {
+		bin[j] = -1
+		for i := 0; i < m; i++ {
+			if st.arcID[j][i] >= 0 && st.net.ArcFlow(st.arcID[j][i]) > 0 {
+				bin[j] = i
+				break
+			}
+		}
+		if bin[j] < 0 {
+			st.built = false
+			return nil, false, fmt.Errorf("gap: item %d unassigned despite full flow", j)
+		}
+	}
+
+	// Cache the solved reduction.
+	st.n, st.m = n, m
+	st.slotFP = slotFP
+	st.fpA, st.fpB = h.a, h.b
+	st.rowFP, st.newRowFP = newRow, st.rowFP
+	st.bin = append(st.bin[:0], bin...)
+	st.cost = res.Cost
+	st.valid = true
+	return &Assignment{Bin: bin, Cost: res.Cost}, false, nil
+}
+
+// RoundingState caches one Shmoys-Tardos rounding across epochs: the whole
+// instance's fingerprint (exact-hit skip) and, per matching component of
+// the slot graph, the component's fingerprint and rounded bins, so a
+// re-round only re-matches components whose items, slots, or costs changed.
+// The zero value is ready; nil selects the cold path.
+type RoundingState struct {
+	fpA, fpB uint64
+	n        int
+	valid    bool
+	bin      []int
+	cost     float64
+
+	compFP  map[int]uint64 // keyed by the component's smallest item index
+	itemBin []int          // itemBin[j] = rounded bin of item j, last solve
+
+	// Counters for span attrs and tests.
+	Hits           uint64 // solves skipped entirely (identical instance)
+	Misses         uint64
+	LastWarm       bool
+	LastCompReused int // components reused on the last miss
+	LastCompTotal  int
+}
+
+// Invalidate drops the cached instance and component roundings.
+func (st *RoundingState) Invalidate() {
+	if st == nil {
+		return
+	}
+	st.valid = false
+	st.compFP = nil
+}
+
+// instanceFingerprint hashes everything a Shmoys-Tardos solve reads.
+func instanceFingerprint(ins *Instance) (uint64, uint64) {
+	h := newFP()
+	h.int(ins.NumItems())
+	h.int(ins.NumBins())
+	for j := range ins.Cost {
+		for i := range ins.Cost[j] {
+			h.float(ins.Cost[j][i])
+			h.float(ins.Weight[j][i])
+		}
+	}
+	for _, c := range ins.Cap {
+		h.float(c)
+	}
+	return h.a, h.b
+}
+
+// SolveShmoysTardosWarm is SolveShmoysTardos with incremental re-rounding:
+// an unchanged instance returns the cached assignment (warm=true); a
+// changed instance re-solves the LP but re-matches only the matching
+// components whose fingerprint changed, keeping every untouched
+// component's integral assignment pinned. Both paths are byte-identical to
+// the cold solver (per-component matching provably equals the global
+// matching; see DESIGN.md §5l). st may be nil (always cold).
+func SolveShmoysTardosWarm(ins *Instance, st *RoundingState) (*Assignment, bool, error) {
+	if err := ins.Validate(); err != nil {
+		return nil, false, err
+	}
+	var fpA, fpB uint64
+	if st != nil {
+		fpA, fpB = instanceFingerprint(ins)
+		if st.valid && st.n == ins.NumItems() && fpA == st.fpA && fpB == st.fpB {
+			st.Hits++
+			st.LastWarm = true
+			return &Assignment{Bin: append([]int(nil), st.bin...), Cost: st.cost}, true, nil
+		}
+		st.Misses++
+		st.LastWarm = false
+		st.valid = false
+	}
+	sol, err := roundShmoysTardos(ins, st)
+	if err != nil {
+		return nil, false, err
+	}
+	if st != nil {
+		st.n = ins.NumItems()
+		st.fpA, st.fpB = fpA, fpB
+		st.bin = append(st.bin[:0], sol.Bin...)
+		st.cost = sol.Cost
+		st.valid = true
+	}
+	return sol, false, nil
+}

@@ -1,0 +1,115 @@
+package lp
+
+import "math"
+
+// SolveWithBasis warm-starts the simplex from a basis previously returned in
+// Solution.Basis — typically from solving a nearby problem of the same shape
+// (same variables and constraints, perturbed coefficients). The cached basis
+// is installed into a fresh tableau by Gaussian pivots; if it is still
+// primal-feasible, phase 1 is skipped entirely and phase 2 resumes from the
+// cached vertex, which for small perturbations is already optimal or a few
+// pivots away.
+//
+// The warm start is strictly an accelerator: on any irregularity — wrong
+// basis length, out-of-range or duplicate columns, a singular or unstable
+// install, an infeasible cached vertex, or a pivot failure — it falls back
+// to the cold Solve. Note that under degeneracy a warm start may stop at a
+// different optimal vertex than the cold solve (same objective, possibly
+// different X), so callers that need bit-identical solutions across runs
+// must use Solve.
+func (p *Problem) SolveWithBasis(basis []int) (Solution, error) {
+	if sol, ok := p.trySolveWithBasis(basis); ok {
+		return sol, nil
+	}
+	return p.Solve()
+}
+
+// instPivotTol rejects pivots too small to install a basis column stably.
+const instPivotTol = 1e-7
+
+// trySolveWithBasis attempts the warm start; ok == false means the caller
+// should run the cold path instead.
+func (p *Problem) trySolveWithBasis(basis []int) (Solution, bool) {
+	t := newTableau(p)
+	m := len(t.rows)
+	total := len(t.cost)
+	if len(basis) != m || m == 0 {
+		return Solution{}, false
+	}
+	inBasis := make([]bool, total)
+	for _, b := range basis {
+		if b < 0 || b >= total || inBasis[b] {
+			return Solution{}, false
+		}
+		inBasis[b] = true
+	}
+
+	// Install the basis. Row assignment within the basis set is free (any
+	// nonsingular assignment yields the same basic solution), so each column
+	// picks the largest-magnitude pivot among rows not yet claimed. Columns
+	// already basic in the initial tableau (slacks) just claim their row.
+	used := make([]bool, m)
+	for r, b := range t.basis {
+		if inBasis[b] {
+			used[r] = true
+		}
+	}
+	for _, b := range basis {
+		already := false
+		for r, cur := range t.basis {
+			if cur == b && used[r] {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		best, bestAbs := -1, instPivotTol
+		for r := 0; r < m; r++ {
+			if used[r] {
+				continue
+			}
+			if a := math.Abs(t.rows[r][b]); a > bestAbs {
+				best, bestAbs = r, a
+			}
+		}
+		if best < 0 {
+			return Solution{}, false // singular or ill-conditioned basis
+		}
+		t.pivot(best, b)
+		used[best] = true
+	}
+
+	// The installed vertex must be primal-feasible, and any artificial left
+	// basic must sit at zero (a positive artificial means the cached basis
+	// does not satisfy this problem's equality rows).
+	for r := 0; r < m; r++ {
+		if t.rhs[r] < -instPivotTol {
+			return Solution{}, false
+		}
+		if t.rhs[r] < 0 {
+			t.rhs[r] = 0
+		}
+		if t.basis[r] >= t.artStart && t.rhs[r] > instPivotTol {
+			return Solution{}, false
+		}
+	}
+
+	t.setPhase2Objective(p.objective)
+	if err := t.iterate(); err != nil {
+		return Solution{}, false
+	}
+	x := t.extract(p.numVars)
+	obj := 0.0
+	for j, cj := range p.objective {
+		obj += cj * x[j]
+	}
+	return Solution{
+		Status:    Optimal,
+		X:         x,
+		Objective: obj,
+		Duals:     t.duals(p.objective),
+		Basis:     append([]int(nil), t.basis...),
+	}, true
+}

@@ -1,0 +1,207 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"mecache/internal/rng"
+)
+
+// randomBoundedLP builds a random LP kept bounded by per-variable box rows,
+// mirroring TestRandomBoundedLPs.
+func randomBoundedLP(r *rng.Source, n, m int) *Problem {
+	p := NewProblem(n)
+	obj := make([]float64, n)
+	for j := range obj {
+		obj[j] = r.FloatRange(-5, 5)
+	}
+	if err := p.SetObjective(obj); err != nil {
+		panic(err)
+	}
+	for j := 0; j < n; j++ {
+		row := make([]float64, n)
+		row[j] = 1
+		if err := p.AddConstraint(row, LE, r.FloatRange(1, 10)); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, n)
+		for j := range row {
+			row[j] = r.FloatRange(0, 3)
+		}
+		if err := p.AddConstraint(row, LE, r.FloatRange(1, 20)); err != nil {
+			panic(err)
+		}
+	}
+	return p
+}
+
+func TestSolveExportsBasis(t *testing.T) {
+	r := rng.New(3)
+	p := randomBoundedLP(r, 4, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Basis) != p.NumConstraints() {
+		t.Fatalf("basis has %d entries, want %d", len(sol.Basis), p.NumConstraints())
+	}
+	seen := map[int]bool{}
+	for _, b := range sol.Basis {
+		if b < 0 || seen[b] {
+			t.Fatalf("invalid basis %v", sol.Basis)
+		}
+		seen[b] = true
+	}
+}
+
+func TestWarmStartIdenticalProblem(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		p := randomBoundedLP(r, 2+r.Intn(4), 1+r.Intn(4))
+		cold, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := p.SolveWithBasis(cold.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-solving the exact same problem from its own optimal basis must
+		// reproduce the same vertex: no pivot has a negative reduced cost, so
+		// phase 2 terminates immediately at the installed point. The install
+		// pivots run in a different order than the cold solve, so values agree
+		// to tolerance rather than bit-for-bit — which is exactly why the
+		// epoch byte-identity contract never routes through SolveWithBasis.
+		if len(warm.X) != len(cold.X) {
+			t.Fatalf("seed %d: warm X %v != cold X %v", seed, warm.X, cold.X)
+		}
+		for j := range cold.X {
+			if math.Abs(cold.X[j]-warm.X[j]) > 1e-9 {
+				t.Fatalf("seed %d: warm X %v != cold X %v", seed, warm.X, cold.X)
+			}
+		}
+		if math.Abs(cold.Objective-warm.Objective) > 1e-9 {
+			t.Fatalf("seed %d: warm objective %v != cold %v", seed, warm.Objective, cold.Objective)
+		}
+	}
+}
+
+func TestWarmStartPerturbedMatchesColdObjective(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		r := rng.New(100 + seed)
+		n, m := 2+r.Intn(4), 1+r.Intn(4)
+		p := randomBoundedLP(r, n, m)
+		base, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb the objective, rebuild, and compare warm against cold.
+		q := randomBoundedLP(rng.New(100+seed), n, m) // identical constraints
+		obj := make([]float64, n)
+		for j := range obj {
+			obj[j] = r.FloatRange(-5, 5)
+		}
+		if err := q.SetObjective(obj); err != nil {
+			t.Fatal(err)
+		}
+		cold, err := q.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := q.SolveWithBasis(base.Basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cold.Objective-warm.Objective) > 1e-7 {
+			t.Fatalf("seed %d: warm objective %v != cold %v", seed, warm.Objective, cold.Objective)
+		}
+		if warm.Status != Optimal {
+			t.Fatalf("seed %d: warm status %v", seed, warm.Status)
+		}
+	}
+}
+
+func TestWarmStartEqualityRows(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x >= 3: warm start across a small rhs
+	// change on a problem that needs artificials when solved cold.
+	build := func(total float64) *Problem {
+		p := NewProblem(2)
+		if err := p.SetObjective([]float64{1, 2}); err != nil {
+			panic(err)
+		}
+		if err := p.AddConstraint([]float64{1, 1}, EQ, total); err != nil {
+			panic(err)
+		}
+		if err := p.AddConstraint([]float64{1, 0}, GE, 3); err != nil {
+			panic(err)
+		}
+		return p
+	}
+	base, err := build(10).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := build(12)
+	cold, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := q.SolveWithBasis(base.Basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cold.Objective-warm.Objective) > 1e-9 {
+		t.Fatalf("warm objective %v != cold %v", warm.Objective, cold.Objective)
+	}
+}
+
+func TestWarmStartBadBasisFallsBack(t *testing.T) {
+	r := rng.New(7)
+	p := randomBoundedLP(r, 4, 2)
+	cold, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]int{
+		nil,                      // wrong length
+		{0, 0, 0, 0, 0, 0},       // duplicates
+		{-1, 1, 2, 3, 4, 5},      // out of range (low)
+		{0, 1, 2, 3, 4, 999},     // out of range (high)
+		cold.Basis[:len(cold.Basis)-1], // short
+	}
+	for i, b := range bad {
+		sol, err := p.SolveWithBasis(b)
+		if err != nil {
+			t.Fatalf("case %d: fallback errored: %v", i, err)
+		}
+		if math.Abs(sol.Objective-cold.Objective) > 1e-9 {
+			t.Fatalf("case %d: fallback objective %v != cold %v", i, sol.Objective, cold.Objective)
+		}
+	}
+}
+
+func TestWarmStartInfeasibleProblemFallsBack(t *testing.T) {
+	// The cached basis comes from a feasible problem; the new problem is
+	// infeasible, so the warm path must surface the cold verdict.
+	p := NewProblem(1)
+	if err := p.AddConstraint([]float64{1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	base, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewProblem(1)
+	if err := q.AddConstraint([]float64{1}, LE, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddConstraint([]float64{1}, GE, 5); err != nil {
+		t.Fatal(err)
+	}
+	_, err = q.SolveWithBasis(base.Basis)
+	if err == nil {
+		t.Fatal("infeasible problem solved from stale basis")
+	}
+}

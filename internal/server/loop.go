@@ -58,6 +58,12 @@ type state struct {
 	// lastEpochErr records the most recent background-epoch failure for the
 	// health endpoint; cleared by the next successful epoch.
 	lastEpochErr string
+
+	// solve carries the warm-start caches across this market's epochs
+	// (reduction fingerprints, cached transport network, rounding
+	// components, last LCF result). Loop-owned like everything else here;
+	// epoch outcomes are byte-identical with or without it.
+	solve dynamic.EpochSolveState
 }
 
 // setPl moves provider idx to strategy c, keeping the load state in
@@ -228,6 +234,7 @@ func (s *Server) loop() {
 				s.curTrace, s.curParent = epochTrace, epochRoot
 				epochStart = time.Now()
 			}
+			s.inTickerEpoch = true
 			if err := s.logCommand(&walRecord{Op: opEpoch}); err != nil {
 				s.st.lastEpochErr = err.Error()
 				s.mEpochErrs.Inc()
@@ -240,6 +247,7 @@ func (s *Server) loop() {
 				s.mEpochErrs.Inc()
 				s.log.Error("background epoch failed", "epoch", s.st.epochs, "err", res.err)
 			}
+			s.inTickerEpoch = false
 			if epochRoot != 0 {
 				s.curTrace, s.curParent = "", 0
 				s.recordSpan(obs.Span{
@@ -631,9 +639,10 @@ func (s *Server) epochCmd(st *state) cmdResult {
 		rec = obs.NewRecorder(0)
 	}
 	spanOn := s.curTrace != ""
-	var solveStart time.Time
+	var epochStart, solveStart time.Time
 	if spanOn {
-		solveStart = time.Now()
+		epochStart = time.Now()
+		solveStart = epochStart
 	}
 	next, est, err := dynamic.Reequilibrate(st.m, st.pl, dynamic.EpochOptions{
 		Xi:             s.cfg.Xi,
@@ -642,17 +651,26 @@ func (s *Server) epochCmd(st *state) cmdResult {
 		Frozen:         st.waiting,
 		Failed:         st.failed,
 		Trace:          tracer(rec),
+		State:          &st.solve,
+		Workers:        s.cfg.EpochWorkers,
 	})
 	if err != nil {
 		return errorf(http.StatusInternalServerError, "server: epoch %d: %v", st.epochs, err)
 	}
 	if spanOn {
+		warm := "miss"
+		if est.WarmStart {
+			warm = "hit"
+		}
 		s.recordSpan(obs.Span{
 			Parent: s.curParent, Trace: s.curTrace, Stage: obs.StageEpochSolve,
 			Start: solveStart, Duration: time.Since(solveStart).Seconds(),
 			Attrs: []obs.Attr{
 				obs.Int64("rounds", int64(est.Rounds)),
 				obs.Int64("reconfigurations", int64(est.Reconfigurations)),
+				obs.String("solver", est.Solver),
+				obs.String("warm_start", warm),
+				obs.Int64("shards", int64(est.Shards)),
 			},
 		})
 	}
@@ -707,6 +725,16 @@ func (s *Server) epochCmd(st *state) cmdResult {
 				Start: snapStart, Duration: time.Since(snapStart).Seconds(),
 			})
 		}
+	}
+	if spanOn && !s.inTickerEpoch {
+		// Request-driven epochs get the same whole-epoch span the ticker
+		// records for background ones (there, the ticker owns the root), so
+		// mecd_span_seconds{stage="epoch"} covers every epoch either way.
+		s.recordSpan(obs.Span{
+			Parent: s.curParent, Trace: s.curTrace, Stage: obs.StageEpoch,
+			Start: epochStart, Duration: time.Since(epochStart).Seconds(),
+			Attrs: []obs.Attr{obs.Int64("epoch", int64(st.epochs))},
+		})
 	}
 	return cmdResult{status: http.StatusOK, body: map[string]any{
 		"epoch":            st.epochs,

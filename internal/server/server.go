@@ -66,6 +66,10 @@ type Config struct {
 	// moves a cached provider only when the saving beats its re-instantiation
 	// cost.
 	MigrationAware bool
+	// EpochWorkers widens the sharded best-response round inside each epoch
+	// solve. Values <= 1 run serially; every width is bit-identical, so this
+	// only trades cores for epoch latency. Negative is invalid.
+	EpochWorkers int
 	// Policy is the failover reaction applied by POST /v1/admin/fail.
 	Policy fault.Policy
 	// SnapshotPath, when non-empty, persists the market as JSON after every
@@ -156,6 +160,9 @@ func (cfg Config) Validate() error {
 	}
 	if cfg.MaxActive < 0 {
 		return fmt.Errorf("server: negative MaxActive %d", cfg.MaxActive)
+	}
+	if cfg.EpochWorkers < 0 {
+		return fmt.Errorf("server: negative EpochWorkers %d", cfg.EpochWorkers)
 	}
 	if cfg.EpochInterval < 0 {
 		return fmt.Errorf("server: negative epoch interval %v", cfg.EpochInterval)
@@ -272,6 +279,10 @@ type Server struct {
 	curParent     uint64
 	lastAppendSec float64
 	lastSyncSec   float64
+	// inTickerEpoch marks that the background ticker is driving the current
+	// epochCmd call; the ticker records the whole-epoch StageEpoch root span
+	// itself, so epochCmd must not emit a second one. Loop-owned.
+	inTickerEpoch bool
 	// hStage maps span stage -> the mecd_span_seconds{stage=...} histogram
 	// it feeds. recordSpan observes it from the same Span value it retains,
 	// so the metric and the trace can never disagree.
